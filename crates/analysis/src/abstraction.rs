@@ -1,0 +1,445 @@
+//! The boolean control abstraction of a kernel process.
+//!
+//! A *control state* is a valuation of the boolean delay registers of the
+//! process (non-boolean registers carry data that does not influence
+//! presence and are abstracted away).  In a given state, the set of possible
+//! reactions is the set of assignments of presence (and boolean control
+//! values) satisfying the relation `R` of the clock calculus, strengthened
+//! with the facts "a present delayed signal carries its register value".
+//! Each satisfying assignment yields a [`ReactionLabel`] — the set of
+//! present signals with the values of the boolean ones — and a successor
+//! state obtained by updating the registers whose source signal is present.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use clocks::bdd::Var;
+use clocks::{ClockAlgebra, TimingRelations};
+use signal_lang::{KernelProcess, Name, Value};
+
+/// The label of an abstract reaction: which signals are present, and the
+/// value carried by the boolean ones.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReactionLabel {
+    present: BTreeSet<Name>,
+    values: BTreeMap<Name, bool>,
+}
+
+impl ReactionLabel {
+    /// Creates a label from its present signals and boolean values.
+    pub fn new(present: BTreeSet<Name>, values: BTreeMap<Name, bool>) -> Self {
+        ReactionLabel { present, values }
+    }
+
+    /// The signals present in the reaction.
+    pub fn present(&self) -> &BTreeSet<Name> {
+        &self.present
+    }
+
+    /// Returns `true` when `signal` is present.
+    pub fn is_present(&self, signal: &str) -> bool {
+        self.present.contains(signal)
+    }
+
+    /// The boolean value carried by `signal`, when present and boolean.
+    pub fn value(&self, signal: &str) -> Option<bool> {
+        self.values.get(signal).copied()
+    }
+
+    /// Returns `true` when no signal is present (the silent reaction).
+    pub fn is_silent(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Returns `true` when the two labels have disjoint present sets — the
+    /// independence side condition of Definition 2.
+    pub fn independent(&self, other: &ReactionLabel) -> bool {
+        self.present.is_disjoint(&other.present)
+    }
+
+    /// The union `r ⊔ s` of two independent labels.
+    ///
+    /// Returns `None` when the labels are not independent.
+    pub fn union(&self, other: &ReactionLabel) -> Option<ReactionLabel> {
+        if !self.independent(other) {
+            return None;
+        }
+        let mut out = self.clone();
+        out.present.extend(other.present.iter().cloned());
+        out.values.extend(other.values.iter().map(|(k, v)| (k.clone(), *v)));
+        Some(out)
+    }
+
+    /// The restriction of the label to a set of signals.
+    pub fn restrict(&self, signals: &BTreeSet<Name>) -> ReactionLabel {
+        ReactionLabel {
+            present: self.present.intersection(signals).cloned().collect(),
+            values: self
+                .values
+                .iter()
+                .filter(|(k, _)| signals.contains(*k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Enumerates every decomposition of this label into two independent,
+    /// non-empty sub-labels `(r, s)` with `r ⊔ s = self`.
+    pub fn decompositions(&self) -> Vec<(ReactionLabel, ReactionLabel)> {
+        let names: Vec<Name> = self.present.iter().cloned().collect();
+        let n = names.len();
+        let mut out = Vec::new();
+        if n < 2 || n > 12 {
+            return out;
+        }
+        for mask in 1..((1u32 << n) - 1) {
+            let mut left = BTreeSet::new();
+            let mut right = BTreeSet::new();
+            for (i, name) in names.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    left.insert(name.clone());
+                } else {
+                    right.insert(name.clone());
+                }
+            }
+            out.push((self.restrict(&left), self.restrict(&right)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ReactionLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.present.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in &self.present {
+            if !first {
+                write!(f, ", ")?;
+            }
+            match self.values.get(n) {
+                Some(v) => write!(f, "{n}={v}")?,
+                None => write!(f, "{n}")?,
+            }
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A control state: the valuation of the boolean delay registers.
+pub type ControlState = BTreeMap<Name, bool>;
+
+/// The presence abstraction of a kernel process.
+pub struct PresenceAbstraction {
+    algebra: ClockAlgebra,
+    /// The relation restricted to the control variables (data values are
+    /// existentially quantified away).
+    control_relation: clocks::bdd::NodeRef,
+    /// Boolean registers: `(register output signal, source signal, initial value)`.
+    registers: Vec<(Name, Name, bool)>,
+    /// The support of the satisfying-assignment enumeration.
+    support: Vec<Var>,
+    /// Signals whose presence variable is in the support, in support order.
+    presence_signals: Vec<Name>,
+    /// Boolean control signals whose value variable is in the support.
+    value_signals: Vec<Name>,
+    /// The signals whose presence is reported in reaction labels.
+    alphabet: BTreeSet<Name>,
+}
+
+impl PresenceAbstraction {
+    /// Builds the abstraction of a process.  Labels report the presence of
+    /// the process interface (inputs and outputs).
+    pub fn new(process: &KernelProcess) -> Self {
+        Self::with_alphabet(process, process.interface())
+    }
+
+    /// Builds the abstraction, reporting only the signals of `alphabet` in
+    /// reaction labels.
+    pub fn with_alphabet(process: &KernelProcess, alphabet: BTreeSet<Name>) -> Self {
+        let relations: TimingRelations = clocks::inference::infer(process);
+        let mut algebra = ClockAlgebra::new(process, &relations);
+        let booleans = process.boolean_signals();
+        let registers: Vec<(Name, Name, bool)> = process
+            .registers()
+            .into_iter()
+            .filter_map(|(out, arg, init)| match init {
+                Value::Bool(b) if booleans.contains(&out) => Some((out, arg, b)),
+                _ => None,
+            })
+            .collect();
+
+        // Control signals: their boolean value influences presence (they are
+        // sampled somewhere) or the next control state (they feed or are a
+        // register).  The values of the remaining (data) booleans are
+        // irrelevant to the abstraction and are quantified away, which keeps
+        // the enumeration of reactions tractable.
+        let mut control: BTreeSet<Name> = BTreeSet::new();
+        for (out, arg, _) in &registers {
+            control.insert(out.clone());
+            control.insert(arg.clone());
+        }
+        let mut atoms = Vec::new();
+        for (l, r) in relations.equalities.iter().chain(relations.inclusions.iter()) {
+            l.atoms(&mut atoms);
+            r.atoms(&mut atoms);
+        }
+        for edge in &relations.scheduling {
+            edge.guard.atoms(&mut atoms);
+        }
+        for atom in atoms {
+            if atom.is_sampling() {
+                control.insert(atom.signal().clone());
+            }
+        }
+        // Close the control set under instantaneous boolean data flow: the
+        // value of any boolean signal that can reach a control signal within
+        // the instant also determines the next control state (e.g. the input
+        // read by the buffer flows into its memory register), so it must be
+        // tracked too.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for eq in process.equations() {
+                if control.contains(eq.defined()) && !eq.is_delay() {
+                    for read in eq.reads() {
+                        if booleans.contains(&read) && control.insert(read) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let control: BTreeSet<Name> = control
+            .into_iter()
+            .filter(|n| booleans.contains(n))
+            .collect();
+
+        let presence_signals: Vec<Name> = process.signal_set().into_iter().collect();
+        let value_signals: Vec<Name> = control.iter().cloned().collect();
+        let data_values: Vec<Var> = booleans
+            .iter()
+            .filter(|n| !control.contains(*n))
+            .map(|n| algebra.value_var(n.as_str()))
+            .collect();
+        let control_relation = {
+            let relation = algebra.relation();
+            let mut reduced = algebra.bdd_mut().exists_all(relation, &data_values);
+            // Normalize the value of absent control signals to false: the
+            // value of an absent signal is never observed, and leaving it
+            // unconstrained would multiply the enumerated assignments by two
+            // per absent signal.
+            for n in &control {
+                let p = algebra.presence_var(n.as_str());
+                let v = algebra.value_var(n.as_str());
+                let bdd = algebra.bdd_mut();
+                let pv = bdd.var(p);
+                let nv = bdd.nvar(v);
+                let norm = bdd.or(pv, nv);
+                reduced = bdd.and(reduced, norm);
+            }
+            reduced
+        };
+
+        let mut support: Vec<Var> = Vec::new();
+        for n in &presence_signals {
+            support.push(algebra.presence_var(n.as_str()));
+        }
+        for n in &value_signals {
+            support.push(algebra.value_var(n.as_str()));
+        }
+        support.sort();
+        PresenceAbstraction {
+            algebra,
+            control_relation,
+            registers,
+            support,
+            presence_signals,
+            value_signals,
+            alphabet,
+        }
+    }
+
+    /// The initial control state (registers at their declared initial
+    /// values).
+    pub fn initial_state(&self) -> ControlState {
+        self.registers
+            .iter()
+            .map(|(out, _, init)| (out.clone(), *init))
+            .collect()
+    }
+
+    /// The signals reported in reaction labels.
+    pub fn alphabet(&self) -> &BTreeSet<Name> {
+        &self.alphabet
+    }
+
+    /// Enumerates the reactions possible in `state`, together with the
+    /// successor state of each.
+    ///
+    /// The silent reaction (nothing present, state unchanged) is always
+    /// possible and always included.
+    pub fn reactions(&mut self, state: &ControlState) -> Vec<(ReactionLabel, ControlState)> {
+        // Constrain the relation with the current register values: a present
+        // register output carries its stored value.
+        let mut constrained = self.control_relation;
+        for (out, _, _) in &self.registers {
+            let value = state.get(out).copied().unwrap_or(false);
+            let p = self.algebra.presence_var(out.as_str());
+            let v = self.algebra.value_var(out.as_str());
+            let bdd = self.algebra.bdd_mut();
+            let pv = bdd.var(p);
+            let vv = if value { bdd.var(v) } else { bdd.nvar(v) };
+            let fact = bdd.implies(pv, vv);
+            constrained = bdd.and(constrained, fact);
+        }
+        let assignments = {
+            let bdd = self.algebra.bdd_mut();
+            bdd.all_sat(constrained, &self.support)
+        };
+
+        let mut seen: BTreeSet<(ReactionLabel, Vec<(Name, bool)>)> = BTreeSet::new();
+        let mut out = Vec::new();
+        for assignment in assignments {
+            let lookup: BTreeMap<Var, bool> = assignment.into_iter().collect();
+            let mut present: BTreeSet<Name> = BTreeSet::new();
+            for n in &self.presence_signals {
+                if lookup[&self.algebra.presence_var(n.as_str())] {
+                    present.insert(n.clone());
+                }
+            }
+            let mut values: BTreeMap<Name, bool> = BTreeMap::new();
+            for n in &self.value_signals {
+                if present.contains(n) {
+                    values.insert(n.clone(), lookup[&self.algebra.value_var(n.as_str())]);
+                }
+            }
+            // Successor state: registers whose source is present take its
+            // value.
+            let mut next = state.clone();
+            for (outn, arg, _) in &self.registers {
+                if present.contains(arg) {
+                    if let Some(v) = values.get(arg) {
+                        next.insert(outn.clone(), *v);
+                    }
+                }
+            }
+            let label = ReactionLabel::new(
+                present.intersection(&self.alphabet).cloned().collect(),
+                values
+                    .iter()
+                    .filter(|(k, _)| self.alphabet.contains(*k))
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            );
+            let key = (label.clone(), next.iter().map(|(k, v)| (k.clone(), *v)).collect());
+            if seen.insert(key) {
+                out.push((label, next));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PresenceAbstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PresenceAbstraction")
+            .field("registers", &self.registers)
+            .field("alphabet", &self.alphabet)
+            .field("support_size", &self.support.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn label_independence_and_union() {
+        let a = ReactionLabel::new(
+            [Name::from("x")].into_iter().collect(),
+            [(Name::from("x"), true)].into_iter().collect(),
+        );
+        let b = ReactionLabel::new([Name::from("y")].into_iter().collect(), BTreeMap::new());
+        assert!(a.independent(&b));
+        let u = a.union(&b).unwrap();
+        assert!(u.is_present("x") && u.is_present("y"));
+        assert_eq!(u.value("x"), Some(true));
+        assert!(a.union(&a).is_none());
+    }
+
+    #[test]
+    fn label_decompositions_cover_all_splits() {
+        let label = ReactionLabel::new(
+            ["x", "y", "z"].into_iter().map(Name::from).collect(),
+            BTreeMap::new(),
+        );
+        let d = label.decompositions();
+        // 2^3 - 2 = 6 ordered splits.
+        assert_eq!(d.len(), 6);
+        for (l, r) in &d {
+            assert!(l.independent(r));
+            assert_eq!(l.union(r).unwrap().present(), label.present());
+        }
+    }
+
+    #[test]
+    fn buffer_abstraction_alternates_between_x_and_y() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let mut abs = PresenceAbstraction::new(&kernel);
+        let s0 = abs.initial_state();
+        let reactions = abs.reactions(&s0);
+        // Besides silence, in the initial state (s=true, so t=false) the
+        // buffer can only read y.
+        let non_silent: Vec<_> = reactions.iter().filter(|(l, _)| !l.is_silent()).collect();
+        assert!(!non_silent.is_empty());
+        assert!(non_silent.iter().all(|(l, _)| l.is_present("y") && !l.is_present("x")));
+        // After reading, the successor state allows emitting x.
+        let (_, next) = non_silent[0];
+        let mut abs2 = PresenceAbstraction::new(&kernel);
+        let reactions2 = abs2.reactions(next);
+        assert!(reactions2
+            .iter()
+            .any(|(l, _)| l.is_present("x") && !l.is_present("y")));
+    }
+
+    #[test]
+    fn producer_consumer_can_fire_a_and_b_independently_or_together() {
+        let kernel = stdlib::producer_consumer().normalize().unwrap();
+        let mut abs = PresenceAbstraction::new(&kernel);
+        let s0 = abs.initial_state();
+        let reactions = abs.reactions(&s0);
+        let has = |pred: &dyn Fn(&ReactionLabel) -> bool| reactions.iter().any(|(l, _)| pred(l));
+        // a alone (a=true keeps x absent so no rendez-vous with b is needed).
+        assert!(has(&|l| l.is_present("a") && !l.is_present("b") && l.value("a") == Some(true)));
+        // b alone (b=false).
+        assert!(has(&|l| l.is_present("b") && !l.is_present("a") && l.value("b") == Some(false)));
+        // Both together (the rendez-vous on the shared x: a=false, b=true).
+        assert!(has(&|l| l.is_present("a")
+            && l.is_present("b")
+            && l.value("a") == Some(false)
+            && l.value("b") == Some(true)));
+        // But never a=false without b (x would be produced and not consumed).
+        assert!(!has(&|l| l.value("a") == Some(false) && !l.is_present("b")));
+    }
+
+    #[test]
+    fn silence_is_always_enumerated() {
+        for def in [stdlib::filter(), stdlib::buffer(), stdlib::producer()] {
+            let kernel = def.normalize().unwrap();
+            let mut abs = PresenceAbstraction::new(&kernel);
+            let s0 = abs.initial_state();
+            let reactions = abs.reactions(&s0);
+            assert!(
+                reactions.iter().any(|(l, _)| l.is_silent()),
+                "{} has no silent reaction",
+                def.name
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The `StateIndependent`, `OrderIndependent` and `FlowIndependent`
+//! invariants of Section 4.1.
+//!
+//! The paper expresses properties (2a)–(2c) of weak endochrony as Signal
+//! invariants over pairs of *root clocks* `(x, y)` (and a third signal `z`
+//! for flow independence) and model checks them with Sigali.  Here the
+//! invariants are checked directly on the explicit LTS of the presence
+//! abstraction, with the following reading:
+//!
+//! * **OrderIndependent(x, y)** — whenever `x` can occur without `y` and
+//!   `y` can occur without `x` from the same state, both can also occur
+//!   together (the union diamond at the roots);
+//! * **StateIndependent(x, y)** — whenever `x` occurs alone and `y` occurs
+//!   alone in the *next* reaction, the two could have occurred together in
+//!   the first one (committing `x` first did not consume `y`'s instant);
+//! * **FlowIndependent(x, y, z)** — committing the `x`-side of a reaction
+//!   that also carries `z` does not lose the pending `y`-side: `y` remains
+//!   possible in the successor state.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use clocks::ClockAnalysis;
+use signal_lang::{KernelProcess, Name};
+
+use crate::lts::Lts;
+
+/// One invariant verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// The invariant name (`StateIndependent`, ...).
+    pub name: &'static str,
+    /// The pair (or triple) of signals the invariant talks about.
+    pub signals: Vec<Name>,
+    /// Counter-example descriptions; empty when the invariant holds.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Returns `true` when the invariant holds.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let signals: Vec<&str> = self.signals.iter().map(Name::as_str).collect();
+        write!(
+            f,
+            "{}({}) : {}",
+            self.name,
+            signals.join(", "),
+            if self.holds() { "holds" } else { "violated" }
+        )
+    }
+}
+
+/// The invariants of Section 4.1 checked over every pair of hierarchy roots.
+#[derive(Debug, Clone)]
+pub struct RootInvariants {
+    roots: Vec<Name>,
+    reports: Vec<InvariantReport>,
+}
+
+impl RootInvariants {
+    /// Picks one representative signal per root of the clock hierarchy of
+    /// `process`, explores its abstraction (up to `max_states` states) and
+    /// checks the three invariants for every pair of roots.
+    pub fn check(process: &KernelProcess, max_states: usize) -> Self {
+        let analysis = ClockAnalysis::analyze(process);
+        let interface: BTreeSet<Name> = process.interface();
+        let mut roots: Vec<Name> = Vec::new();
+        for (root, signals) in analysis.root_partitions() {
+            // Prefer an interface signal of the root class itself as the
+            // representative; fall back to any signal of the tree.
+            let members: Vec<Name> = analysis
+                .hierarchy()
+                .class_members(root)
+                .iter()
+                .map(|c| c.signal().clone())
+                .collect();
+            let representative = members
+                .iter()
+                .find(|n| interface.contains(*n))
+                .cloned()
+                .or_else(|| signals.iter().find(|n| interface.contains(*n)).cloned())
+                .or_else(|| members.first().cloned());
+            if let Some(r) = representative {
+                if !roots.contains(&r) {
+                    roots.push(r);
+                }
+            }
+        }
+        let lts = Lts::explore(process, max_states);
+        let mut reports = Vec::new();
+        for (i, x) in roots.iter().enumerate() {
+            for y in roots.iter().skip(i + 1) {
+                reports.push(order_independent(&lts, x, y));
+                reports.push(state_independent(&lts, x, y));
+                for z in process.outputs() {
+                    if z != x && z != y {
+                        reports.push(flow_independent(&lts, x, y, z));
+                    }
+                }
+            }
+        }
+        RootInvariants { roots, reports }
+    }
+
+    /// The representative signal of each root.
+    pub fn roots(&self) -> &[Name] {
+        &self.roots
+    }
+
+    /// Every individual invariant report.
+    pub fn reports(&self) -> &[InvariantReport] {
+        &self.reports
+    }
+
+    /// Returns `true` when every invariant holds (Property 3: the process is
+    /// then weakly endochronous).
+    pub fn all_hold(&self) -> bool {
+        self.reports.iter().all(InvariantReport::holds)
+    }
+}
+
+impl fmt::Display for RootInvariants {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let roots: Vec<&str> = self.roots.iter().map(Name::as_str).collect();
+        writeln!(f, "roots: {}", roots.join(", "))?;
+        for r in &self.reports {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `OrderIndependent(x, y)`: `x` without `y` and `y` without `x` enabled in
+/// the same state imply `x` and `y` together enabled in that state.
+pub fn order_independent(lts: &Lts, x: &Name, y: &Name) -> InvariantReport {
+    let mut violations = Vec::new();
+    for state in lts.states() {
+        let x_alone = lts.has_transition(state, |l| l.is_present(x.as_str()) && !l.is_present(y.as_str()));
+        let y_alone = lts.has_transition(state, |l| l.is_present(y.as_str()) && !l.is_present(x.as_str()));
+        let both = lts.has_transition(state, |l| l.is_present(x.as_str()) && l.is_present(y.as_str()));
+        if x_alone && y_alone && !both {
+            violations.push(format!(
+                "state {state}: {x} and {y} can each occur alone but never together"
+            ));
+        }
+    }
+    InvariantReport {
+        name: "OrderIndependent",
+        signals: vec![x.clone(), y.clone()],
+        violations,
+    }
+}
+
+/// `StateIndependent(x, y)`: if `x` occurs without `y` and, in the successor
+/// state, `y` occurs without `x`, then `x` and `y` could have occurred
+/// together in the first reaction.
+pub fn state_independent(lts: &Lts, x: &Name, y: &Name) -> InvariantReport {
+    let mut violations = Vec::new();
+    for state in lts.states() {
+        for (label, next) in lts.transitions_from(state) {
+            if !(label.is_present(x.as_str()) && !label.is_present(y.as_str())) {
+                continue;
+            }
+            let y_next = lts.has_transition(*next, |l| {
+                l.is_present(y.as_str()) && !l.is_present(x.as_str())
+            });
+            if !y_next {
+                continue;
+            }
+            let both_now = lts.has_transition(state, |l| {
+                l.is_present(x.as_str()) && l.is_present(y.as_str())
+            });
+            if !both_now {
+                violations.push(format!(
+                    "state {state}: {x} then {y} is possible but never {x} and {y} together"
+                ));
+            }
+        }
+    }
+    InvariantReport {
+        name: "StateIndependent",
+        signals: vec![x.clone(), y.clone()],
+        violations,
+    }
+}
+
+/// `FlowIndependent(x, y, z)`: committing a reaction that carries `z`
+/// together with `x` (and without `y`), while `y` alone was also possible,
+/// must leave `y` available in the successor state — the flow towards `z`'s
+/// consumers does not depend on the order in which `x` and `y` arrive.
+pub fn flow_independent(lts: &Lts, x: &Name, y: &Name, z: &Name) -> InvariantReport {
+    let mut violations = Vec::new();
+    for state in lts.states() {
+        let y_alone_possible = lts.has_transition(state, |l| {
+            l.is_present(y.as_str()) && !l.is_present(x.as_str())
+        });
+        if !y_alone_possible {
+            continue;
+        }
+        for (label, next) in lts.transitions_from(state) {
+            let carries = label.is_present(z.as_str())
+                && label.is_present(x.as_str())
+                && !label.is_present(y.as_str());
+            if !carries {
+                continue;
+            }
+            if !lts.has_transition(*next, |l| l.is_present(y.as_str())) {
+                violations.push(format!(
+                    "state {state}: taking {x} with {z} loses the pending {y}"
+                ));
+            }
+        }
+    }
+    InvariantReport {
+        name: "FlowIndependent",
+        signals: vec![x.clone(), y.clone(), z.clone()],
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn producer_consumer_roots_satisfy_every_invariant() {
+        let kernel = stdlib::producer_consumer().normalize().unwrap();
+        let invariants = RootInvariants::check(&kernel, 10_000);
+        assert_eq!(invariants.roots().len(), 2);
+        assert!(invariants.all_hold(), "{invariants}");
+        assert!(!invariants.reports().is_empty());
+    }
+
+    #[test]
+    fn filter_merge_roots_satisfy_every_invariant() {
+        let kernel = stdlib::filter_merge().normalize().unwrap();
+        let invariants = RootInvariants::check(&kernel, 10_000);
+        assert_eq!(invariants.roots().len(), 2);
+        assert!(invariants.all_hold(), "{invariants}");
+    }
+
+    #[test]
+    fn an_exclusive_choice_violates_order_independence() {
+        use signal_lang::{ClockAst, Expr, ProcessBuilder};
+        let def = ProcessBuilder::new("exclusive")
+            .define("u", Expr::var("y").add(Expr::cst(1)))
+            .define("v", Expr::var("z").add(Expr::cst(1)))
+            .constraint(ClockAst::of("y").and(ClockAst::of("z")), ClockAst::Zero)
+            .build()
+            .unwrap();
+        let kernel = def.normalize().unwrap();
+        let lts = Lts::explore(&kernel, 100);
+        let report = order_independent(&lts, &Name::from("y"), &Name::from("z"));
+        assert!(!report.holds());
+        assert!(report.to_string().contains("violated"));
+    }
+
+    #[test]
+    fn endochronous_processes_have_a_single_root_and_hold_vacuously() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let invariants = RootInvariants::check(&kernel, 1_000);
+        assert_eq!(invariants.roots().len(), 1);
+        assert!(invariants.all_hold());
+        assert!(invariants.reports().is_empty());
+    }
+}

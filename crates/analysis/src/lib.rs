@@ -1,0 +1,47 @@
+//! Weak-endochrony analysis by explicit state-space exploration.
+//!
+//! The paper (Section 4.1) verifies weak endochrony (Definition 2) by model
+//! checking: the process is abstracted to its *presence* behaviour — which
+//! signals can be present together, and how the boolean control state
+//! evolves — and the diamond properties of weakly endochronous systems are
+//! checked on the resulting finite labelled transition system.  This crate
+//! implements that machinery from scratch:
+//!
+//! * [`abstraction`] — the boolean control abstraction of a kernel process,
+//!   built on the BDD relation of the clock calculus;
+//! * [`lts`] — explicit-state reachability, producing a finite LTS;
+//! * [`weak_endochrony`] — determinism and the diamond properties (2a)–(2c)
+//!   of Definition 2, plus the non-blocking check of Definition 4;
+//! * [`invariants`] — the `StateIndependent`, `OrderIndependent` and
+//!   `FlowIndependent` invariants of Section 4.1, stated over pairs of root
+//!   clocks and checked on the LTS.
+//!
+//! The cost of this exploration — compared to the static weak-hierarchy
+//! criterion of the `isochron` crate — is exactly the trade-off the paper
+//! sets out to balance (benchmark E10).
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::WeakEndochronyReport;
+//! use signal_lang::stdlib;
+//!
+//! let main = stdlib::producer_consumer().normalize()?;
+//! let report = WeakEndochronyReport::check(&main, 10_000);
+//! assert!(report.is_weakly_endochronous(), "{report}");
+//! assert!(report.is_non_blocking());
+//! # Ok::<(), signal_lang::SignalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod invariants;
+pub mod lts;
+pub mod weak_endochrony;
+
+pub use abstraction::{PresenceAbstraction, ReactionLabel};
+pub use invariants::{InvariantReport, RootInvariants};
+pub use lts::{Lts, StateId};
+pub use weak_endochrony::WeakEndochronyReport;

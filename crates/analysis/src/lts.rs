@@ -1,0 +1,192 @@
+//! Explicit-state labelled transition systems.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use signal_lang::KernelProcess;
+
+use crate::abstraction::{ControlState, PresenceAbstraction, ReactionLabel};
+
+/// Identifier of a state of an [`Lts`].
+pub type StateId = usize;
+
+/// A finite labelled transition system obtained by exploring the presence
+/// abstraction of a process.
+#[derive(Debug, Clone)]
+pub struct Lts {
+    states: Vec<ControlState>,
+    transitions: Vec<Vec<(ReactionLabel, StateId)>>,
+    truncated: bool,
+}
+
+impl Lts {
+    /// Explores the abstraction of `process` breadth-first from its initial
+    /// state, visiting at most `max_states` control states.
+    pub fn explore(process: &KernelProcess, max_states: usize) -> Self {
+        let mut abstraction = PresenceAbstraction::new(process);
+        Self::explore_abstraction(&mut abstraction, max_states)
+    }
+
+    /// Explores an already-built abstraction.
+    pub fn explore_abstraction(
+        abstraction: &mut PresenceAbstraction,
+        max_states: usize,
+    ) -> Self {
+        let mut states: Vec<ControlState> = Vec::new();
+        let mut index: BTreeMap<ControlState, StateId> = BTreeMap::new();
+        let mut transitions: Vec<Vec<(ReactionLabel, StateId)>> = Vec::new();
+        let mut truncated = false;
+
+        let initial = abstraction.initial_state();
+        states.push(initial.clone());
+        index.insert(initial.clone(), 0);
+        transitions.push(Vec::new());
+
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        queue.push_back(0);
+        while let Some(id) = queue.pop_front() {
+            let state = states[id].clone();
+            for (label, next_state) in abstraction.reactions(&state) {
+                let next_id = match index.get(&next_state) {
+                    Some(&i) => i,
+                    None => {
+                        if states.len() >= max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let i = states.len();
+                        states.push(next_state.clone());
+                        index.insert(next_state, i);
+                        transitions.push(Vec::new());
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                transitions[id].push((label, next_id));
+            }
+        }
+        Lts {
+            states,
+            transitions,
+            truncated,
+        }
+    }
+
+    /// The number of explored states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when the exploration hit the state cap.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The control state of `id`.
+    pub fn state(&self, id: StateId) -> &ControlState {
+        &self.states[id]
+    }
+
+    /// The outgoing transitions of `id`.
+    pub fn transitions_from(&self, id: StateId) -> &[(ReactionLabel, StateId)] {
+        &self.transitions[id]
+    }
+
+    /// Iterates over every state identifier.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        0..self.states.len()
+    }
+
+    /// Returns `true` when `id` has an outgoing transition whose label
+    /// matches the predicate.
+    pub fn has_transition(
+        &self,
+        id: StateId,
+        predicate: impl Fn(&ReactionLabel) -> bool,
+    ) -> bool {
+        self.transitions[id].iter().any(|(l, _)| predicate(l))
+    }
+
+    /// The successors of `id` reached by a label matching the predicate.
+    pub fn successors_by(
+        &self,
+        id: StateId,
+        predicate: impl Fn(&ReactionLabel) -> bool,
+    ) -> Vec<StateId> {
+        self.transitions[id]
+            .iter()
+            .filter(|(l, _)| predicate(l))
+            .map(|(_, s)| *s)
+            .collect()
+    }
+}
+
+impl fmt::Display for Lts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "LTS with {} states and {} transitions{}",
+            self.state_count(),
+            self.transition_count(),
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        for id in self.states() {
+            for (label, next) in self.transitions_from(id) {
+                writeln!(f, "  s{id} --{label}--> s{next}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn buffer_lts_has_two_control_states() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let lts = Lts::explore(&kernel, 1000);
+        // The only boolean state that matters alternates: reading phase and
+        // writing phase (the memory register also flips with the read
+        // value, giving at most a few more states).
+        assert!(lts.state_count() >= 2);
+        assert!(lts.state_count() <= 8);
+        assert!(!lts.is_truncated());
+        // Every state can either read or write, never both.
+        for id in lts.states() {
+            assert!(!lts.has_transition(id, |l| l.is_present("x") && l.is_present("y")));
+        }
+    }
+
+    #[test]
+    fn producer_consumer_lts_is_small_and_complete() {
+        let kernel = stdlib::producer_consumer().normalize().unwrap();
+        let lts = Lts::explore(&kernel, 1000);
+        assert!(!lts.is_truncated());
+        assert!(lts.state_count() >= 1);
+        assert!(lts.transition_count() > lts.state_count());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let kernel = stdlib::ltta().normalize().unwrap();
+        let lts = Lts::explore(&kernel, 2);
+        assert!(lts.is_truncated());
+        assert_eq!(lts.state_count(), 2);
+    }
+
+    #[test]
+    fn display_mentions_the_size() {
+        let kernel = stdlib::filter().normalize().unwrap();
+        let lts = Lts::explore(&kernel, 100);
+        let text = lts.to_string();
+        assert!(text.contains("states"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Weak endochrony (Definition 2) and non-blocking (Definition 4) checks.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use signal_lang::{KernelProcess, Name};
+
+use crate::lts::{Lts, StateId};
+
+/// The result of model checking weak endochrony on the presence abstraction
+/// of a process.
+#[derive(Debug, Clone)]
+pub struct WeakEndochronyReport {
+    state_count: usize,
+    transition_count: usize,
+    truncated: bool,
+    determinism_violations: Vec<String>,
+    commutation_violations: Vec<String>,
+    union_violations: Vec<String>,
+    decomposition_violations: Vec<String>,
+    blocking_states: Vec<StateId>,
+}
+
+impl WeakEndochronyReport {
+    /// Explores the abstraction of `process` (visiting at most `max_states`
+    /// control states) and checks the conditions of Definition 2 on the
+    /// resulting LTS, together with the non-blocking condition of
+    /// Definition 4.
+    pub fn check(process: &KernelProcess, max_states: usize) -> Self {
+        let inputs: BTreeSet<Name> = process.inputs().cloned().collect();
+        let lts = Lts::explore(process, max_states);
+        Self::check_lts(&lts, &inputs)
+    }
+
+    /// Checks the conditions on an already-explored LTS.
+    pub fn check_lts(lts: &Lts, inputs: &BTreeSet<Name>) -> Self {
+        let mut report = WeakEndochronyReport {
+            state_count: lts.state_count(),
+            transition_count: lts.transition_count(),
+            truncated: lts.is_truncated(),
+            determinism_violations: Vec::new(),
+            commutation_violations: Vec::new(),
+            union_violations: Vec::new(),
+            decomposition_violations: Vec::new(),
+            blocking_states: Vec::new(),
+        };
+        for state in lts.states() {
+            report.check_determinism(lts, state, inputs);
+            report.check_commutation(lts, state);
+            report.check_union(lts, state);
+            report.check_decomposition(lts, state);
+            report.check_blocking(lts, state);
+        }
+        report
+    }
+
+    /// Condition 1 of Definition 2: the process is deterministic — two
+    /// reactions that agree on the inputs agree on everything and lead to
+    /// the same control state.
+    fn check_determinism(&mut self, lts: &Lts, state: StateId, inputs: &BTreeSet<Name>) {
+        let transitions = lts.transitions_from(state);
+        for (i, (l1, s1)) in transitions.iter().enumerate() {
+            for (l2, s2) in transitions.iter().skip(i + 1) {
+                if l1.restrict(inputs) == l2.restrict(inputs) && (l1 != l2 || s1 != s2) {
+                    // Reactions with *no* input at all are internal choices
+                    // of the activation pacing (e.g. the silent reaction vs.
+                    // a root tick) and are not a determinism violation: the
+                    // paper's determinism is relative to the inputs I once
+                    // the reaction is actually triggered.
+                    if l1.restrict(inputs).is_silent() && (l1.is_silent() || l2.is_silent()) {
+                        continue;
+                    }
+                    self.determinism_violations.push(format!(
+                        "state {state}: reactions {l1} and {l2} agree on the inputs but differ"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Condition 2a, in its state-based diamond reading: two *independent*
+    /// reactions enabled in the same state can be performed in any order —
+    /// performing one does not disable the other.
+    ///
+    /// The research-report phrasing (`b·r·s ∈ p ⇒ b·s ∈ p`) taken literally
+    /// would reject even endochronous processes such as the one-place
+    /// buffer (whose read alters the state and enables the write), so we
+    /// check the diamond form used by Potop-Butucaru, Caillaud and
+    /// Benveniste, which is the property Theorem 1 actually relies on:
+    /// independent reactions may be committed in any order without altering
+    /// the outcome.
+    fn check_commutation(&mut self, lts: &Lts, state: StateId) {
+        let transitions = lts.transitions_from(state);
+        for (i, (r, _)) in transitions.iter().enumerate() {
+            if r.is_silent() {
+                continue;
+            }
+            for (s, _) in transitions.iter().skip(i + 1) {
+                if s.is_silent() || !r.independent(s) || r == s {
+                    continue;
+                }
+                for (first, second) in [(r, s), (s, r)] {
+                    let mids = lts.successors_by(state, |l| l == first);
+                    let preserved = mids
+                        .iter()
+                        .any(|mid| lts.has_transition(*mid, |l| l == second));
+                    if !preserved {
+                        self.commutation_violations.push(format!(
+                            "state {state}: {second} is enabled but lost after {first}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Condition 2b: independent reactions enabled in the same state can be
+    /// merged into a single reaction (`b·r, b·s ∈ p ⇒ b·(r ⊔ s) ∈ p`).
+    fn check_union(&mut self, lts: &Lts, state: StateId) {
+        let transitions = lts.transitions_from(state);
+        for (i, (r, _)) in transitions.iter().enumerate() {
+            if r.is_silent() {
+                continue;
+            }
+            for (s, _) in transitions.iter().skip(i + 1) {
+                if s.is_silent() || !r.independent(s) {
+                    continue;
+                }
+                let Some(union) = r.union(s) else { continue };
+                if !lts.has_transition(state, |l| *l == union) {
+                    self.union_violations.push(format!(
+                        "state {state}: {r} and {s} are both enabled but not their union {union}"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Condition 2c: if two reactions enabled in the same state share a
+    /// common independent part `r` (`b·(r ⊔ s), b·(r ⊔ t) ∈ p`), then the
+    /// shared part can be committed first and each remainder stays
+    /// available (`b·r·s, b·r·t ∈ p`).
+    ///
+    /// Signals present in both reactions whose values the boolean
+    /// abstraction does not track (data signals) make the comparison
+    /// inconclusive; such pairs are skipped, which keeps the check sound
+    /// for the control behaviour it models.
+    fn check_decomposition(&mut self, lts: &Lts, state: StateId) {
+        let transitions = lts.transitions_from(state);
+        for (i, (u1, _)) in transitions.iter().enumerate() {
+            for (u2, _) in transitions.iter().skip(i + 1) {
+                if u1.is_silent() || u2.is_silent() || u1 == u2 {
+                    continue;
+                }
+                let common: BTreeSet<Name> = u1
+                    .present()
+                    .intersection(u2.present())
+                    .cloned()
+                    .collect();
+                if common.is_empty() {
+                    continue;
+                }
+                // Values must be known on the whole common part to identify
+                // the shared reaction r.
+                if common
+                    .iter()
+                    .any(|n| u1.value(n.as_str()).is_none() || u2.value(n.as_str()).is_none())
+                {
+                    continue;
+                }
+                if common
+                    .iter()
+                    .any(|n| u1.value(n.as_str()) != u2.value(n.as_str()))
+                {
+                    continue;
+                }
+                let r = u1.restrict(&common);
+                let rest1: BTreeSet<Name> =
+                    u1.present().difference(&common).cloned().collect();
+                let rest2: BTreeSet<Name> =
+                    u2.present().difference(&common).cloned().collect();
+                let s = u1.restrict(&rest1);
+                let t = u2.restrict(&rest2);
+                let mids = lts.successors_by(state, |l| *l == r);
+                if mids.is_empty() {
+                    self.decomposition_violations.push(format!(
+                        "state {state}: {u1} and {u2} share {r}, which is not enabled alone"
+                    ));
+                    continue;
+                }
+                for remainder in [&s, &t] {
+                    if remainder.is_silent() {
+                        continue;
+                    }
+                    if !mids
+                        .iter()
+                        .any(|mid| lts.has_transition(*mid, |l| l == remainder))
+                    {
+                        self.decomposition_violations.push(format!(
+                            "state {state}: after the shared part {r}, {remainder} is lost"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Definition 4: every reachable state must offer some productive (non
+    /// silent) reaction.
+    fn check_blocking(&mut self, lts: &Lts, state: StateId) {
+        if !lts.has_transition(state, |l| !l.is_silent()) {
+            self.blocking_states.push(state);
+        }
+    }
+
+    /// The number of control states explored.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// The number of transitions explored.
+    pub fn transition_count(&self) -> usize {
+        self.transition_count
+    }
+
+    /// Returns `true` when the exploration was truncated by the state cap —
+    /// verdicts are then only valid for the explored prefix.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Returns `true` when the process is deterministic (condition 1).
+    pub fn is_deterministic(&self) -> bool {
+        self.determinism_violations.is_empty()
+    }
+
+    /// Returns `true` when every diamond condition (2a)–(2c) holds.
+    pub fn diamonds_hold(&self) -> bool {
+        self.commutation_violations.is_empty()
+            && self.union_violations.is_empty()
+            && self.decomposition_violations.is_empty()
+    }
+
+    /// Returns `true` when the process is weakly endochronous (Definition 2).
+    pub fn is_weakly_endochronous(&self) -> bool {
+        self.is_deterministic() && self.diamonds_hold()
+    }
+
+    /// Returns `true` when every reachable state can perform a productive
+    /// reaction (Definition 4).
+    pub fn is_non_blocking(&self) -> bool {
+        self.blocking_states.is_empty()
+    }
+
+    /// Theorem of [18] as used by the paper: weakly endochronous,
+    /// non-blocking processes are isochronous.
+    pub fn implies_isochrony(&self) -> bool {
+        self.is_weakly_endochronous() && self.is_non_blocking()
+    }
+
+    /// Every violation message.
+    pub fn violations(&self) -> Vec<&str> {
+        self.determinism_violations
+            .iter()
+            .chain(&self.commutation_violations)
+            .chain(&self.union_violations)
+            .chain(&self.decomposition_violations)
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Display for WeakEndochronyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "weak endochrony over {} states / {} transitions{}:",
+            self.state_count,
+            self.transition_count,
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        writeln!(f, "  deterministic: {}", self.is_deterministic())?;
+        writeln!(f, "  diamonds:      {}", self.diamonds_hold())?;
+        writeln!(f, "  non-blocking:  {}", self.is_non_blocking())?;
+        for v in self.violations() {
+            writeln!(f, "  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::{stdlib, Expr, ProcessBuilder};
+
+    #[test]
+    fn endochronous_components_are_weakly_endochronous() {
+        for def in [
+            stdlib::filter(),
+            stdlib::merge(),
+            stdlib::buffer(),
+            stdlib::producer(),
+            stdlib::consumer(),
+        ] {
+            let kernel = def.normalize().unwrap();
+            let report = WeakEndochronyReport::check(&kernel, 10_000);
+            assert!(
+                report.is_weakly_endochronous(),
+                "{} should be weakly endochronous:\n{report}",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn producer_consumer_composition_is_weakly_endochronous_and_non_blocking() {
+        let kernel = stdlib::producer_consumer().normalize().unwrap();
+        let report = WeakEndochronyReport::check(&kernel, 10_000);
+        assert!(report.is_weakly_endochronous(), "{report}");
+        assert!(report.is_non_blocking());
+        assert!(report.implies_isochrony());
+        assert!(!report.is_truncated());
+    }
+
+    #[test]
+    fn filter_merge_composition_is_weakly_endochronous() {
+        let kernel = stdlib::filter_merge().normalize().unwrap();
+        let report = WeakEndochronyReport::check(&kernel, 10_000);
+        assert!(report.is_weakly_endochronous(), "{report}");
+    }
+
+    #[test]
+    fn a_mutual_exclusion_choice_is_rejected() {
+        use signal_lang::ClockAst;
+        // Two independent inputs that may each fire alone but are never
+        // allowed together: the union diamond (2b) fails, which is the
+        // textbook non-weakly-endochronous process (an exclusive choice
+        // visible to the asynchronous environment).
+        let def = ProcessBuilder::new("exclusive")
+            .define("u", Expr::var("y").add(Expr::cst(1)))
+            .define("v", Expr::var("z").add(Expr::cst(1)))
+            .constraint(
+                ClockAst::of("y").and(ClockAst::of("z")),
+                ClockAst::Zero,
+            )
+            .build()
+            .unwrap();
+        let kernel = def.normalize().unwrap();
+        let report = WeakEndochronyReport::check(&kernel, 10_000);
+        assert!(report.is_deterministic());
+        assert!(!report.is_weakly_endochronous(), "{report}");
+        assert!(!report.violations().is_empty());
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let report = WeakEndochronyReport::check(&kernel, 10_000);
+        assert!(report.state_count() >= 2);
+        assert!(report.transition_count() >= report.state_count());
+        let text = report.to_string();
+        assert!(text.contains("deterministic: true"));
+    }
+}

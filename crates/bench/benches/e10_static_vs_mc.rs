@@ -1,0 +1,62 @@
+//! E10 — the motivating trade-off: the cost of the static weak-hierarchy
+//! criterion versus model checking weak endochrony, as the composition
+//! grows (chains of producer/consumer pairs).
+//!
+//! The paper's claim is qualitative: the static criterion scales with the
+//! number of components while exhaustive exploration scales with the product
+//! of their state spaces.  The series below regenerates that shape.
+
+use analysis::WeakEndochronyReport;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isochron::design::{chain_as_single_process, chain_of_pairs};
+use isochron::Design;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_static_vs_mc");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("static_weak_hierarchy", n),
+            &n,
+            |bencher, &n| {
+                let components = chain_of_pairs(n);
+                bencher.iter(|| {
+                    let design = Design::compose(format!("chain{n}"), components.clone())
+                        .expect("chain builds");
+                    assert!(design.is_weakly_hierarchic());
+                    design.verdict().roots
+                })
+            },
+        );
+    }
+    // The explicit exploration is only affordable for the small instances:
+    // its cost grows with the product of the component state spaces, which
+    // is precisely the paper's argument for the static criterion.
+    for n in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("model_checking", n),
+            &n,
+            |bencher, &n| {
+                let process = chain_as_single_process(n)
+                    .expect("chain builds")
+                    .normalize()
+                    .expect("normalizes");
+                bencher.iter(|| {
+                    let report = WeakEndochronyReport::check(&process, 100_000);
+                    assert!(report.is_weakly_endochronous());
+                    report.state_count() + report.transition_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E12 (ablation) — the BDD variable ordering behind the clock algebra.
+//!
+//! The static criterion is only cheap because the relation BDD of a
+//! composition of independent components stays small.  That hinges on the
+//! variable ordering: grouping the variables of each component contiguously
+//! keeps the conjunction of their relations linear, while the naive
+//! lexicographic order interleaves components and exhibits the classic
+//! exponential blow-up.  This ablation quantifies the design choice called
+//! out in DESIGN.md.
+
+use clocks::{inference, ClockAlgebra, VariableOrder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isochron::design::chain_as_single_process;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_bdd_ordering");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let kernel = chain_as_single_process(n)
+            .expect("chain builds")
+            .normalize()
+            .expect("normalizes");
+        let relations = inference::infer(&kernel);
+        group.bench_with_input(BenchmarkId::new("grouped", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let algebra =
+                    ClockAlgebra::with_order(&kernel, &relations, VariableOrder::Grouped);
+                algebra.bdd_node_count()
+            })
+        });
+        // The naive ordering is only affordable for the smallest chains —
+        // which is exactly the point of the ablation.
+        if n <= 4 {
+            group.bench_with_input(BenchmarkId::new("name_order", n), &n, |bencher, _| {
+                bencher.iter(|| {
+                    let algebra =
+                        ClockAlgebra::with_order(&kernel, &relations, VariableOrder::NameOrder);
+                    algebra.bdd_node_count()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

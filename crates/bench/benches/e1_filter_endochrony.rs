@@ -1,0 +1,64 @@
+//! E1 — Section 1 example: the filter is endochronous.
+//!
+//! Measures (a) the static endochrony check (clock calculus) and (b) the
+//! execution of the filter on random boolean flows, both through the
+//! reference interpreter and through the generated code.
+
+use bench::boolean_flow;
+use clocks::ClockAnalysis;
+use codegen::{seq, SequentialRuntime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use signal_lang::stdlib;
+use sim::{Drive, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let kernel = stdlib::filter().normalize().unwrap();
+    let mut group = c.benchmark_group("e1_filter_endochrony");
+    group.sample_size(20);
+
+    group.bench_function("static_check", |b| {
+        b.iter(|| {
+            let analysis = ClockAnalysis::analyze(&kernel);
+            assert!(analysis.is_endochronous());
+            analysis.roots().len()
+        })
+    });
+
+    for len in [64usize, 512] {
+        let flow = boolean_flow(len, 1);
+        group.bench_with_input(BenchmarkId::new("interpreter", len), &flow, |b, flow| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&kernel);
+                let mut changes = 0usize;
+                for v in flow {
+                    let r = sim
+                        .step(&[("y", Drive::Present((*v).into()))])
+                        .expect("steps");
+                    if r.is_present("x") {
+                        changes += 1;
+                    }
+                }
+                changes
+            })
+        });
+        let program = seq::generate(&ClockAnalysis::analyze(&kernel));
+        group.bench_with_input(BenchmarkId::new("generated_code", len), &flow, |b, flow| {
+            b.iter(|| {
+                let mut rt = SequentialRuntime::new(program.clone());
+                rt.feed("y", flow.iter().copied());
+                rt.run(flow.len());
+                rt.output("x").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

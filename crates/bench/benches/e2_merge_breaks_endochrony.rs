@@ -1,0 +1,40 @@
+//! E2 — Section 1 example: composing the filter with the merge breaks
+//! endochrony while remaining compilable.  Measures the full clock analysis
+//! of each component and of the composition.
+
+use clocks::ClockAnalysis;
+use criterion::{criterion_group, criterion_main, Criterion};
+use signal_lang::stdlib;
+
+fn bench(c: &mut Criterion) {
+    let filter = stdlib::filter().normalize().unwrap();
+    let merge = stdlib::merge().normalize().unwrap();
+    let composed = stdlib::filter_merge().normalize().unwrap();
+    let mut group = c.benchmark_group("e2_merge_breaks_endochrony");
+    group.sample_size(20);
+
+    group.bench_function("analyze_filter", |b| {
+        b.iter(|| ClockAnalysis::analyze(&filter).is_endochronous())
+    });
+    group.bench_function("analyze_merge", |b| {
+        b.iter(|| ClockAnalysis::analyze(&merge).is_endochronous())
+    });
+    group.bench_function("analyze_composition", |b| {
+        b.iter(|| {
+            let a = ClockAnalysis::analyze(&composed);
+            assert!(a.is_compilable());
+            assert!(!a.is_endochronous());
+            a.roots().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4 — Section 3: the buffer example through the whole tool chain —
+//! inference, hierarchy, disjunctive forms, scheduling, code generation and
+//! execution of the generated transition function.
+
+use bench::boolean_flow;
+use clocks::ClockAnalysis;
+use codegen::{emit, seq, SequentialRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use signal_lang::stdlib;
+
+fn bench(c: &mut Criterion) {
+    let kernel = stdlib::buffer().normalize().unwrap();
+    let mut group = c.benchmark_group("e4_buffer_pipeline");
+    group.sample_size(20);
+
+    group.bench_function("clock_analysis", |b| {
+        b.iter(|| {
+            let a = ClockAnalysis::analyze(&kernel);
+            assert!(a.is_endochronous());
+            a.hierarchy().class_count()
+        })
+    });
+    group.bench_function("code_generation", |b| {
+        let analysis = ClockAnalysis::analyze(&kernel);
+        b.iter(|| {
+            let program = seq::generate(&analysis);
+            emit::emit_c(&program).len()
+        })
+    });
+    group.bench_function("generated_execution_1k", |b| {
+        let program = seq::generate(&ClockAnalysis::analyze(&kernel));
+        let flow = boolean_flow(512, 4);
+        b.iter(|| {
+            let mut rt = SequentialRuntime::new(program.clone());
+            rt.feed("y", flow.iter().copied());
+            rt.run(1024);
+            rt.output("x").len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E6 — Section 4.1: model checking weak endochrony (the diamond
+//! properties and the root invariants) by explicit state-space exploration.
+//! This is the *expensive* side of the trade-off the paper sets out to
+//! balance.
+
+use analysis::{RootInvariants, WeakEndochronyReport};
+use criterion::{criterion_group, criterion_main, Criterion};
+use signal_lang::stdlib;
+
+fn bench(c: &mut Criterion) {
+    let main = stdlib::producer_consumer().normalize().unwrap();
+    let filter_merge = stdlib::filter_merge().normalize().unwrap();
+    let mut group = c.benchmark_group("e6_weak_endochrony_mc");
+    group.sample_size(10);
+
+    group.bench_function("producer_consumer_diamonds", |b| {
+        b.iter(|| {
+            let report = WeakEndochronyReport::check(&main, 50_000);
+            assert!(report.is_weakly_endochronous());
+            report.state_count()
+        })
+    });
+    group.bench_function("producer_consumer_invariants", |b| {
+        b.iter(|| {
+            let invariants = RootInvariants::check(&main, 50_000);
+            assert!(invariants.all_hold());
+            invariants.reports().len()
+        })
+    });
+    group.bench_function("filter_merge_diamonds", |b| {
+        b.iter(|| {
+            let report = WeakEndochronyReport::check(&filter_merge, 50_000);
+            assert!(report.is_weakly_endochronous());
+            report.transition_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

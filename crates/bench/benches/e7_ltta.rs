@@ -1,0 +1,53 @@
+//! E7 — Section 4.2: the loosely time-triggered architecture.  Measures the
+//! static analysis of the four-component design and the asynchronous
+//! simulation of the architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isochron::library;
+use moc::Name;
+use sim::AsyncNetwork;
+
+fn simulate(rounds: usize) -> usize {
+    let design = library::ltta_design().expect("ltta design");
+    let mut net = AsyncNetwork::new();
+    for component in design.components() {
+        let activation: Vec<Name> = component
+            .kernel()
+            .locals()
+            .filter(|n| n.as_str().ends_with("_t"))
+            .cloned()
+            .collect();
+        net.add_component(component.name(), component.kernel(), activation);
+    }
+    let values: Vec<i64> = (1..=rounds as i64).collect();
+    net.feed("xw", values);
+    net.feed_paced("cw", vec![true; rounds * 4]);
+    net.feed_paced("cr", vec![true; rounds * 4]);
+    net.run_round_robin(rounds * 16);
+    net.flow("xr").len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ltta");
+    group.sample_size(10);
+    group.bench_function("static_analysis", |b| {
+        b.iter(|| {
+            let design = library::ltta_design().expect("ltta design");
+            let v = design.verdict();
+            assert!(v.weakly_hierarchic);
+            assert_eq!(v.roots, 4);
+            v.roots
+        })
+    });
+    group.bench_function("async_simulation_32", |b| b.iter(|| simulate(32)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

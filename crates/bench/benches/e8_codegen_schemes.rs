@@ -1,0 +1,76 @@
+//! E8 — Section 5: the two code-generation schemes for the producer/consumer
+//! pair.  The "current" Polychrony scheme adds master clocks to the
+//! interface and runs the monolithic composition (modelled here by the
+//! reference interpreter of the composition), whereas the contributed
+//! scheme compiles the components separately and schedules them with a
+//! synthesized controller.
+
+use bench::paired_streams;
+use clocks::ClockAnalysis;
+use codegen::controller::{ControlledPair, SharedLink};
+use codegen::seq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moc::Value;
+use signal_lang::stdlib;
+use sim::{Drive, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let producer = stdlib::producer().normalize().unwrap();
+    let consumer = stdlib::consumer().normalize().unwrap();
+    let composition = stdlib::producer_consumer().normalize().unwrap();
+    let producer_program = seq::generate(&ClockAnalysis::analyze(&producer));
+    let consumer_program = seq::generate(&ClockAnalysis::analyze(&consumer));
+
+    let mut group = c.benchmark_group("e8_codegen_schemes");
+    group.sample_size(15);
+    for len in [64usize, 256] {
+        let (a, b) = paired_streams(len);
+        group.bench_with_input(
+            BenchmarkId::new("monolithic_master_clocks", len),
+            &len,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let mut sim = Simulator::new(&composition);
+                    let mut count = 0usize;
+                    for i in 0..len {
+                        let drives = [
+                            ("a", Drive::Present(Value::Bool(a[i]))),
+                            ("b", Drive::Present(Value::Bool(b[i]))),
+                        ];
+                        if sim.step(&drives).is_ok() {
+                            count += 1;
+                        }
+                    }
+                    count
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("separate_compilation_controller", len),
+            &len,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let mut pair = ControlledPair::new(
+                        producer_program.clone(),
+                        consumer_program.clone(),
+                        SharedLink::producer_consumer(),
+                    );
+                    pair.feed_left(a.iter().copied());
+                    pair.feed_right(b.iter().copied());
+                    pair.run(4 * len);
+                    pair.rendezvous()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

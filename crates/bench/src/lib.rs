@@ -1,0 +1,27 @@
+//! Shared workload helpers for the benchmark harness.
+
+use signal_lang::ProcessDef;
+
+/// The boolean activation streams used by the producer/consumer benchmarks:
+/// every false of `a` is paired with a true of `b`.
+pub fn paired_streams(len: usize) -> (Vec<bool>, Vec<bool>) {
+    let a: Vec<bool> = (0..len).map(|i| i % 3 != 1).collect();
+    let b: Vec<bool> = a.iter().map(|v| !v).collect();
+    (a, b)
+}
+
+/// A pseudo-random boolean flow (deterministic, seedable without rand).
+pub fn boolean_flow(len: usize, seed: u64) -> Vec<bool> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        })
+        .collect()
+}
+
+/// All the paper processes, re-exported for convenience.
+pub fn paper_processes() -> Vec<ProcessDef> {
+    signal_lang::stdlib::all_paper_processes()
+}

@@ -1,0 +1,234 @@
+//! The complete clock analysis pipeline and the verdicts of Section 4.
+//!
+//! [`ClockAnalysis::analyze`] runs, in order: clock inference, construction
+//! of the Boolean algebra, hierarchization, disjunctive-form analysis and
+//! scheduling-graph reinforcement.  On top of the artefacts it exposes the
+//! verdicts used by the compositional methodology:
+//!
+//! * **well-clocked** (Definition 7) — well-formed hierarchy and disjunctive
+//!   relations;
+//! * **acyclic** (Definition 8) — no instantaneous dependency cycle with a
+//!   satisfiable clock;
+//! * **compilable** (Definition 10) — acyclic and well-clocked, hence
+//!   reactive and deterministic (Property 1);
+//! * **hierarchic** (Definition 11) — the hierarchy has a unique root;
+//! * **endochronous** (Property 2) — compilable and hierarchic.
+
+use std::fmt;
+
+use signal_lang::{KernelProcess, Name};
+
+use crate::algebra::ClockAlgebra;
+use crate::disjunctive::DisjunctiveForm;
+use crate::hierarchy::{ClassId, ClockHierarchy};
+use crate::inference;
+use crate::relation::TimingRelations;
+use crate::schedule::{Acyclicity, SchedulingGraph};
+
+/// The result of analyzing one kernel process.
+#[derive(Debug)]
+pub struct ClockAnalysis {
+    kernel: KernelProcess,
+    relations: TimingRelations,
+    algebra: ClockAlgebra,
+    hierarchy: ClockHierarchy,
+    disjunctive: DisjunctiveForm,
+    graph: SchedulingGraph,
+    acyclicity: Acyclicity,
+}
+
+impl ClockAnalysis {
+    /// Runs the whole clock calculus on a kernel process.
+    pub fn analyze(kernel: &KernelProcess) -> Self {
+        let relations = inference::infer(kernel);
+        let mut algebra = ClockAlgebra::new(kernel, &relations);
+        let hierarchy = ClockHierarchy::build(kernel, &relations, &mut algebra);
+        let disjunctive = DisjunctiveForm::analyze(kernel, &relations, &hierarchy, &mut algebra);
+        let graph = SchedulingGraph::build(kernel, &relations, &hierarchy);
+        let acyclicity = graph.acyclicity(&mut algebra);
+        ClockAnalysis {
+            kernel: kernel.clone(),
+            relations,
+            algebra,
+            hierarchy,
+            disjunctive,
+            graph,
+            acyclicity,
+        }
+    }
+
+    /// The analyzed kernel process.
+    pub fn kernel(&self) -> &KernelProcess {
+        &self.kernel
+    }
+
+    /// The inferred timing relations.
+    pub fn relations(&self) -> &TimingRelations {
+        &self.relations
+    }
+
+    /// The Boolean algebra interpreting the relations.
+    pub fn algebra(&self) -> &ClockAlgebra {
+        &self.algebra
+    }
+
+    /// Mutable access to the algebra (entailment queries mutate BDD caches).
+    pub fn algebra_mut(&mut self) -> &mut ClockAlgebra {
+        &mut self.algebra
+    }
+
+    /// The clock hierarchy.
+    pub fn hierarchy(&self) -> &ClockHierarchy {
+        &self.hierarchy
+    }
+
+    /// The disjunctive-form report.
+    pub fn disjunctive(&self) -> &DisjunctiveForm {
+        &self.disjunctive
+    }
+
+    /// The reinforced scheduling graph.
+    pub fn scheduling_graph(&self) -> &SchedulingGraph {
+        &self.graph
+    }
+
+    /// The acyclicity verdict.
+    pub fn acyclicity(&self) -> &Acyclicity {
+        &self.acyclicity
+    }
+
+    /// Definition 7: the process is well-clocked.
+    pub fn is_well_clocked(&self) -> bool {
+        self.hierarchy.is_well_formed() && self.disjunctive.is_disjunctive()
+    }
+
+    /// Definition 8: the process is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.acyclicity.is_acyclic()
+    }
+
+    /// Definition 10: the process is compilable (acyclic and well-clocked).
+    pub fn is_compilable(&self) -> bool {
+        self.is_acyclic() && self.is_well_clocked()
+    }
+
+    /// Definition 11: the hierarchy has a unique root.
+    pub fn is_hierarchic(&self) -> bool {
+        self.hierarchy.is_hierarchic()
+    }
+
+    /// Property 2: a compilable and hierarchic process is endochronous.
+    pub fn is_endochronous(&self) -> bool {
+        self.is_compilable() && self.is_hierarchic()
+    }
+
+    /// The roots of the hierarchy.
+    pub fn roots(&self) -> Vec<ClassId> {
+        self.hierarchy.roots()
+    }
+
+    /// For each root of the hierarchy, the set of signals its tree covers
+    /// (the decomposition used by Definition 12).
+    pub fn root_partitions(&self) -> Vec<(ClassId, std::collections::BTreeSet<Name>)> {
+        self.hierarchy
+            .roots()
+            .into_iter()
+            .map(|r| (r, self.hierarchy.signals_under(r)))
+            .collect()
+    }
+
+    /// A one-line summary of every verdict, for reports and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: well-clocked={} acyclic={} compilable={} hierarchic={} endochronous={} roots={}",
+            self.kernel.name(),
+            self.is_well_clocked(),
+            self.is_acyclic(),
+            self.is_compilable(),
+            self.is_hierarchic(),
+            self.is_endochronous(),
+            self.roots().len()
+        )
+    }
+}
+
+impl fmt::Display for ClockAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        writeln!(f, "hierarchy:")?;
+        write!(f, "{}", self.hierarchy.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    fn analyze(def: &signal_lang::ProcessDef) -> ClockAnalysis {
+        ClockAnalysis::analyze(&def.normalize().unwrap())
+    }
+
+    #[test]
+    fn paper_processes_verdicts() {
+        // Endochronous components of the paper.
+        for def in [
+            stdlib::filter(),
+            stdlib::merge(),
+            stdlib::buffer(),
+            stdlib::producer(),
+            stdlib::consumer(),
+            stdlib::ltta_writer(),
+            stdlib::ltta_reader(),
+            stdlib::buffer_pair(),
+        ] {
+            let a = analyze(&def);
+            assert!(a.is_endochronous(), "{} should be endochronous: {}", def.name, a.summary());
+        }
+        // Compositions that are compilable but not endochronous.
+        for def in [stdlib::producer_consumer(), stdlib::filter_merge(), stdlib::ltta()] {
+            let a = analyze(&def);
+            assert!(a.is_compilable(), "{} should be compilable: {}", def.name, a.summary());
+            assert!(
+                !a.is_endochronous(),
+                "{} should not be endochronous: {}",
+                def.name,
+                a.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn root_partitions_cover_the_interface() {
+        let a = analyze(&stdlib::producer_consumer());
+        let partitions = a.root_partitions();
+        assert_eq!(partitions.len(), 2);
+        let all: std::collections::BTreeSet<_> =
+            partitions.iter().flat_map(|(_, s)| s.iter().cloned()).collect();
+        assert!(all.contains("a"));
+        assert!(all.contains("b"));
+        assert!(all.contains("u"));
+        assert!(all.contains("v"));
+    }
+
+    #[test]
+    fn summary_mentions_the_process_name() {
+        let a = analyze(&stdlib::buffer());
+        assert!(a.summary().starts_with("buffer:"));
+        assert!(a.to_string().contains("hierarchy:"));
+    }
+
+    #[test]
+    fn a_cyclic_process_is_not_compilable() {
+        use signal_lang::{Expr, ProcessBuilder};
+        let def = ProcessBuilder::new("loop")
+            .define("x", Expr::var("y").add(Expr::cst(1)))
+            .define("y", Expr::var("x").add(Expr::cst(1)))
+            .build()
+            .unwrap();
+        let a = analyze(&def);
+        assert!(!a.is_acyclic());
+        assert!(!a.is_compilable());
+        assert!(!a.is_endochronous());
+    }
+}

@@ -1,0 +1,221 @@
+//! Clocks and clock expressions.
+
+use std::fmt;
+
+use signal_lang::{ClockAst, Name};
+
+/// An atomic clock `c` of the calculus of Section 3.1:
+///
+/// * `^x` — the instants where the signal `x` is present;
+/// * `[x]` — the instants where the boolean signal `x` is present and true;
+/// * `[not x]` — the instants where it is present and false.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Clock {
+    /// The clock `^x` of a signal.
+    Tick(Name),
+    /// The positive sampling `[x]`.
+    True(Name),
+    /// The negative sampling `[not x]`.
+    False(Name),
+}
+
+impl Clock {
+    /// The clock `^x`.
+    pub fn tick(name: impl Into<Name>) -> Clock {
+        Clock::Tick(name.into())
+    }
+
+    /// The clock `[x]`.
+    pub fn on_true(name: impl Into<Name>) -> Clock {
+        Clock::True(name.into())
+    }
+
+    /// The clock `[not x]`.
+    pub fn on_false(name: impl Into<Name>) -> Clock {
+        Clock::False(name.into())
+    }
+
+    /// The signal the clock talks about.
+    pub fn signal(&self) -> &Name {
+        match self {
+            Clock::Tick(n) | Clock::True(n) | Clock::False(n) => n,
+        }
+    }
+
+    /// Returns `true` for `[x]` and `[not x]` clocks.
+    pub fn is_sampling(&self) -> bool {
+        !matches!(self, Clock::Tick(_))
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clock::Tick(n) => write!(f, "^{n}"),
+            Clock::True(n) => write!(f, "[{n}]"),
+            Clock::False(n) => write!(f, "[not {n}]"),
+        }
+    }
+}
+
+/// A clock expression `e ::= 0 | c | e ∧ e | e ∨ e | e \ e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClockExpr {
+    /// The empty clock.
+    Zero,
+    /// An atomic clock.
+    Atom(Clock),
+    /// Intersection of instants.
+    And(Box<ClockExpr>, Box<ClockExpr>),
+    /// Union of instants.
+    Or(Box<ClockExpr>, Box<ClockExpr>),
+    /// Difference of instants (the implicit reference to absence that
+    /// Section 3.4 eliminates).
+    Diff(Box<ClockExpr>, Box<ClockExpr>),
+}
+
+impl ClockExpr {
+    /// The atomic expression `^x`.
+    pub fn tick(name: impl Into<Name>) -> ClockExpr {
+        ClockExpr::Atom(Clock::tick(name))
+    }
+
+    /// The atomic expression `[x]`.
+    pub fn on_true(name: impl Into<Name>) -> ClockExpr {
+        ClockExpr::Atom(Clock::on_true(name))
+    }
+
+    /// The atomic expression `[not x]`.
+    pub fn on_false(name: impl Into<Name>) -> ClockExpr {
+        ClockExpr::Atom(Clock::on_false(name))
+    }
+
+    /// Intersection.
+    pub fn and(self, other: ClockExpr) -> ClockExpr {
+        ClockExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: ClockExpr) -> ClockExpr {
+        ClockExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Difference.
+    pub fn diff(self, other: ClockExpr) -> ClockExpr {
+        ClockExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Returns the atomic clock when the expression is a single atom.
+    pub fn as_atom(&self) -> Option<&Clock> {
+        match self {
+            ClockExpr::Atom(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Collects every atomic clock mentioned by the expression.
+    pub fn atoms(&self, acc: &mut Vec<Clock>) {
+        match self {
+            ClockExpr::Zero => {}
+            ClockExpr::Atom(c) => acc.push(c.clone()),
+            ClockExpr::And(a, b) | ClockExpr::Or(a, b) | ClockExpr::Diff(a, b) => {
+                a.atoms(acc);
+                b.atoms(acc);
+            }
+        }
+    }
+
+    /// Collects every `Diff` sub-expression (minuend, subtrahend).
+    pub fn diffs(&self, acc: &mut Vec<(ClockExpr, ClockExpr)>) {
+        match self {
+            ClockExpr::Zero | ClockExpr::Atom(_) => {}
+            ClockExpr::And(a, b) | ClockExpr::Or(a, b) => {
+                a.diffs(acc);
+                b.diffs(acc);
+            }
+            ClockExpr::Diff(a, b) => {
+                acc.push(((**a).clone(), (**b).clone()));
+                a.diffs(acc);
+                b.diffs(acc);
+            }
+        }
+    }
+
+    /// Converts a front-end clock constraint expression into a calculus
+    /// expression.
+    pub fn from_ast(ast: &ClockAst) -> ClockExpr {
+        match ast {
+            ClockAst::Zero => ClockExpr::Zero,
+            ClockAst::Of(n) => ClockExpr::tick(n.clone()),
+            ClockAst::WhenTrue(n) => ClockExpr::on_true(n.clone()),
+            ClockAst::WhenFalse(n) => ClockExpr::on_false(n.clone()),
+            ClockAst::And(a, b) => ClockExpr::from_ast(a).and(ClockExpr::from_ast(b)),
+            ClockAst::Or(a, b) => ClockExpr::from_ast(a).or(ClockExpr::from_ast(b)),
+            ClockAst::Diff(a, b) => ClockExpr::from_ast(a).diff(ClockExpr::from_ast(b)),
+        }
+    }
+}
+
+impl From<Clock> for ClockExpr {
+    fn from(c: Clock) -> Self {
+        ClockExpr::Atom(c)
+    }
+}
+
+impl fmt::Display for ClockExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockExpr::Zero => write!(f, "0"),
+            ClockExpr::Atom(c) => write!(f, "{c}"),
+            ClockExpr::And(a, b) => write!(f, "({a} ^* {b})"),
+            ClockExpr::Or(a, b) => write!(f, "({a} ^+ {b})"),
+            ClockExpr::Diff(a, b) => write!(f, "({a} ^- {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accessors() {
+        let c = Clock::on_true("t");
+        assert_eq!(c.signal().as_str(), "t");
+        assert!(c.is_sampling());
+        assert!(!Clock::tick("x").is_sampling());
+    }
+
+    #[test]
+    fn display_notation_matches_the_paper() {
+        assert_eq!(Clock::tick("x").to_string(), "^x");
+        assert_eq!(Clock::on_true("t").to_string(), "[t]");
+        assert_eq!(Clock::on_false("t").to_string(), "[not t]");
+        let e = ClockExpr::tick("x").or(ClockExpr::tick("y"));
+        assert_eq!(e.to_string(), "(^x ^+ ^y)");
+    }
+
+    #[test]
+    fn atoms_and_diffs_are_collected() {
+        let e = ClockExpr::tick("x")
+            .diff(ClockExpr::on_true("t"))
+            .or(ClockExpr::tick("y"));
+        let mut atoms = Vec::new();
+        e.atoms(&mut atoms);
+        assert_eq!(atoms.len(), 3);
+        let mut diffs = Vec::new();
+        e.diffs(&mut diffs);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].0, ClockExpr::tick("x"));
+    }
+
+    #[test]
+    fn conversion_from_the_front_end_ast() {
+        let ast = ClockAst::of("r").diff(ClockAst::when_false("t"));
+        let e = ClockExpr::from_ast(&ast);
+        assert_eq!(
+            e,
+            ClockExpr::tick("r").diff(ClockExpr::on_false("t"))
+        );
+    }
+}

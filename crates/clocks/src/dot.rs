@@ -1,0 +1,165 @@
+//! Graphviz (DOT) export of the clock hierarchy and the scheduling graph.
+//!
+//! The paper illustrates its analyses with hierarchy trees (the buffer's
+//! three classes, the producer/consumer two-root forest, the four-tree LTTA)
+//! and with the reinforced scheduling graph of the buffer.  This module
+//! renders the same artefacts as DOT text so the figures can be regenerated
+//! with `dot -Tpng`:
+//!
+//! ```
+//! use clocks::{dot, ClockAnalysis};
+//! use signal_lang::stdlib;
+//!
+//! let analysis = ClockAnalysis::analyze(&stdlib::buffer().normalize()?);
+//! let figure = dot::hierarchy_dot(analysis.hierarchy(), "buffer");
+//! assert!(figure.starts_with("digraph buffer"));
+//! # Ok::<(), signal_lang::SignalError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::hierarchy::ClockHierarchy;
+use crate::schedule::SchedulingGraph;
+
+/// Escapes a label for inclusion in a DOT attribute string.
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a clock hierarchy as a DOT digraph named `name`.
+///
+/// One node per clock equivalence class (labelled with its members joined by
+/// `~`, as in the paper's figures), one edge per direct domination.  Roots
+/// are drawn as double circles so that forests — the non-endochronous
+/// compositions of the paper — are immediately visible.
+pub fn hierarchy_dot(hierarchy: &ClockHierarchy, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let roots = hierarchy.roots();
+    for class in 0..hierarchy.class_count() {
+        if hierarchy.class_members(class).is_empty() {
+            continue;
+        }
+        let label = escape(&hierarchy.describe_class(class));
+        if roots.contains(&class) {
+            let _ = writeln!(out, "  c{class} [label=\"{label}\", peripheries=2];");
+        } else {
+            let _ = writeln!(out, "  c{class} [label=\"{label}\"];");
+        }
+    }
+    for class in 0..hierarchy.class_count() {
+        for child in hierarchy.children(class) {
+            if child != class {
+                let _ = writeln!(out, "  c{class} -> c{child};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a scheduling graph as a DOT digraph named `name`.
+///
+/// Signal nodes are drawn as ellipses, clock nodes as plain text; each edge
+/// is labelled with the clock guarding the dependency, as in `y →^y r`.
+pub fn scheduling_dot(graph: &SchedulingGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let shape = match node {
+            crate::relation::SchedNode::Signal(_) => "ellipse",
+            crate::relation::SchedNode::Clock(_) => "plaintext",
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\", shape={shape}];",
+            escape(&node.to_string())
+        );
+    }
+    let index_of = |node: &crate::relation::SchedNode| -> Option<usize> {
+        graph.nodes().iter().position(|n| n == node)
+    };
+    for (from, to, guard) in graph.iter_edges() {
+        if let (Some(f), Some(t)) = (index_of(from), index_of(to)) {
+            let _ = writeln!(
+                out,
+                "  n{f} -> n{t} [label=\"{}\"];",
+                escape(&guard.to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Turns an arbitrary process name into a valid DOT identifier.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'g');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockAnalysis;
+    use signal_lang::stdlib;
+
+    fn analysis(def: &signal_lang::ProcessDef) -> ClockAnalysis {
+        ClockAnalysis::analyze(&def.normalize().unwrap())
+    }
+
+    #[test]
+    fn buffer_hierarchy_has_one_doubled_root_and_two_children() {
+        let a = analysis(&stdlib::buffer());
+        let dot = hierarchy_dot(a.hierarchy(), "buffer");
+        assert!(dot.starts_with("digraph buffer {"));
+        assert_eq!(dot.matches("peripheries=2").count(), 1, "{dot}");
+        // The root class gathers the master clocks and dominates the classes
+        // of the two sampled signals x and y.
+        assert!(dot.contains("^r ~ ^s ~ ^t"), "{dot}");
+        assert!(dot.contains("[t] ~ ^x") || dot.contains("^x ~ [t]"), "{dot}");
+        assert!(dot.contains("[not t] ~ ^y") || dot.contains("^y ~ [not t]"), "{dot}");
+        assert!(dot.matches(" -> ").count() >= 2, "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn producer_consumer_hierarchy_is_a_two_tree_forest() {
+        let a = analysis(&stdlib::producer_consumer());
+        let dot = hierarchy_dot(a.hierarchy(), "main");
+        assert_eq!(dot.matches("peripheries=2").count(), 2, "{dot}");
+    }
+
+    #[test]
+    fn scheduling_graph_edges_carry_their_clock_guard() {
+        let a = analysis(&stdlib::buffer());
+        let dot = scheduling_dot(a.scheduling_graph(), "buffer");
+        assert!(dot.starts_with("digraph buffer {"));
+        assert!(dot.contains("label=\"^"), "{dot}");
+        assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn names_are_sanitized_into_valid_dot_identifiers() {
+        assert_eq!(sanitize("filter|merge"), "filter_merge");
+        assert_eq!(sanitize("42main"), "g42main");
+        assert_eq!(sanitize(""), "g");
+        let a = analysis(&stdlib::filter_merge());
+        let dot = hierarchy_dot(a.hierarchy(), "filter|merge");
+        assert!(dot.starts_with("digraph filter_merge {"));
+    }
+
+    #[test]
+    fn labels_with_quotes_are_escaped() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,164 @@
+//! The clock inference system `P : R` of Section 3.2.
+//!
+//! Deduction starts from the assignment of clock and scheduling relations to
+//! the primitive equations of the kernel:
+//!
+//! * delay `x = y $ init v` — `^x = ^y`, no scheduling relation;
+//! * sampling `x = y when z` — `^x = ^y ∧ [z]`, `y →^x x`;
+//! * merge `x = y default z` — `^x = ^y ∨ ^z`, `y →^y x`, `z →(^z \ ^y) x`;
+//! * functional `x = f(y, z)` — `^x = ^y = ^z`, `y →^x x`, `z →^x x`;
+//!
+//! and explicit clock constraints are carried over verbatim.  The relation
+//! of a composition is the union of the relations of its components.
+
+use signal_lang::{Atom, KernelEq, KernelProcess};
+
+use crate::clock::ClockExpr;
+use crate::relation::{SchedNode, TimingRelations};
+
+/// Infers the timing relations of a kernel process.
+pub fn infer(process: &KernelProcess) -> TimingRelations {
+    let mut relations = TimingRelations::new();
+    for eq in process.equations() {
+        infer_equation(eq, &mut relations);
+    }
+    for (left, right) in process.constraints() {
+        relations.equate(ClockExpr::from_ast(left), ClockExpr::from_ast(right));
+    }
+    relations
+}
+
+fn infer_equation(eq: &KernelEq, relations: &mut TimingRelations) {
+    match eq {
+        KernelEq::Delay { out, arg, .. } => {
+            relations.equate(ClockExpr::tick(out.clone()), ClockExpr::tick(arg.clone()));
+        }
+        KernelEq::When { out, arg, cond } => {
+            let sample = ClockExpr::on_true(cond.clone());
+            match arg {
+                Atom::Var(y) => {
+                    relations.equate(
+                        ClockExpr::tick(out.clone()),
+                        ClockExpr::tick(y.clone()).and(sample),
+                    );
+                    relations.schedule(
+                        SchedNode::Signal(y.clone()),
+                        SchedNode::Signal(out.clone()),
+                        ClockExpr::tick(out.clone()),
+                    );
+                }
+                Atom::Const(_) => {
+                    relations.equate(ClockExpr::tick(out.clone()), sample);
+                }
+            }
+        }
+        KernelEq::Default { out, left, right } => match (left, right) {
+            (Atom::Var(y), Atom::Var(z)) => {
+                relations.equate(
+                    ClockExpr::tick(out.clone()),
+                    ClockExpr::tick(y.clone()).or(ClockExpr::tick(z.clone())),
+                );
+                relations.schedule(
+                    SchedNode::Signal(y.clone()),
+                    SchedNode::Signal(out.clone()),
+                    ClockExpr::tick(y.clone()),
+                );
+                relations.schedule(
+                    SchedNode::Signal(z.clone()),
+                    SchedNode::Signal(out.clone()),
+                    ClockExpr::tick(z.clone()).diff(ClockExpr::tick(y.clone())),
+                );
+            }
+            (Atom::Var(y), Atom::Const(_)) => {
+                // `x = y default k`: the constant alternative does not
+                // constrain the clock of x beyond ^y ⊆ ^x.
+                relations.include(ClockExpr::tick(y.clone()), ClockExpr::tick(out.clone()));
+                relations.schedule(
+                    SchedNode::Signal(y.clone()),
+                    SchedNode::Signal(out.clone()),
+                    ClockExpr::tick(y.clone()),
+                );
+            }
+            (Atom::Const(_), Atom::Var(z)) => {
+                relations.include(ClockExpr::tick(z.clone()), ClockExpr::tick(out.clone()));
+            }
+            (Atom::Const(_), Atom::Const(_)) => {}
+        },
+        KernelEq::Func { out, args, .. } => {
+            for arg in args {
+                if let Atom::Var(y) = arg {
+                    relations.equate(
+                        ClockExpr::tick(out.clone()),
+                        ClockExpr::tick(y.clone()),
+                    );
+                    relations.schedule(
+                        SchedNode::Signal(y.clone()),
+                        SchedNode::Signal(out.clone()),
+                        ClockExpr::tick(out.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn buffer_relations_match_the_paper() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let relations = infer(&kernel);
+        let rendered = relations.to_string();
+        // ^s = ^t from the delay, ^x = [t] and ^y = [not t] from the
+        // explicit constraints, ^r = ^x ^+ ^y from the constraint.
+        assert!(rendered.contains("^s = ^t"));
+        assert!(rendered.contains("^x = [t]"));
+        assert!(rendered.contains("^y = [not t]"));
+        assert!(rendered.contains("^r = (^x ^+ ^y)"));
+        // Scheduling: y before r (through the default), r before x.
+        assert!(relations
+            .scheduling
+            .iter()
+            .any(|e| e.from.signal().as_str() == "y" && e.to.signal().as_str() == "r"));
+        assert!(relations
+            .scheduling
+            .iter()
+            .any(|e| e.from.signal().as_str() == "r" && e.to.signal().as_str() == "x"));
+    }
+
+    #[test]
+    fn delay_produces_no_scheduling_edge() {
+        let kernel = stdlib::filter().normalize().unwrap();
+        let relations = infer(&kernel);
+        // z = y $ init true contributes ^z = ^y but no edge from y to z.
+        assert!(!relations
+            .scheduling
+            .iter()
+            .any(|e| e.to.signal().as_str() == "z"));
+        assert!(relations
+            .equalities
+            .iter()
+            .any(|(l, r)| l.to_string() == "^z" && r.to_string() == "^y"));
+    }
+
+    #[test]
+    fn default_with_two_signals_guards_the_alternative_with_a_difference() {
+        let kernel = stdlib::current().normalize().unwrap();
+        let relations = infer(&kernel);
+        let diffs = relations.diff_occurrences();
+        assert!(!diffs.is_empty(), "r = y default (r $ init false) has a guarded alternative");
+    }
+
+    #[test]
+    fn constant_default_only_bounds_the_clock() {
+        let kernel = stdlib::consumer().normalize().unwrap();
+        let relations = infer(&kernel);
+        assert!(
+            !relations.inclusions.is_empty(),
+            "x default 1 contributes an inclusion, not an equality"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The clock calculus of Signal/Polychrony.
+//!
+//! This crate implements the formal analysis framework of Section 3 of
+//! *Compositional design of isochronous systems* (Talpin, Ouy, Besnard,
+//! Le Guernic — DATE 2008):
+//!
+//! * clocks and clock expressions ([`clock`]),
+//! * synchronization and scheduling relations ([`relation`]),
+//! * the clock inference system `P : R` ([`inference`]),
+//! * a BDD-backed Boolean algebra deciding `R ⊨ S` ([`bdd`], [`algebra`]),
+//! * the clock hierarchy of Definition 5 ([`hierarchy`]),
+//! * disjunctive forms of Section 3.4 ([`disjunctive`]),
+//! * the reinforced scheduling graph and the acyclicity check of
+//!   Definition 8 ([`schedule`]),
+//! * and the aggregated verdicts — well-clocked, compilable, hierarchic,
+//!   endochronous — of Section 4 ([`analysis`]).
+//!
+//! # Example
+//!
+//! ```
+//! use clocks::ClockAnalysis;
+//! use signal_lang::stdlib;
+//!
+//! let buffer = stdlib::buffer().normalize()?;
+//! let analysis = ClockAnalysis::analyze(&buffer);
+//! assert!(analysis.is_endochronous());
+//! assert_eq!(analysis.roots().len(), 1);
+//! # Ok::<(), signal_lang::SignalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod analysis;
+pub mod bdd;
+pub mod clock;
+pub mod disjunctive;
+pub mod dot;
+pub mod hierarchy;
+pub mod inference;
+pub mod relation;
+pub mod schedule;
+
+pub use algebra::{ClockAlgebra, VariableOrder};
+pub use analysis::ClockAnalysis;
+pub use clock::{Clock, ClockExpr};
+pub use disjunctive::DisjunctiveForm;
+pub use hierarchy::{ClassId, ClockHierarchy};
+pub use relation::{SchedEdge, SchedNode, TimingRelations};
+pub use schedule::{Acyclicity, SchedulingGraph};

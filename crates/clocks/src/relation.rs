@@ -1,0 +1,176 @@
+//! Synchronization and scheduling relations.
+
+use std::fmt;
+
+use signal_lang::Name;
+
+use crate::clock::ClockExpr;
+
+/// A node of the scheduling graph: either the value of a signal or its
+/// clock (the paper's grammar `a, b ::= x | ^x`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchedNode {
+    /// The value of the signal.
+    Signal(Name),
+    /// The clock (presence) of the signal.
+    Clock(Name),
+}
+
+impl SchedNode {
+    /// The signal the node refers to.
+    pub fn signal(&self) -> &Name {
+        match self {
+            SchedNode::Signal(n) | SchedNode::Clock(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for SchedNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedNode::Signal(n) => write!(f, "{n}"),
+            SchedNode::Clock(n) => write!(f, "^{n}"),
+        }
+    }
+}
+
+/// A scheduling relation `a →c b`: when the clock `c` is present, the
+/// calculation of `b` cannot be scheduled before that of `a`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedEdge {
+    /// The prerequisite node.
+    pub from: SchedNode,
+    /// The dependent node.
+    pub to: SchedNode,
+    /// The clock at which the dependence is active.
+    pub guard: ClockExpr,
+}
+
+impl fmt::Display for SchedEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->[{}] {}", self.from, self.guard, self.to)
+    }
+}
+
+/// The timing relations `R` inferred from a process: clock equalities,
+/// clock inclusions and scheduling relations.
+#[derive(Debug, Clone, Default)]
+pub struct TimingRelations {
+    /// Clock equalities `e1 = e2`.
+    pub equalities: Vec<(ClockExpr, ClockExpr)>,
+    /// Clock inclusions `e1 ⊆ e2` (produced by merges with constant
+    /// alternatives, whose output clock is only bounded from below).
+    pub inclusions: Vec<(ClockExpr, ClockExpr)>,
+    /// Scheduling relations.
+    pub scheduling: Vec<SchedEdge>,
+}
+
+impl TimingRelations {
+    /// Creates an empty relation set.
+    pub fn new() -> Self {
+        TimingRelations::default()
+    }
+
+    /// Records the equality `left = right`.
+    pub fn equate(&mut self, left: ClockExpr, right: ClockExpr) {
+        self.equalities.push((left, right));
+    }
+
+    /// Records the inclusion `small ⊆ large`.
+    pub fn include(&mut self, small: ClockExpr, large: ClockExpr) {
+        self.inclusions.push((small, large));
+    }
+
+    /// Records the scheduling relation `from →guard to`.
+    pub fn schedule(&mut self, from: SchedNode, to: SchedNode, guard: ClockExpr) {
+        self.scheduling.push(SchedEdge { from, to, guard });
+    }
+
+    /// Concatenates two relation sets (the relation of a composition is the
+    /// union of the relations of its components).
+    pub fn merge(&mut self, other: &TimingRelations) {
+        self.equalities.extend(other.equalities.iter().cloned());
+        self.inclusions.extend(other.inclusions.iter().cloned());
+        self.scheduling.extend(other.scheduling.iter().cloned());
+    }
+
+    /// Every `Diff` (symmetric-difference) sub-expression occurring anywhere
+    /// in the relations, as `(minuend, subtrahend)` pairs.  Section 3.4
+    /// requires each of them to be eliminable for the process to be in
+    /// disjunctive form.
+    pub fn diff_occurrences(&self) -> Vec<(ClockExpr, ClockExpr)> {
+        let mut out = Vec::new();
+        for (l, r) in self.equalities.iter().chain(self.inclusions.iter()) {
+            l.diffs(&mut out);
+            r.diffs(&mut out);
+        }
+        for edge in &self.scheduling {
+            edge.guard.diffs(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimingRelations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, r) in &self.equalities {
+            writeln!(f, "{l} = {r}")?;
+        }
+        for (l, r) in &self.inclusions {
+            writeln!(f, "{l} <= {r}")?;
+        }
+        for e in &self.scheduling {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    #[test]
+    fn diff_occurrences_are_found_in_guards_and_equalities() {
+        let mut r = TimingRelations::new();
+        r.equate(
+            ClockExpr::tick("x"),
+            ClockExpr::tick("y").diff(ClockExpr::on_true("t")),
+        );
+        r.schedule(
+            SchedNode::Signal(Name::from("z")),
+            SchedNode::Signal(Name::from("x")),
+            ClockExpr::tick("z").diff(ClockExpr::tick("y")),
+        );
+        assert_eq!(r.diff_occurrences().len(), 2);
+    }
+
+    #[test]
+    fn merge_concatenates_relations() {
+        let mut a = TimingRelations::new();
+        a.equate(ClockExpr::tick("x"), ClockExpr::tick("y"));
+        let mut b = TimingRelations::new();
+        b.include(ClockExpr::tick("z"), ClockExpr::tick("x"));
+        b.schedule(
+            SchedNode::Clock(Name::from("x")),
+            SchedNode::Signal(Name::from("x")),
+            ClockExpr::tick("x"),
+        );
+        a.merge(&b);
+        assert_eq!(a.equalities.len(), 1);
+        assert_eq!(a.inclusions.len(), 1);
+        assert_eq!(a.scheduling.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = SchedEdge {
+            from: SchedNode::Signal(Name::from("y")),
+            to: SchedNode::Signal(Name::from("x")),
+            guard: ClockExpr::Atom(Clock::tick("x")),
+        };
+        assert_eq!(e.to_string(), "y ->[^x] x");
+        assert_eq!(SchedNode::Clock(Name::from("x")).to_string(), "^x");
+    }
+}

@@ -1,0 +1,480 @@
+//! The scheduling graph (Sections 3.5 and 3.6).
+//!
+//! Nodes are signals `x` and clocks `^x`; edges `a →c b` mean that, at the
+//! instants of the clock `c`, the computation of `b` cannot be scheduled
+//! before that of `a`.  The graph inferred from the equations is *reinforced*
+//! with the constraints induced by the calculation of clocks:
+//!
+//! 1. `^x →^x x` — a signal cannot be computed before its clock;
+//! 2. if `^x = [y]` (or `[not y]`) then `y →^y ^x` — a sampled clock needs
+//!    the value of the sampling signal;
+//! 3. if `^x = ^y f ^z` then `^y →^y ^x` and `^z →^z ^x` — a derived clock
+//!    needs its operands.
+//!
+//! Rules 2 and 3 are *oriented by the clock hierarchy*: only operands whose
+//! class is not dominated by the class of `^x` contribute an edge, which
+//! reflects the fact that the generated code computes each clock class from
+//! its dominators downwards (a root class is the activation of the step
+//! function itself and needs no computation).  Without this orientation,
+//! every pair of mutually-defined clocks (`^r = ^x ∨ ^y` together with
+//! `^x = ^r ∧ [t]` in the buffer) would produce a spurious cycle.
+//!
+//! Code can be generated only if the graph is acyclic in the clocked sense
+//! of Definition 8: the transitive closure `a ⇝e a` of every cycle must have
+//! a null clock `e` under `R`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use signal_lang::KernelProcess;
+
+use crate::algebra::ClockAlgebra;
+use crate::clock::{Clock, ClockExpr};
+use crate::hierarchy::ClockHierarchy;
+use crate::relation::{SchedEdge, SchedNode, TimingRelations};
+
+/// The reinforced scheduling graph of a process.
+#[derive(Debug, Clone)]
+pub struct SchedulingGraph {
+    nodes: Vec<SchedNode>,
+    index: BTreeMap<SchedNode, usize>,
+    /// Adjacency: `edges[i]` lists `(target, guard)` pairs.
+    edges: Vec<Vec<(usize, ClockExpr)>>,
+}
+
+impl SchedulingGraph {
+    /// Builds the reinforced scheduling graph of a process.
+    pub fn build(
+        process: &KernelProcess,
+        relations: &TimingRelations,
+        hierarchy: &ClockHierarchy,
+    ) -> Self {
+        let mut graph = SchedulingGraph {
+            nodes: Vec::new(),
+            index: BTreeMap::new(),
+            edges: Vec::new(),
+        };
+        for name in process.signal_set() {
+            graph.add_node(SchedNode::Clock(name.clone()));
+            graph.add_node(SchedNode::Signal(name.clone()));
+        }
+        // Inferred scheduling relations.
+        for SchedEdge { from, to, guard } in &relations.scheduling {
+            graph.add_edge(from.clone(), to.clone(), guard.clone());
+        }
+        // Rule 1: ^x -> x.
+        for name in process.signal_set() {
+            graph.add_edge(
+                SchedNode::Clock(name.clone()),
+                SchedNode::Signal(name.clone()),
+                ClockExpr::tick(name.clone()),
+            );
+        }
+        // Rules 2 and 3: clock computation order, oriented by the hierarchy.
+        for (l, r) in &relations.equalities {
+            graph.add_clock_computation_edges(l, r, hierarchy);
+            graph.add_clock_computation_edges(r, l, hierarchy);
+        }
+        graph
+    }
+
+    fn add_clock_computation_edges(
+        &mut self,
+        atom_side: &ClockExpr,
+        expr_side: &ClockExpr,
+        hierarchy: &ClockHierarchy,
+    ) {
+        let Some(Clock::Tick(x)) = atom_side.as_atom() else {
+            return;
+        };
+        let Some(target_class) = hierarchy.class_of(&Clock::tick(x.clone())) else {
+            return;
+        };
+        let mut operands: Vec<Clock> = Vec::new();
+        match expr_side {
+            ClockExpr::Atom(c @ (Clock::True(_) | Clock::False(_))) => operands.push(c.clone()),
+            ClockExpr::And(a, b) | ClockExpr::Or(a, b) | ClockExpr::Diff(a, b) => {
+                for operand in [a, b] {
+                    if let Some(c) = operand.as_atom() {
+                        operands.push(c.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        for operand in operands {
+            let y = operand.signal().clone();
+            let operand_class = hierarchy.class_of(&Clock::tick(y.clone()));
+            // Only information coming from outside the sub-tree of ^x can be
+            // a prerequisite for computing ^x; operands below ^x are
+            // themselves derived from it.
+            let from_below = operand_class
+                .map(|k| k != target_class && hierarchy.dominates_star(target_class, k))
+                .unwrap_or(false);
+            let same_class = operand_class == Some(target_class) && matches!(operand, Clock::Tick(_));
+            if from_below || same_class {
+                continue;
+            }
+            let (from, guard) = match operand {
+                Clock::Tick(_) => (SchedNode::Clock(y.clone()), ClockExpr::tick(y.clone())),
+                Clock::True(_) | Clock::False(_) => {
+                    (SchedNode::Signal(y.clone()), ClockExpr::tick(y.clone()))
+                }
+            };
+            self.add_edge(from, SchedNode::Clock(x.clone()), guard);
+        }
+    }
+
+    fn add_node(&mut self, node: SchedNode) -> usize {
+        if let Some(&i) = self.index.get(&node) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.index.insert(node, i);
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Adds the edge `from →guard to`.
+    pub fn add_edge(&mut self, from: SchedNode, to: SchedNode, guard: ClockExpr) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        if !self.edges[f].iter().any(|(n, g)| *n == t && *g == guard) {
+            self.edges[f].push((t, guard));
+        }
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[SchedNode] {
+        &self.nodes
+    }
+
+    /// The number of edges of the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over every edge as `(from, to, guard)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (&SchedNode, &SchedNode, &ClockExpr)> + '_ {
+        self.edges.iter().enumerate().flat_map(move |(f, outs)| {
+            outs.iter()
+                .map(move |(t, g)| (&self.nodes[f], &self.nodes[*t], g))
+        })
+    }
+
+    /// A topological order of the nodes, ignoring guards (every edge is
+    /// treated as always active).  Returns `Err` with the nodes involved in
+    /// cycles when no such order exists.
+    pub fn topological_order(&self) -> Result<Vec<SchedNode>, Vec<SchedNode>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for outs in &self.edges {
+            for (t, _) in outs {
+                indegree[*t] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        // Deterministic order: smallest node first.
+        ready.sort_by(|a, b| self.nodes[*b].cmp(&self.nodes[*a]));
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(self.nodes[i].clone());
+            for (t, _) in &self.edges[i] {
+                indegree[*t] -= 1;
+                if indegree[*t] == 0 {
+                    ready.push(*t);
+                    ready.sort_by(|a, b| self.nodes[*b].cmp(&self.nodes[*a]));
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let in_order: BTreeSet<&SchedNode> = order.iter().collect();
+            Err(self
+                .nodes
+                .iter()
+                .filter(|n| !in_order.contains(n))
+                .cloned()
+                .collect())
+        }
+    }
+
+    /// Strongly connected components of the unguarded graph with more than
+    /// one node (or with a self loop): only these can host clocked cycles.
+    fn suspicious_components(&self) -> Vec<Vec<usize>> {
+        // Iterative Tarjan.
+        let n = self.nodes.len();
+        let mut index_counter = 0usize;
+        let mut indices = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        #[derive(Clone)]
+        struct Frame {
+            node: usize,
+            edge: usize,
+        }
+
+        for start in 0..n {
+            if indices[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame { node: start, edge: 0 }];
+            indices[start] = index_counter;
+            lowlink[start] = index_counter;
+            index_counter += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(frame) = call_stack.last().cloned() {
+                let v = frame.node;
+                if frame.edge < self.edges[v].len() {
+                    let (w, _) = self.edges[v][frame.edge];
+                    call_stack.last_mut().expect("frame").edge += 1;
+                    if indices[w] == usize::MAX {
+                        indices[w] = index_counter;
+                        lowlink[w] = index_counter;
+                        index_counter += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push(Frame { node: w, edge: 0 });
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(indices[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        lowlink[parent.node] = lowlink[parent.node].min(lowlink[v]);
+                    }
+                    if lowlink[v] == indices[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("non-empty SCC stack");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let has_self_loop = component.len() == 1
+                            && self.edges[component[0]].iter().any(|(t, _)| *t == component[0]);
+                        if component.len() > 1 || has_self_loop {
+                            components.push(component);
+                        }
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Checks Definition 8: the process is acyclic iff, for every node `a`,
+    /// the clock of `a ⇝ a` in the transitive closure is null under `R`.
+    ///
+    /// Cycles of the unguarded graph are first isolated with a strongly
+    /// connected component decomposition; the clocked closure is only
+    /// computed inside suspicious components, which keeps the check cheap on
+    /// the (common) acyclic case.
+    pub fn acyclicity(&self, algebra: &mut ClockAlgebra) -> Acyclicity {
+        let mut real_cycles = Vec::new();
+        for component in self.suspicious_components() {
+            let local: BTreeMap<usize, usize> = component
+                .iter()
+                .enumerate()
+                .map(|(local, global)| (*global, local))
+                .collect();
+            let k = component.len();
+            // Guarded adjacency matrix restricted to the component.
+            let zero = algebra.bdd_mut().zero();
+            let mut matrix = vec![vec![zero; k]; k];
+            for (gi, &global_from) in component.iter().enumerate() {
+                for (to, guard) in &self.edges[global_from] {
+                    if let Some(&gj) = local.get(to) {
+                        let enc = algebra.encode_expr(guard);
+                        matrix[gi][gj] = algebra.bdd_mut().or(matrix[gi][gj], enc);
+                    }
+                }
+            }
+            // Algebraic transitive closure (Floyd–Warshall over the Boolean
+            // semiring of guards).
+            for mid in 0..k {
+                for i in 0..k {
+                    for j in 0..k {
+                        let through = algebra.bdd_mut().and(matrix[i][mid], matrix[mid][j]);
+                        matrix[i][j] = algebra.bdd_mut().or(matrix[i][j], through);
+                    }
+                }
+            }
+            for (i, &global) in component.iter().enumerate() {
+                let self_guard = matrix[i][i];
+                // The cycle is harmless iff its guard is null under R.
+                let relation = algebra.relation();
+                let conj = algebra.bdd_mut().and(relation, self_guard);
+                if !algebra.bdd_mut().is_false(conj) {
+                    real_cycles.push(self.nodes[global].clone());
+                }
+            }
+        }
+        Acyclicity { real_cycles }
+    }
+}
+
+impl fmt::Display for SchedulingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (from, to, guard) in self.iter_edges() {
+            writeln!(f, "{from} ->[{guard}] {to}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of the acyclicity check of Definition 8.
+#[derive(Debug, Clone, Default)]
+pub struct Acyclicity {
+    real_cycles: Vec<SchedNode>,
+}
+
+impl Acyclicity {
+    /// Returns `true` when no node lies on a cycle whose clock is
+    /// satisfiable under `R`.
+    pub fn is_acyclic(&self) -> bool {
+        self.real_cycles.is_empty()
+    }
+
+    /// The nodes involved in genuine (non-null-clock) dependency cycles.
+    pub fn cyclic_nodes(&self) -> &[SchedNode] {
+        &self.real_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference;
+    use signal_lang::{stdlib, Name};
+
+    fn graph_and_algebra(
+        def: &signal_lang::ProcessDef,
+    ) -> (SchedulingGraph, ClockAlgebra) {
+        let kernel = def.normalize().unwrap();
+        let relations = inference::infer(&kernel);
+        let mut algebra = ClockAlgebra::new(&kernel, &relations);
+        let hierarchy = ClockHierarchy::build(&kernel, &relations, &mut algebra);
+        let graph = SchedulingGraph::build(&kernel, &relations, &hierarchy);
+        (graph, algebra)
+    }
+
+    #[test]
+    fn buffer_graph_contains_the_paper_edges() {
+        let (graph, _) = graph_and_algebra(&stdlib::buffer());
+        let has = |from: &str, to: &str| {
+            graph.iter_edges().any(|(f, t, _)| {
+                f.signal().as_str() == from
+                    && t.signal().as_str() == to
+                    && matches!(f, SchedNode::Signal(_))
+                    && matches!(t, SchedNode::Signal(_))
+            })
+        };
+        // y -> r and r -> x, as in the paper's scheduling graph.
+        assert!(has("y", "r"));
+        assert!(has("r", "x"));
+        // Reinforcement: t (the sampler) is scheduled before the clocks of x
+        // and y.
+        assert!(graph.iter_edges().any(|(f, t, _)| {
+            matches!(f, SchedNode::Signal(n) if n.as_str() == "t")
+                && matches!(t, SchedNode::Clock(n) if n.as_str() == "x")
+        }));
+    }
+
+    #[test]
+    fn every_paper_process_is_acyclic() {
+        for def in stdlib::all_paper_processes() {
+            // `current` taken in isolation genuinely has a circular clock
+            // definition (`^r = ^x ∨ ^y` together with `^x = ^r ∧ [c]`):
+            // neither clock can be computed first.  Composing it with `flip`
+            // — the buffer — adds `^x = [t]`, which orients the computation
+            // and removes the cycle (checked by the dedicated test below).
+            if def.name == "current" {
+                continue;
+            }
+            let (graph, mut algebra) = graph_and_algebra(&def);
+            let verdict = graph.acyclicity(&mut algebra);
+            assert!(
+                verdict.is_acyclic(),
+                "process {} has cycles through {:?}",
+                def.name,
+                verdict.cyclic_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_current_is_circular_but_the_buffer_is_not() {
+        let (graph, mut algebra) = graph_and_algebra(&stdlib::current());
+        assert!(!graph.acyclicity(&mut algebra).is_acyclic());
+        let (graph, mut algebra) = graph_and_algebra(&stdlib::buffer());
+        assert!(graph.acyclicity(&mut algebra).is_acyclic());
+    }
+
+    #[test]
+    fn an_instantaneous_loop_is_reported() {
+        use signal_lang::{Expr, ProcessBuilder};
+        // x := y + 1 | y := x + 1 : a genuine instantaneous cycle.
+        let def = ProcessBuilder::new("loop")
+            .define("x", Expr::var("y").add(Expr::cst(1)))
+            .define("y", Expr::var("x").add(Expr::cst(1)))
+            .build()
+            .unwrap();
+        let (graph, mut algebra) = graph_and_algebra(&def);
+        let verdict = graph.acyclicity(&mut algebra);
+        assert!(!verdict.is_acyclic());
+        assert!(verdict
+            .cyclic_nodes()
+            .iter()
+            .any(|n| n.signal() == &Name::from("x")));
+    }
+
+    #[test]
+    fn a_false_loop_with_exclusive_clocks_is_accepted() {
+        use signal_lang::{ClockAst, Expr, ProcessBuilder};
+        // x and y depend on each other but at exclusive clocks [c] and
+        // [not c]: the cycle's clock is null, so the process is acyclic in
+        // the sense of Definition 8.
+        let def = ProcessBuilder::new("xor_loop")
+            .define("x", Expr::var("y").when(Expr::var("c")))
+            .define("y", Expr::var("x").when(Expr::var("c").not()))
+            .constraint(ClockAst::of("x"), ClockAst::when_true("c"))
+            .constraint(ClockAst::of("y"), ClockAst::when_false("c"))
+            .build()
+            .unwrap();
+        let (graph, mut algebra) = graph_and_algebra(&def);
+        let verdict = graph.acyclicity(&mut algebra);
+        assert!(verdict.is_acyclic(), "{:?}", verdict.cyclic_nodes());
+    }
+
+    #[test]
+    fn topological_order_schedules_clocks_before_signals() {
+        let (graph, _) = graph_and_algebra(&stdlib::filter());
+        let order = graph.topological_order().expect("acyclic");
+        let pos = |node: &SchedNode| order.iter().position(|n| n == node).unwrap();
+        let clock_x = SchedNode::Clock(Name::from("x"));
+        let sig_x = SchedNode::Signal(Name::from("x"));
+        assert!(pos(&clock_x) < pos(&sig_x));
+    }
+
+    #[test]
+    fn topological_order_reports_cyclic_nodes() {
+        use signal_lang::{Expr, ProcessBuilder};
+        let def = ProcessBuilder::new("loop")
+            .define("x", Expr::var("y").add(Expr::cst(1)))
+            .define("y", Expr::var("x").add(Expr::cst(1)))
+            .build()
+            .unwrap();
+        let (graph, _) = graph_and_algebra(&def);
+        assert!(graph.topological_order().is_err());
+    }
+}

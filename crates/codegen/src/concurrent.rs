@@ -1,0 +1,170 @@
+//! Concurrent code generation scheme (Section 5).
+//!
+//! The producer and the consumer are compiled separately and run on their
+//! own threads; the rendez-vous on the shared variable is implemented with a
+//! synchronization primitive.  The paper protects a shared variable with a
+//! pair of pthread barriers; here the exchange uses a bounded channel, which
+//! realizes the same one-place rendez-vous (the producer blocks until the
+//! consumer has taken the previous value and vice versa) without the
+//! deadlock pitfalls of mis-matched barrier counts.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use signal_lang::Value;
+use std::sync::Arc;
+
+use crate::ir::StepProgram;
+use crate::runtime::SequentialRuntime;
+
+/// The result of a concurrent producer/consumer run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentOutcome {
+    /// Values of `u` produced by the producer thread.
+    pub u: Vec<Value>,
+    /// Values of the shared signal exchanged through the rendez-vous.
+    pub shared: Vec<Value>,
+    /// Values of `v` produced by the consumer thread.
+    pub v: Vec<Value>,
+    /// Number of steps executed by the producer thread.
+    pub producer_steps: u64,
+    /// Number of steps executed by the consumer thread.
+    pub consumer_steps: u64,
+}
+
+/// Runs the producer and consumer step programs concurrently, the producer
+/// paced by `a_values` and the consumer by `b_values`, exchanging the shared
+/// signal through a one-place rendez-vous.
+///
+/// The streams must be *compatible*: the number of `false` values in
+/// `a_values` should not be smaller than the number of `true` values in
+/// `b_values`, otherwise the consumer stops early when the producer side of
+/// the channel closes (which is also how the generated code behaves when an
+/// input stream ends).
+pub fn run_producer_consumer(
+    producer: StepProgram,
+    consumer: StepProgram,
+    a_values: &[bool],
+    b_values: &[bool],
+) -> ConcurrentOutcome {
+    let (tx, rx) = channel::bounded::<Value>(1);
+    let shared_log = Arc::new(Mutex::new(Vec::new()));
+
+    let a_values = a_values.to_vec();
+    let b_values = b_values.to_vec();
+    let shared_log_producer = Arc::clone(&shared_log);
+
+    let mut outcome = ConcurrentOutcome {
+        u: Vec::new(),
+        shared: Vec::new(),
+        v: Vec::new(),
+        producer_steps: 0,
+        consumer_steps: 0,
+    };
+
+    std::thread::scope(|scope| {
+        let producer_handle = scope.spawn(move || {
+            let mut rt = SequentialRuntime::new(producer);
+            let mut sent = 0usize;
+            for a in a_values {
+                rt.feed("a", [Value::Bool(a)]);
+                let before = rt.output("x").len();
+                if rt.step().is_err() {
+                    break;
+                }
+                let x = rt.output("x");
+                if x.len() > before {
+                    let value = x[before];
+                    shared_log_producer.lock().push(value);
+                    // Rendez-vous: blocks until the consumer takes it.
+                    if tx.send(value).is_err() {
+                        break;
+                    }
+                    sent += 1;
+                }
+            }
+            drop(tx);
+            (rt.output("u").to_vec(), rt.steps(), sent)
+        });
+
+        let consumer_handle = scope.spawn(move || {
+            let mut rt = SequentialRuntime::new(consumer);
+            for b in b_values {
+                if b {
+                    // Rendez-vous: blocks until the producer delivers x.
+                    match rx.recv() {
+                        Ok(x) => rt.feed("x", [x]),
+                        Err(_) => break,
+                    }
+                }
+                rt.feed("b", [Value::Bool(b)]);
+                if rt.step().is_err() {
+                    break;
+                }
+            }
+            (rt.output("v").to_vec(), rt.steps())
+        });
+
+        let (u, producer_steps, _) = producer_handle.join().expect("producer thread");
+        let (v, consumer_steps) = consumer_handle.join().expect("consumer thread");
+        outcome.u = u;
+        outcome.v = v;
+        outcome.producer_steps = producer_steps;
+        outcome.consumer_steps = consumer_steps;
+    });
+    outcome.shared = shared_log.lock().clone();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::generate_from_kernel;
+    use signal_lang::stdlib;
+
+    fn programs() -> (StepProgram, StepProgram) {
+        (
+            generate_from_kernel(&stdlib::producer().normalize().unwrap()),
+            generate_from_kernel(&stdlib::consumer().normalize().unwrap()),
+        )
+    }
+
+    #[test]
+    fn concurrent_flows_match_the_sequential_controller() {
+        let a = [true, false, true, false, true];
+        let b = [false, true, false, true, false];
+        let (p, c) = programs();
+        let outcome = run_producer_consumer(p, c, &a, &b);
+        assert_eq!(outcome.shared, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(outcome.u.len(), 3);
+        let v: Vec<i64> = outcome.v.iter().map(|x| x.as_int().unwrap()).collect();
+        assert_eq!(v, vec![1, 2, 3, 5, 6]);
+        assert_eq!(outcome.producer_steps, 5);
+        assert_eq!(outcome.consumer_steps, 5);
+    }
+
+    #[test]
+    fn interleaving_does_not_change_the_flows() {
+        // The same logical streams split differently between the two sides:
+        // the consumer asks for x long before the producer computes it.
+        let a = [true, true, true, false];
+        let b = [true, false, false, false];
+        let (p, c) = programs();
+        let outcome = run_producer_consumer(p, c, &a, &b);
+        assert_eq!(outcome.shared, vec![Value::Int(1)]);
+        let v: Vec<i64> = outcome.v.iter().map(|x| x.as_int().unwrap()).collect();
+        // v = x1, +1, +1, +1 = 1, 2, 3, 4.
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn consumer_stops_cleanly_when_the_producer_cannot_deliver() {
+        // b asks for x twice but a only provides one false: the consumer
+        // stops after the channel closes.
+        let a = [false];
+        let b = [true, true, false];
+        let (p, c) = programs();
+        let outcome = run_producer_consumer(p, c, &a, &b);
+        assert_eq!(outcome.shared.len(), 1);
+        assert_eq!(outcome.v.len(), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! Controller synthesis (Section 5.2).
+//!
+//! The composition of two endochronous components (the producer and the
+//! consumer of the paper) is weakly endochronous: their only interaction is
+//! a clock constraint on the shared signal (`[not a] = [b]` for the shared
+//! `x`).  Instead of adding master clocks `C_a`, `C_b` to the interface (the
+//! scheme of Section 5.1), the contributed scheme synthesizes a *controller*
+//! that:
+//!
+//! * keeps reading `a` and `b` independently while no rendez-vous is needed,
+//! * suspends the side that reaches the constraint first (`a` false, or `b`
+//!   true) until the other side reaches it too,
+//! * then lets both components react in the same iteration, implementing the
+//!   rendez-vous on the shared variable.
+//!
+//! [`Controller`] is the synthesized scheduler state machine;
+//! [`ControlledPair`] drives two generated step programs with it, which is
+//! the in-process equivalent of the paper's `main_iterate` listing.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use signal_lang::Value;
+
+use crate::ir::StepProgram;
+use crate::runtime::{RuntimeError, SequentialRuntime};
+
+/// The synthesized scheduler state machine of Section 5.2.
+///
+/// `pre_ra` / `pre_rb` record that the corresponding side is suspended on a
+/// pending rendez-vous; `pre_r` records that a rendez-vous was completed at
+/// the previous iteration.
+#[derive(Debug, Clone, Default)]
+pub struct Controller {
+    pre_ra: bool,
+    pre_rb: bool,
+    pre_r: bool,
+}
+
+impl Controller {
+    /// Creates a controller in its initial state (nothing pending).
+    pub fn new() -> Self {
+        Controller::default()
+    }
+
+    /// Decides whether each side should read a fresh input this iteration
+    /// (`(C_a, C_b)` in the paper's listing).
+    pub fn decide(&self) -> (bool, bool) {
+        let c_a = if self.pre_r {
+            true
+        } else {
+            !self.pre_ra
+        };
+        let c_b = if self.pre_r { true } else { !self.pre_rb };
+        (c_a, c_b)
+    }
+
+    /// Commits the iteration: `ra` / `rb` say whether each side is (still)
+    /// requesting the rendez-vous; returns `r`, true when the rendez-vous
+    /// fires this iteration.
+    pub fn commit(&mut self, ra: bool, rb: bool) -> bool {
+        let r = ra && rb;
+        self.pre_ra = ra && !r;
+        self.pre_rb = rb && !r;
+        self.pre_r = r;
+        r
+    }
+
+    /// Returns `true` when a side is currently suspended.
+    pub fn is_suspended(&self) -> bool {
+        self.pre_ra || self.pre_rb
+    }
+}
+
+/// How two components are linked through a shared signal and a clock
+/// constraint on the values of their pacing inputs.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    /// The pacing input of the producing component (`a`).
+    pub left_input: String,
+    /// The value of `left_input` at which the producer needs the rendez-vous
+    /// (`false` in the paper: `x` is produced when `a` is false).
+    pub left_rendezvous: bool,
+    /// The pacing input of the consuming component (`b`).
+    pub right_input: String,
+    /// The value of `right_input` at which the consumer needs the
+    /// rendez-vous (`true` in the paper: `x` is consumed when `b` is true).
+    pub right_rendezvous: bool,
+    /// The shared signal carried from producer to consumer.
+    pub shared: String,
+}
+
+impl SharedLink {
+    /// The link of the paper's producer/consumer pair: `[not a] = [b]` on
+    /// the shared `x`.
+    pub fn producer_consumer() -> Self {
+        SharedLink {
+            left_input: "a".into(),
+            left_rendezvous: false,
+            right_input: "b".into(),
+            right_rendezvous: true,
+            shared: "x".into(),
+        }
+    }
+}
+
+/// Two separately generated step programs scheduled by a synthesized
+/// controller — the compositional code generation scheme of Section 5.2.
+#[derive(Debug)]
+pub struct ControlledPair {
+    left: SequentialRuntime,
+    right: SequentialRuntime,
+    link: SharedLink,
+    controller: Controller,
+    left_inputs: VecDeque<bool>,
+    right_inputs: VecDeque<bool>,
+    pending_left: Option<bool>,
+    pending_right: Option<bool>,
+    iterations: u64,
+    rendezvous: u64,
+}
+
+impl ControlledPair {
+    /// Builds the controlled composition of two step programs.
+    pub fn new(left: StepProgram, right: StepProgram, link: SharedLink) -> Self {
+        ControlledPair {
+            left: SequentialRuntime::new(left),
+            right: SequentialRuntime::new(right),
+            link,
+            controller: Controller::new(),
+            left_inputs: VecDeque::new(),
+            right_inputs: VecDeque::new(),
+            pending_left: None,
+            pending_right: None,
+            iterations: 0,
+            rendezvous: 0,
+        }
+    }
+
+    /// Queues values for the left (producer-side) pacing input.
+    pub fn feed_left<I: IntoIterator<Item = bool>>(&mut self, values: I) {
+        self.left_inputs.extend(values);
+    }
+
+    /// Queues values for the right (consumer-side) pacing input.
+    pub fn feed_right<I: IntoIterator<Item = bool>>(&mut self, values: I) {
+        self.right_inputs.extend(values);
+    }
+
+    /// The values produced so far on an output of the left component.
+    pub fn left_output(&self, signal: &str) -> &[Value] {
+        self.left.output(signal)
+    }
+
+    /// The values produced so far on an output of the right component.
+    pub fn right_output(&self, signal: &str) -> &[Value] {
+        self.right.output(signal)
+    }
+
+    /// The number of completed main iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The number of rendez-vous performed on the shared signal.
+    pub fn rendezvous(&self) -> u64 {
+        self.rendezvous
+    }
+
+    /// Performs one main iteration.  Returns `Ok(false)` when an enabled
+    /// read finds its input queue empty (end of the simulation), mirroring
+    /// the `return FALSE` of the generated C.
+    pub fn iterate(&mut self) -> Result<bool, RuntimeError> {
+        let (c_a, c_b) = self.controller.decide();
+        // Read fresh pacing inputs where allowed.
+        if c_a {
+            match self.left_inputs.pop_front() {
+                Some(v) => self.pending_left = Some(v),
+                None => return Ok(false),
+            }
+        }
+        if c_b {
+            match self.right_inputs.pop_front() {
+                Some(v) => self.pending_right = Some(v),
+                None => return Ok(false),
+            }
+        }
+        let a = self.pending_left.expect("left value available");
+        let b = self.pending_right.expect("right value available");
+        let ra = a == self.link.left_rendezvous;
+        let rb = b == self.link.right_rendezvous;
+        let r = ra && rb;
+        // A side reacts when it does not need the rendez-vous, or when the
+        // rendez-vous fires.
+        let run_left = (c_a && !ra) || r;
+        let run_right = (c_b && !rb) || r;
+        if run_left {
+            let shared_before = self.left.output(&self.link.shared).len();
+            self.left.feed(&self.link.left_input, [Value::Bool(a)]);
+            self.left.step()?;
+            let shared_after = self.left.output(&self.link.shared);
+            if shared_after.len() > shared_before {
+                let value = shared_after[shared_before];
+                self.right.feed(&self.link.shared, [value]);
+            }
+            self.pending_left = None;
+        }
+        if run_right {
+            self.right.feed(&self.link.right_input, [Value::Bool(b)]);
+            self.right.step()?;
+            self.pending_right = None;
+        }
+        if r {
+            self.rendezvous += 1;
+        }
+        self.controller.commit(ra, rb);
+        self.iterations += 1;
+        Ok(true)
+    }
+
+    /// Runs iterations until an input runs dry or `max` iterations were
+    /// performed; returns the number of completed iterations.
+    pub fn run(&mut self, max: usize) -> usize {
+        let mut done = 0;
+        for _ in 0..max {
+            match self.iterate() {
+                Ok(true) => done += 1,
+                _ => break,
+            }
+        }
+        done
+    }
+}
+
+/// Renders the paper's controlled `main_iterate` as C-like text for the
+/// given link (documentation artefact mirroring the §5.2 listing).
+pub fn emit_controlled_main_c(link: &SharedLink, left_name: &str, right_name: &str) -> String {
+    let mut out = String::new();
+    let a = &link.left_input;
+    let b = &link.right_input;
+    let _ = writeln!(out, "bool main_iterate() {{");
+    let _ = writeln!(out, "  /* {a} = scheduler({a}, ra, r) */");
+    let _ = writeln!(out, "  if (pre_r) C_{a} = true;");
+    let _ = writeln!(out, "  else if (pre_ra) C_{a} = false;");
+    let _ = writeln!(out, "  else C_{a} = true;");
+    let _ = writeln!(out, "  if (C_{a}) {{ if (!r_main_{a}(&{a})) return false; }}");
+    let _ = writeln!(out, "  if (C_{a}) ra = {}{a}; else ra = pre_ra;", if link.left_rendezvous { "" } else { "!" });
+    let _ = writeln!(out, "  /* {b} = scheduler({b}, rb, r) */");
+    let _ = writeln!(out, "  if (pre_r) C_{b} = true;");
+    let _ = writeln!(out, "  else if (pre_rb) C_{b} = false;");
+    let _ = writeln!(out, "  else C_{b} = true;");
+    let _ = writeln!(out, "  if (C_{b}) {{ if (!r_main_{b}(&{b})) return false; }}");
+    let _ = writeln!(out, "  if (C_{b}) rb = {}{b}; else rb = pre_rb;", if link.right_rendezvous { "" } else { "!" });
+    let _ = writeln!(out, "  r = ra && rb;");
+    let _ = writeln!(out, "  C_c = (C_{a} && !ra) || r;");
+    let _ = writeln!(out, "  C_d = (C_{b} && !rb) || r;");
+    let _ = writeln!(out, "  if (C_c) {left_name}_iterate();");
+    let _ = writeln!(out, "  if (C_d) {right_name}_iterate();");
+    let _ = writeln!(out, "  pre_ra = ra; pre_rb = rb; pre_r = r;");
+    let _ = writeln!(out, "  return true;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::generate_from_kernel;
+    use signal_lang::stdlib;
+
+    fn pair() -> ControlledPair {
+        let producer = generate_from_kernel(&stdlib::producer().normalize().unwrap());
+        let consumer = generate_from_kernel(&stdlib::consumer().normalize().unwrap());
+        ControlledPair::new(producer, consumer, SharedLink::producer_consumer())
+    }
+
+    #[test]
+    fn controller_reads_both_sides_until_one_suspends() {
+        let mut c = Controller::new();
+        assert_eq!(c.decide(), (true, true));
+        // a requests the rendez-vous, b does not: a is suspended.
+        assert!(!c.commit(true, false));
+        assert!(c.is_suspended());
+        assert_eq!(c.decide(), (false, true));
+        // b finally requests it too: the rendez-vous fires.
+        assert!(c.commit(true, true));
+        assert!(!c.is_suspended());
+        assert_eq!(c.decide(), (true, true));
+    }
+
+    #[test]
+    fn independent_iterations_need_no_synchronization() {
+        // a stays true and b stays false: each side progresses alone, no
+        // rendez-vous ever fires.
+        let mut pair = pair();
+        pair.feed_left([true, true, true]);
+        pair.feed_right([false, false, false]);
+        assert_eq!(pair.run(100), 3);
+        assert_eq!(pair.rendezvous(), 0);
+        assert_eq!(pair.left_output("u").len(), 3);
+        assert_eq!(pair.right_output("v").len(), 3);
+    }
+
+    #[test]
+    fn the_shared_value_crosses_on_rendezvous() {
+        // Interleave so that the producer reaches x before the consumer asks
+        // for it, then the controller suspends the producer until b = true.
+        let mut pair = pair();
+        pair.feed_left([true, false, true]);
+        pair.feed_right([false, false, true, false]);
+        pair.run(100);
+        assert!(pair.rendezvous() >= 1);
+        // v accumulated x (=1) exactly once.
+        let v = pair.right_output("v");
+        assert!(!v.is_empty());
+        // u counted the true occurrences of a.
+        assert_eq!(pair.left_output("u").len(), 2);
+        // x was produced once, with value 1.
+        assert_eq!(pair.left_output("x"), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn flows_match_the_uncontrolled_reference() {
+        // Reference: the synchronous interpreter of the composition with a
+        // compatible instant-by-instant drive.
+        let mut pair = pair();
+        let a = [true, false, true, false, true];
+        let b = [false, true, false, true, false];
+        pair.feed_left(a);
+        pair.feed_right(b);
+        pair.run(100);
+        // Producer: u counts trues of a = 3 values; x counts falses = 2.
+        assert_eq!(pair.left_output("u").len(), 3);
+        assert_eq!(pair.left_output("x"), &[Value::Int(1), Value::Int(2)]);
+        // Consumer: v = 1, 1+x1=2, 3, 3+x2=5, 6.
+        let v: Vec<i64> = pair
+            .right_output("v")
+            .iter()
+            .map(|x| x.as_int().unwrap())
+            .collect();
+        assert_eq!(v, vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn emitted_controller_text_mirrors_the_paper() {
+        let text = emit_controlled_main_c(
+            &SharedLink::producer_consumer(),
+            "producer",
+            "consumer",
+        );
+        assert!(text.contains("if (pre_r) C_a = true;"));
+        assert!(text.contains("ra = !a"));
+        assert!(text.contains("rb = b"));
+        assert!(text.contains("C_c = (C_a && !ra) || r;"));
+        assert!(text.contains("pre_ra = ra; pre_rb = rb; pre_r = r;"));
+    }
+}

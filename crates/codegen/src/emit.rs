@@ -1,0 +1,173 @@
+//! Emission of the step program as C-like source text.
+//!
+//! The emitted code mirrors the listings of the paper: a `<name>_iterate`
+//! transition function returning `FALSE` when an input stream is exhausted,
+//! plus a `main` driving the simulation loop.
+
+use std::fmt::Write as _;
+
+use signal_lang::{Atom, KernelEq, PrimOp};
+
+use crate::ir::{Action, ClockCode, StepProgram};
+
+/// Renders the transition function and the simulation `main` of a step
+/// program as C source text.
+pub fn emit_c(program: &StepProgram) -> String {
+    let mut out = String::new();
+    let name = &program.name;
+    let _ = writeln!(out, "/* generated from process {name} */");
+    let _ = writeln!(out, "#include <stdbool.h>");
+    let _ = writeln!(out);
+    for (register, init) in &program.registers {
+        let _ = writeln!(out, "static {} {register} = {};", c_type(init), c_value(init));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "bool {name}_iterate() {{");
+    for action in &program.actions {
+        match action {
+            Action::ComputeClock { signal, code } => {
+                let _ = writeln!(out, "  bool C_{signal} = {};", c_clock(code));
+            }
+            Action::ReadInput { signal } => {
+                let _ = writeln!(out, "  if (C_{signal}) {{");
+                let _ = writeln!(out, "    if (!r_{name}_{signal}(&{signal})) return false;");
+                let _ = writeln!(out, "  }}");
+            }
+            Action::Eval { equation } => {
+                let target = equation.defined();
+                let _ = writeln!(out, "  if (C_{target}) {{");
+                let _ = writeln!(out, "    {target} = {};", c_expr(equation));
+                let _ = writeln!(out, "  }}");
+            }
+            Action::WriteOutput { signal } => {
+                let _ = writeln!(out, "  if (C_{signal}) {{");
+                let _ = writeln!(out, "    w_{name}_{signal}({signal});");
+                let _ = writeln!(out, "  }}");
+            }
+            Action::UpdateRegister { register, source } => {
+                let _ = writeln!(out, "  if (C_{source}) {register} = {source};");
+            }
+        }
+    }
+    let _ = writeln!(out, "  return true;");
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "int main() {{");
+    let _ = writeln!(out, "  bool code;");
+    let _ = writeln!(out, "  {name}_OpenIO();");
+    let _ = writeln!(out, "  code = {name}_initialize();");
+    let _ = writeln!(out, "  while (code) code = {name}_iterate();");
+    let _ = writeln!(out, "  {name}_CloseIO();");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn c_type(v: &signal_lang::Value) -> &'static str {
+    match v {
+        signal_lang::Value::Bool(_) => "bool",
+        signal_lang::Value::Int(_) => "long",
+    }
+}
+
+fn c_value(v: &signal_lang::Value) -> String {
+    v.to_string()
+}
+
+fn c_clock(code: &ClockCode) -> String {
+    match code {
+        ClockCode::Always => "true".to_string(),
+        ClockCode::SameAs(n) => format!("C_{n}"),
+        ClockCode::SampleTrue(n) => format!("{n}"),
+        ClockCode::SampleFalse(n) => format!("!{n}"),
+        ClockCode::And(a, b) => format!("({} && {})", c_clock(a), c_clock(b)),
+        ClockCode::Or(a, b) => format!("({} || {})", c_clock(a), c_clock(b)),
+        ClockCode::Diff(a, b) => format!("({} && !{})", c_clock(a), c_clock(b)),
+    }
+}
+
+fn c_atom(a: &Atom) -> String {
+    match a {
+        Atom::Const(v) => v.to_string(),
+        Atom::Var(n) => n.to_string(),
+    }
+}
+
+fn c_expr(eq: &KernelEq) -> String {
+    match eq {
+        KernelEq::Delay { out, .. } => format!("{out} /* register */"),
+        KernelEq::When { arg, .. } => c_atom(arg),
+        KernelEq::Default { left, right, .. } => match left {
+            Atom::Var(n) => format!("(C_{n} ? {} : {})", c_atom(left), c_atom(right)),
+            Atom::Const(_) => c_atom(left),
+        },
+        KernelEq::Func { op, args, .. } => match (op, args.as_slice()) {
+            (PrimOp::Id, [a]) => c_atom(a),
+            (PrimOp::Not, [a]) => format!("!{}", c_atom(a)),
+            (PrimOp::Neg, [a]) => format!("-{}", c_atom(a)),
+            (op, [a, b]) => format!("({} {} {})", c_atom(a), c_op(*op), c_atom(b)),
+            _ => format!("/* {eq} */ 0"),
+        },
+    }
+}
+
+fn c_op(op: PrimOp) -> &'static str {
+    match op {
+        PrimOp::And => "&&",
+        PrimOp::Or => "||",
+        PrimOp::Xor => "^",
+        PrimOp::Add => "+",
+        PrimOp::Sub => "-",
+        PrimOp::Mul => "*",
+        PrimOp::Div => "/",
+        PrimOp::Eq => "==",
+        PrimOp::Ne => "!=",
+        PrimOp::Lt => "<",
+        PrimOp::Le => "<=",
+        PrimOp::Gt => ">",
+        PrimOp::Ge => ">=",
+        PrimOp::Id | PrimOp::Not | PrimOp::Neg => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::generate_from_kernel;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn buffer_emission_mirrors_the_paper_listing() {
+        let program = generate_from_kernel(&stdlib::buffer().normalize().unwrap());
+        let c = emit_c(&program);
+        assert!(c.contains("bool buffer_iterate()"));
+        // The input y is read behind its clock test, as in the paper.
+        assert!(c.contains("if (!r_buffer_y(&y)) return false;"));
+        // The output x is written.
+        assert!(c.contains("w_buffer_x(x);"));
+        // The state register is updated at the end (s = t).
+        assert!(c.contains("s = t;"));
+        // The simulation main loop.
+        assert!(c.contains("while (code) code = buffer_iterate();"));
+    }
+
+    #[test]
+    fn producer_emission_declares_registers_and_branches() {
+        let program = generate_from_kernel(&stdlib::producer().normalize().unwrap());
+        let c = emit_c(&program);
+        assert!(c.contains("producer_iterate"));
+        assert!(c.contains("static long"));
+        // Both branches of a appear as clock tests.
+        assert!(c.contains("bool C_u"));
+        assert!(c.contains("bool C_x"));
+    }
+
+    #[test]
+    fn every_paper_process_emits_valid_looking_c() {
+        for def in stdlib::all_paper_processes() {
+            let program = generate_from_kernel(&def.normalize().unwrap());
+            let c = emit_c(&program);
+            assert!(c.contains(&format!("bool {}_iterate()", def.name)));
+            assert!(c.matches('{').count() == c.matches('}').count());
+        }
+    }
+}

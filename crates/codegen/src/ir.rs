@@ -1,0 +1,182 @@
+//! The step-function intermediate representation.
+
+use std::fmt;
+
+use signal_lang::{KernelEq, Name, Value};
+
+/// How the presence of a signal is computed inside the step function.
+///
+/// The code generator resolves, for every signal, a *clock code* in terms of
+/// things the step function can test: the activation of the step itself (a
+/// root of the hierarchy), the boolean value of an already-computed signal,
+/// or a combination of previously computed clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockCode {
+    /// The signal is present at every activation of the step function (its
+    /// clock class is a root of the hierarchy).
+    Always,
+    /// Present when the named (already computed) boolean signal is true.
+    SampleTrue(Name),
+    /// Present when the named boolean signal is false.
+    SampleFalse(Name),
+    /// Present when the clock of another signal is present (alias inside a
+    /// clock equivalence class).
+    SameAs(Name),
+    /// Intersection of two codes.
+    And(Box<ClockCode>, Box<ClockCode>),
+    /// Union of two codes.
+    Or(Box<ClockCode>, Box<ClockCode>),
+    /// Difference of two codes.
+    Diff(Box<ClockCode>, Box<ClockCode>),
+}
+
+impl fmt::Display for ClockCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockCode::Always => write!(f, "true"),
+            ClockCode::SampleTrue(n) => write!(f, "{n}"),
+            ClockCode::SampleFalse(n) => write!(f, "!{n}"),
+            ClockCode::SameAs(n) => write!(f, "C_{n}"),
+            ClockCode::And(a, b) => write!(f, "({a} && {b})"),
+            ClockCode::Or(a, b) => write!(f, "({a} || {b})"),
+            ClockCode::Diff(a, b) => write!(f, "({a} && !{b})"),
+        }
+    }
+}
+
+/// One action of the step function, guarded by the clock of its signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Compute the presence flag `C_signal` of a signal.
+    ComputeClock {
+        /// The signal whose clock is computed.
+        signal: Name,
+        /// How to compute it.
+        code: ClockCode,
+    },
+    /// Read an input signal from its environment stream when present.
+    ReadInput {
+        /// The input signal.
+        signal: Name,
+    },
+    /// Evaluate a kernel equation when the defined signal is present.
+    Eval {
+        /// The equation.
+        equation: KernelEq,
+    },
+    /// Write an output signal to its environment stream when present.
+    WriteOutput {
+        /// The output signal.
+        signal: Name,
+    },
+    /// Update a delay register at the end of the step.
+    UpdateRegister {
+        /// The register (the delay's defined signal).
+        register: Name,
+        /// The signal whose current value is stored.
+        source: Name,
+    },
+}
+
+/// A compiled step function.
+#[derive(Debug, Clone)]
+pub struct StepProgram {
+    /// The process name.
+    pub name: String,
+    /// The input signals, in declaration order.
+    pub inputs: Vec<Name>,
+    /// The output signals.
+    pub outputs: Vec<Name>,
+    /// The delay registers with their initial values.
+    pub registers: Vec<(Name, Value)>,
+    /// The actions of one step, in execution order.
+    pub actions: Vec<Action>,
+}
+
+impl StepProgram {
+    /// The number of actions of the step function.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` when the program has no action.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The clock code assigned to `signal`, if any.
+    pub fn clock_of(&self, signal: &str) -> Option<&ClockCode> {
+        self.actions.iter().find_map(|a| match a {
+            Action::ComputeClock { signal: s, code } if s.as_str() == signal => Some(code),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for StepProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "step {}:", self.name)?;
+        for a in &self.actions {
+            match a {
+                Action::ComputeClock { signal, code } => writeln!(f, "  C_{signal} := {code}")?,
+                Action::ReadInput { signal } => writeln!(f, "  if C_{signal} read {signal}")?,
+                Action::Eval { equation } => writeln!(f, "  if C_* eval {equation}")?,
+                Action::WriteOutput { signal } => writeln!(f, "  if C_{signal} write {signal}")?,
+                Action::UpdateRegister { register, source } => {
+                    writeln!(f, "  if C_{source} {register} := {source}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_code_display_is_c_like() {
+        let code = ClockCode::SampleTrue(Name::from("t"))
+            .or(ClockCode::SampleFalse(Name::from("t")));
+        assert_eq!(code.to_string(), "(t || !t)");
+        assert_eq!(ClockCode::Always.to_string(), "true");
+        assert_eq!(ClockCode::SameAs(Name::from("x")).to_string(), "C_x");
+    }
+
+    #[test]
+    fn program_lookup_finds_clock_codes() {
+        let p = StepProgram {
+            name: "p".into(),
+            inputs: vec![Name::from("y")],
+            outputs: vec![Name::from("x")],
+            registers: vec![],
+            actions: vec![Action::ComputeClock {
+                signal: Name::from("x"),
+                code: ClockCode::SampleTrue(Name::from("t")),
+            }],
+        };
+        assert!(matches!(p.clock_of("x"), Some(ClockCode::SampleTrue(_))));
+        assert!(p.clock_of("y").is_none());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(p.to_string().contains("C_x := t"));
+    }
+}
+
+impl ClockCode {
+    /// Intersection helper.
+    pub fn and(self, other: ClockCode) -> ClockCode {
+        ClockCode::And(Box::new(self), Box::new(other))
+    }
+
+    /// Union helper.
+    pub fn or(self, other: ClockCode) -> ClockCode {
+        ClockCode::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Difference helper.
+    pub fn diff(self, other: ClockCode) -> ClockCode {
+        ClockCode::Diff(Box::new(self), Box::new(other))
+    }
+}

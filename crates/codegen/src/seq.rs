@@ -1,0 +1,312 @@
+//! Sequential code generation (Section 3.6).
+//!
+//! The generator walks the signals of a compilable process in an order
+//! compatible with the reinforced scheduling graph and assigns each one a
+//! [`ClockCode`] resolved from the clock hierarchy: signals of the root
+//! class are present at every activation, signals of a sampled class are
+//! guarded by the value of the sampling signal, and derived classes combine
+//! the codes of their operands.  The result is a flat [`StepProgram`]
+//! equivalent to the `buffer_iterate` transition function of the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use clocks::{ClassId, Clock, ClockAnalysis, ClockExpr, SchedNode};
+use signal_lang::{KernelEq, Name};
+
+use crate::ir::{Action, ClockCode, StepProgram};
+
+/// Generates the sequential step program of an analyzed process.
+///
+/// The process should be compilable (Definition 10); the generator still
+/// produces a program for non-compilable processes but falls back to
+/// conservative clock codes where the hierarchy gives no answer.
+pub fn generate(analysis: &ClockAnalysis) -> StepProgram {
+    let kernel = analysis.kernel();
+    let hierarchy = analysis.hierarchy();
+    let roots = hierarchy.roots();
+    let equalities = &analysis.relations().equalities;
+
+    // 1. Resolve one clock code per signal (shared across its class).
+    let mut codes: BTreeMap<Name, ClockCode> = BTreeMap::new();
+    for signal in kernel.signal_set() {
+        let code = match hierarchy.class_of(&Clock::tick(signal.clone())) {
+            Some(class) => resolve_class(class, hierarchy, &roots, equalities),
+            None => ClockCode::Always,
+        };
+        codes.insert(signal, code);
+    }
+
+    // 2. Order the signals so that every signal referenced by a clock code
+    //    (the sampler whose value guards a sub-clock) and every data
+    //    dependency of the scheduling graph come first.
+    let mut deps: BTreeMap<Name, BTreeSet<Name>> = kernel
+        .signal_set()
+        .into_iter()
+        .map(|n| (n, BTreeSet::new()))
+        .collect();
+    for (signal, code) in &codes {
+        let mut mentioned = Vec::new();
+        clock_code_signals(code, &mut mentioned);
+        for w in mentioned {
+            if w != *signal && deps.contains_key(&w) {
+                deps.get_mut(signal).expect("declared").insert(w);
+            }
+        }
+    }
+    for (from, to, _) in analysis.scheduling_graph().iter_edges() {
+        if let (SchedNode::Signal(f), SchedNode::Signal(t)) = (from, to) {
+            if f != t && deps.contains_key(f) {
+                deps.get_mut(t).map(|s| s.insert(f.clone()));
+            }
+        }
+    }
+    let order = topological(&deps);
+
+    // 3. Emit the actions in that order.
+    let mut actions = Vec::new();
+    for signal in &order {
+        actions.push(Action::ComputeClock {
+            signal: signal.clone(),
+            code: codes[signal].clone(),
+        });
+        if kernel.is_input(signal.as_str()) {
+            actions.push(Action::ReadInput {
+                signal: signal.clone(),
+            });
+        }
+        if let Some(eq) = kernel.definition_of(signal.as_str()) {
+            actions.push(Action::Eval {
+                equation: eq.clone(),
+            });
+        }
+        if kernel.is_output(signal.as_str()) {
+            actions.push(Action::WriteOutput {
+                signal: signal.clone(),
+            });
+        }
+    }
+    // Register updates close the step.
+    for (register, source, _) in kernel.registers() {
+        actions.push(Action::UpdateRegister { register, source });
+    }
+
+    StepProgram {
+        name: kernel.name().to_string(),
+        inputs: kernel.inputs().cloned().collect(),
+        outputs: kernel.outputs().cloned().collect(),
+        registers: kernel
+            .registers()
+            .into_iter()
+            .map(|(r, _, init)| (r, init))
+            .collect(),
+        actions,
+    }
+}
+
+/// Collects the signals mentioned by a clock code.
+fn clock_code_signals(code: &ClockCode, out: &mut Vec<Name>) {
+    match code {
+        ClockCode::Always => {}
+        ClockCode::SameAs(n) | ClockCode::SampleTrue(n) | ClockCode::SampleFalse(n) => {
+            out.push(n.clone())
+        }
+        ClockCode::And(a, b) | ClockCode::Or(a, b) | ClockCode::Diff(a, b) => {
+            clock_code_signals(a, out);
+            clock_code_signals(b, out);
+        }
+    }
+}
+
+/// Deterministic Kahn topological sort; on a cycle the remaining signals are
+/// appended in name order (the acyclicity check of the clock calculus flags
+/// genuine cycles separately).
+fn topological(deps: &BTreeMap<Name, BTreeSet<Name>>) -> Vec<Name> {
+    let mut order = Vec::new();
+    let mut placed: BTreeSet<Name> = BTreeSet::new();
+    let mut remaining: Vec<Name> = deps.keys().cloned().collect();
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next_remaining = Vec::new();
+        for name in remaining {
+            let ready = deps[&name].iter().all(|d| placed.contains(d));
+            if ready {
+                placed.insert(name.clone());
+                order.push(name);
+                progressed = true;
+            } else {
+                next_remaining.push(name);
+            }
+        }
+        if !progressed {
+            // Cycle: append what is left deterministically.
+            for name in &next_remaining {
+                order.push(name.clone());
+            }
+            break;
+        }
+        remaining = next_remaining;
+    }
+    order
+}
+
+/// Resolves the clock code of a class from the hierarchy.
+fn resolve_class(
+    class: ClassId,
+    hierarchy: &clocks::ClockHierarchy,
+    roots: &[ClassId],
+    equalities: &[(ClockExpr, ClockExpr)],
+) -> ClockCode {
+    if roots.contains(&class) {
+        return ClockCode::Always;
+    }
+    // A sampled class: guarded by the value of the sampling signal.
+    for member in hierarchy.class_members(class) {
+        match member {
+            Clock::True(w) | Clock::False(w) => {
+                let sampler_class = hierarchy.class_of(&Clock::tick(w.clone()));
+                if sampler_class.map(|c| c != class).unwrap_or(false) {
+                    return if matches!(member, Clock::True(_)) {
+                        ClockCode::SampleTrue(w.clone())
+                    } else {
+                        ClockCode::SampleFalse(w.clone())
+                    };
+                }
+            }
+            Clock::Tick(_) => {}
+        }
+    }
+    // A derived class: find a binary definition over resolvable operands.
+    for (l, r) in equalities {
+        for (atom_side, expr_side) in [(l, r), (r, l)] {
+            let Some(Clock::Tick(x)) = atom_side.as_atom() else {
+                continue;
+            };
+            if hierarchy.class_of(&Clock::tick(x.clone())) != Some(class) {
+                continue;
+            }
+            if let Some(code) = combine(expr_side, hierarchy, class) {
+                return code;
+            }
+        }
+    }
+    ClockCode::Always
+}
+
+fn combine(
+    expr: &ClockExpr,
+    hierarchy: &clocks::ClockHierarchy,
+    target: ClassId,
+) -> Option<ClockCode> {
+    match expr {
+        ClockExpr::Zero => None,
+        ClockExpr::Atom(c) => {
+            let class = hierarchy.class_of(c)?;
+            if class == target {
+                // Referring to the class being defined would be circular.
+                return None;
+            }
+            match c {
+                Clock::Tick(y) => Some(ClockCode::SameAs(y.clone())),
+                Clock::True(w) => Some(ClockCode::SampleTrue(w.clone())),
+                Clock::False(w) => Some(ClockCode::SampleFalse(w.clone())),
+            }
+        }
+        ClockExpr::And(a, b) => Some(
+            combine(a, hierarchy, target)?.and(combine(b, hierarchy, target)?),
+        ),
+        ClockExpr::Or(a, b) => Some(
+            combine(a, hierarchy, target)?.or(combine(b, hierarchy, target)?),
+        ),
+        ClockExpr::Diff(a, b) => Some(
+            combine(a, hierarchy, target)?.diff(combine(b, hierarchy, target)?),
+        ),
+    }
+}
+
+/// Convenience: analyze and generate in one call.
+pub fn generate_from_kernel(kernel: &signal_lang::KernelProcess) -> StepProgram {
+    generate(&ClockAnalysis::analyze(kernel))
+}
+
+/// Returns `true` when the equation is a delay (used by the emitter to
+/// fetch the register instead of recomputing).
+pub fn is_delay(eq: &KernelEq) -> bool {
+    eq.is_delay()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    fn program_of(def: &signal_lang::ProcessDef) -> StepProgram {
+        generate_from_kernel(&def.normalize().unwrap())
+    }
+
+    #[test]
+    fn buffer_program_tests_the_alternating_state() {
+        let p = program_of(&stdlib::buffer());
+        // x is guarded by the value of t (or an equivalent sample), y by its
+        // negation.
+        let x_code = p.clock_of("x").expect("x has a clock").to_string();
+        let y_code = p.clock_of("y").expect("y has a clock").to_string();
+        assert_ne!(x_code, "true");
+        assert_ne!(y_code, "true");
+        assert_ne!(x_code, y_code);
+        // The state signals are at the root: always computed.
+        assert_eq!(p.clock_of("t"), Some(&ClockCode::Always));
+        // Registers: s and the buffer memory.
+        assert_eq!(p.registers.len(), 2);
+    }
+
+    #[test]
+    fn filter_program_reads_y_every_step() {
+        let p = program_of(&stdlib::filter());
+        assert_eq!(p.clock_of("y"), Some(&ClockCode::Always));
+        assert!(p
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::ReadInput { signal } if signal.as_str() == "y")));
+        assert!(p
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::WriteOutput { signal } if signal.as_str() == "x")));
+    }
+
+    #[test]
+    fn producer_branches_on_the_value_of_a() {
+        let p = program_of(&stdlib::producer());
+        let u = p.clock_of("u").unwrap().to_string();
+        let x = p.clock_of("x").unwrap().to_string();
+        assert!(u.contains('a'), "u guarded by a: {u}");
+        assert!(x.contains('a'), "x guarded by a: {x}");
+        assert_ne!(u, x);
+    }
+
+    #[test]
+    fn evaluation_follows_the_scheduling_order() {
+        let p = program_of(&stdlib::buffer());
+        let position = |name: &str| {
+            p.actions
+                .iter()
+                .position(|a| matches!(a, Action::Eval { equation } if equation.defined().as_str() == name))
+                .unwrap_or(usize::MAX)
+        };
+        // t (the state) is computed before x (which is sampled by it), and r
+        // before x (data dependency).
+        assert!(position("t") < position("x"));
+        assert!(position("r") < position("x"));
+    }
+
+    #[test]
+    fn every_paper_process_generates_a_program() {
+        for def in stdlib::all_paper_processes() {
+            let p = program_of(&def);
+            assert!(!p.is_empty(), "{} generated an empty program", def.name);
+            // Every signal got a clock.
+            for input in &p.inputs {
+                assert!(p.clock_of(input.as_str()).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The design API implementing Definition 12 and Theorem 1.
+
+use std::fmt;
+
+use clocks::ClockAnalysis;
+use codegen::{SequentialRuntime, StepProgram};
+use signal_lang::{KernelProcess, ProcessBuilder, ProcessDef, SignalError};
+
+use crate::verdict::Verdict;
+
+/// An error raised while assembling a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// A component failed to normalize or the composition is ill-formed.
+    Signal(SignalError),
+    /// The design has no component.
+    Empty,
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Signal(e) => write!(f, "{e}"),
+            DesignError::Empty => write!(f, "a design needs at least one component"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<SignalError> for DesignError {
+    fn from(e: SignalError) -> Self {
+        DesignError::Signal(e)
+    }
+}
+
+/// One component of a design: an endochronous (or at least separately
+/// analyzable) Signal process with its analysis and generated code.
+pub struct Component {
+    definition: ProcessDef,
+    kernel: KernelProcess,
+    analysis: ClockAnalysis,
+}
+
+impl Component {
+    /// Analyzes a process definition into a component.
+    pub fn new(definition: ProcessDef) -> Result<Self, DesignError> {
+        let kernel = definition.normalize()?;
+        let analysis = ClockAnalysis::analyze(&kernel);
+        Ok(Component {
+            definition,
+            kernel,
+            analysis,
+        })
+    }
+
+    /// The component name.
+    pub fn name(&self) -> &str {
+        &self.definition.name
+    }
+
+    /// The source definition.
+    pub fn definition(&self) -> &ProcessDef {
+        &self.definition
+    }
+
+    /// The kernel form.
+    pub fn kernel(&self) -> &KernelProcess {
+        &self.kernel
+    }
+
+    /// The clock analysis of the component alone.
+    pub fn analysis(&self) -> &ClockAnalysis {
+        &self.analysis
+    }
+
+    /// Is the component endochronous on its own (Property 2)?
+    pub fn is_endochronous(&self) -> bool {
+        self.analysis.is_endochronous()
+    }
+
+    /// The generated sequential step program of the component.
+    pub fn step_program(&self) -> StepProgram {
+        codegen::seq::generate(&self.analysis)
+    }
+
+    /// The generated C text of the component.
+    pub fn emit_c(&self) -> String {
+        codegen::emit::emit_c(&self.step_program())
+    }
+
+    /// A ready-to-run sequential runtime executing the generated code.
+    pub fn runtime(&self) -> SequentialRuntime {
+        SequentialRuntime::new(self.step_program())
+    }
+}
+
+impl fmt::Debug for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Component")
+            .field("name", &self.name())
+            .field("endochronous", &self.is_endochronous())
+            .finish()
+    }
+}
+
+/// A design: a named composition of components, analyzed both per component
+/// and globally, on which the weak-hierarchy criterion is evaluated.
+pub struct Design {
+    name: String,
+    components: Vec<Component>,
+    composition: KernelProcess,
+    composition_analysis: ClockAnalysis,
+    incrementally_ok: bool,
+}
+
+impl Design {
+    /// Builds a design from a single process (a one-component design).
+    pub fn new(definition: ProcessDef) -> Result<Self, DesignError> {
+        let name = definition.name.clone();
+        Design::compose(name, [definition])
+    }
+
+    /// Builds a design by composing `components` under `name`, checking the
+    /// incremental condition of Definition 12: every prefix of the
+    /// composition must be well-clocked and acyclic.
+    pub fn compose<I>(name: impl Into<String>, components: I) -> Result<Self, DesignError>
+    where
+        I: IntoIterator<Item = ProcessDef>,
+    {
+        let name = name.into();
+        let components: Vec<Component> = components
+            .into_iter()
+            .map(Component::new)
+            .collect::<Result<_, _>>()?;
+        if components.is_empty() {
+            return Err(DesignError::Empty);
+        }
+        // Incremental composition (Definition 12): compose one component at
+        // a time and check well-clockedness and acyclicity of every prefix.
+        let mut incrementally_ok = true;
+        let mut composition = components[0].kernel().clone();
+        for component in &components[1..] {
+            composition = composition.compose(component.kernel())?;
+            let analysis = ClockAnalysis::analyze(&composition);
+            if !(analysis.is_well_clocked() && analysis.is_acyclic()) {
+                incrementally_ok = false;
+            }
+        }
+        let composition_analysis = ClockAnalysis::analyze(&composition);
+        Ok(Design {
+            name,
+            components,
+            composition,
+            composition_analysis,
+            incrementally_ok,
+        })
+    }
+
+    /// Builds a design directly from a composite definition plus the list of
+    /// component definitions it was assembled from (used when the composite
+    /// hides shared signals, like the paper's `main` process hides `x`).
+    pub fn from_parts(
+        composite: ProcessDef,
+        components: impl IntoIterator<Item = ProcessDef>,
+    ) -> Result<Self, DesignError> {
+        let name = composite.name.clone();
+        let components: Vec<Component> = components
+            .into_iter()
+            .map(Component::new)
+            .collect::<Result<_, _>>()?;
+        if components.is_empty() {
+            return Err(DesignError::Empty);
+        }
+        let composition = composite.normalize()?;
+        let composition_analysis = ClockAnalysis::analyze(&composition);
+        let incrementally_ok =
+            composition_analysis.is_well_clocked() && composition_analysis.is_acyclic();
+        Ok(Design {
+            name,
+            components,
+            composition,
+            composition_analysis,
+            incrementally_ok,
+        })
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The components of the design.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The kernel form of the global composition.
+    pub fn composition(&self) -> &KernelProcess {
+        &self.composition
+    }
+
+    /// The clock analysis of the global composition.
+    pub fn analysis(&self) -> &ClockAnalysis {
+        &self.composition_analysis
+    }
+
+    /// Is the design weakly hierarchic (Definition 12)?
+    ///
+    /// Every component must be compilable and hierarchic, and the (prefixes
+    /// of the) composition must be well-clocked and acyclic.
+    pub fn is_weakly_hierarchic(&self) -> bool {
+        self.components.iter().all(Component::is_endochronous)
+            && self.incrementally_ok
+            && self.composition_analysis.is_well_clocked()
+            && self.composition_analysis.is_acyclic()
+    }
+
+    /// The aggregated verdict of the design.
+    pub fn verdict(&self) -> Verdict {
+        let analysis = &self.composition_analysis;
+        let weakly_hierarchic = self.is_weakly_hierarchic();
+        Verdict {
+            name: self.name.clone(),
+            component_count: self.components.len(),
+            components_endochronous: self
+                .components
+                .iter()
+                .all(Component::is_endochronous),
+            well_clocked: analysis.is_well_clocked(),
+            acyclic: analysis.is_acyclic(),
+            compilable: analysis.is_compilable(),
+            endochronous: analysis.is_endochronous(),
+            weakly_hierarchic,
+            // Theorem 1: weakly hierarchic (hence weakly endochronous) and
+            // non-blocking composition of endochronous components is
+            // isochronous.
+            isochronous: weakly_hierarchic,
+            roots: analysis.roots().len(),
+        }
+    }
+
+    /// Composes this design with another component, re-checking the static
+    /// criterion — the paper's `main2` extension of Section 5.2.
+    pub fn extend(&self, component: ProcessDef) -> Result<Design, DesignError> {
+        let mut defs: Vec<ProcessDef> = self
+            .components
+            .iter()
+            .map(|c| c.definition().clone())
+            .collect();
+        defs.push(component);
+        Design::compose(format!("{}+", self.name), defs)
+    }
+}
+
+impl fmt::Debug for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Design")
+            .field("name", &self.name)
+            .field("components", &self.components.len())
+            .field("weakly_hierarchic", &self.is_weakly_hierarchic())
+            .finish()
+    }
+}
+
+/// Builds the paper's synthetic scalability workload: a chain of `n`
+/// producer/consumer pairs, pair `i` linking inputs `a_i` / `b_i` through a
+/// shared signal `x_i` (used by benchmark E10).
+pub fn chain_of_pairs(n: usize) -> Vec<ProcessDef> {
+    use signal_lang::stdlib;
+    let mut out = Vec::new();
+    for i in 0..n {
+        let producer = stdlib::producer().instantiate(
+            &format!("p{i}"),
+            &[
+                ("a", &format!("a{i}") as &str),
+                ("u", &format!("u{i}")),
+                ("x", &format!("x{i}")),
+            ],
+        );
+        let consumer = stdlib::consumer().instantiate(
+            &format!("c{i}"),
+            &[
+                ("b", &format!("b{i}") as &str),
+                ("x", &format!("x{i}")),
+                ("v", &format!("v{i}")),
+            ],
+        );
+        out.push(producer);
+        out.push(consumer);
+    }
+    out
+}
+
+/// Builds a single `ProcessDef` composing an entire chain of pairs, for the
+/// monolithic (model-checking) side of the comparison.
+pub fn chain_as_single_process(n: usize) -> Result<ProcessDef, SignalError> {
+    let mut builder = ProcessBuilder::new(format!("chain{n}"));
+    for def in chain_of_pairs(n) {
+        builder = builder.include(&def);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn producer_consumer_design_satisfies_the_static_criterion() {
+        let design =
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
+        let v = design.verdict();
+        assert!(v.components_endochronous);
+        assert!(v.weakly_hierarchic);
+        assert!(v.isochronous);
+        assert!(!v.endochronous);
+        assert_eq!(v.roots, 2);
+        assert!(v.separately_compilable());
+    }
+
+    #[test]
+    fn ltta_design_is_isochronous_but_not_endochronous() {
+        let stage1 = stdlib::buffer_pair().instantiate(
+            "bus1",
+            &[("y", "yw"), ("b", "bw"), ("yo", "ym"), ("bo", "bm")],
+        );
+        let stage2 = stdlib::buffer_pair().instantiate(
+            "bus2",
+            &[("y", "ym"), ("b", "bm"), ("yo", "yr"), ("bo", "br")],
+        );
+        let design = Design::compose(
+            "ltta",
+            [stdlib::ltta_writer(), stage1, stage2, stdlib::ltta_reader()],
+        )
+        .expect("builds");
+        let v = design.verdict();
+        assert!(v.components_endochronous, "{v}");
+        assert!(v.weakly_hierarchic, "{v}");
+        assert!(!v.endochronous);
+        assert_eq!(v.roots, 4);
+    }
+
+    #[test]
+    fn a_single_endochronous_component_is_a_trivial_design() {
+        let design = Design::new(stdlib::buffer()).expect("builds");
+        let v = design.verdict();
+        assert!(v.endochronous);
+        assert!(v.weakly_hierarchic);
+        assert_eq!(v.component_count, 1);
+    }
+
+    #[test]
+    fn extending_a_design_rechecks_the_criterion() {
+        let design =
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
+        // Add a second consumer reading the first consumer's output v
+        // through a renamed instance (the paper's main2).
+        let extra = stdlib::consumer().instantiate(
+            "consumer2",
+            &[("b", "c"), ("x", "v"), ("v", "w")],
+        );
+        let extended = design.extend(extra).expect("extends");
+        assert_eq!(extended.components().len(), 3);
+        assert!(extended.verdict().weakly_hierarchic, "{}", extended.verdict());
+    }
+
+    #[test]
+    fn a_non_endochronous_component_fails_the_criterion() {
+        use signal_lang::{Expr, ProcessBuilder};
+        // A lone default over unrelated inputs is not hierarchic.
+        let loose = ProcessBuilder::new("loose")
+            .define("d", Expr::var("y").default(Expr::var("z")))
+            .build()
+            .unwrap();
+        let design = Design::compose("bad", [loose, stdlib::filter()]).expect("builds");
+        let v = design.verdict();
+        assert!(!v.components_endochronous);
+        assert!(!v.weakly_hierarchic);
+        assert!(!v.isochronous);
+    }
+
+    #[test]
+    fn empty_designs_are_rejected() {
+        assert!(matches!(
+            Design::compose("none", Vec::<ProcessDef>::new()),
+            Err(DesignError::Empty)
+        ));
+    }
+
+    #[test]
+    fn chains_scale_and_remain_weakly_hierarchic() {
+        let design = Design::compose("chain", chain_of_pairs(3)).expect("builds");
+        assert_eq!(design.components().len(), 6);
+        assert!(design.is_weakly_hierarchic());
+        assert_eq!(design.verdict().roots, 6);
+    }
+
+    #[test]
+    fn components_expose_generated_artefacts() {
+        let component = Component::new(stdlib::buffer()).expect("builds");
+        assert!(component.is_endochronous());
+        assert!(!component.step_program().is_empty());
+        assert!(component.emit_c().contains("buffer_iterate"));
+        let mut rt = component.runtime();
+        rt.feed("y", [true, false]);
+        assert!(rt.run(10) >= 2);
+    }
+}

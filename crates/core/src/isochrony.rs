@@ -1,0 +1,139 @@
+//! Dynamic cross-checks of isochrony (Definition 3) on concrete executions.
+//!
+//! The static criterion of [`crate::Design`] guarantees isochrony by
+//! Theorem 1; this module *observes* it: the same input flows are fed to
+//! (a) the synchronous composition executed by the reference interpreter
+//! and (b) the asynchronous network of separately executed components, and
+//! the resulting flows are compared signal per signal.
+
+use std::collections::BTreeMap;
+
+use moc::Value;
+use sim::{AsyncNetwork, Drive, Simulator};
+use signal_lang::Name;
+
+use crate::design::Design;
+
+/// The flows observed on the outputs of an execution.
+pub type Flows = BTreeMap<Name, Vec<Value>>;
+
+/// The result of comparing the synchronous and asynchronous executions of a
+/// design on the same input flows.
+#[derive(Debug, Clone)]
+pub struct IsochronyObservation {
+    /// Output flows of the synchronous composition.
+    pub synchronous: Flows,
+    /// Output flows of the asynchronous network.
+    pub asynchronous: Flows,
+}
+
+impl IsochronyObservation {
+    /// Returns `true` when both executions produced the same flows on every
+    /// compared signal (flow-equivalence of the observable behaviours).
+    pub fn flows_match(&self) -> bool {
+        self.synchronous == self.asynchronous
+    }
+
+    /// The signals whose flows differ.
+    pub fn mismatches(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        for (name, flow) in &self.synchronous {
+            if self.asynchronous.get(name) != Some(flow) {
+                out.push(name.clone());
+            }
+        }
+        for name in self.asynchronous.keys() {
+            if !self.synchronous.contains_key(name) && !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Observes isochrony of the paper's producer/consumer pair for the given
+/// input streams `a` and `b` (which must pair every `false` of `a` with a
+/// `true` of `b` in order, as the clock constraint requires).
+///
+/// The synchronous side runs the composition instant by instant; the
+/// asynchronous side runs each component at its own pace in an
+/// [`AsyncNetwork`] with the interleaving selected by `seed`.
+pub fn observe_producer_consumer(design: &Design, a: &[bool], b: &[bool], seed: u64) -> IsochronyObservation {
+    // Synchronous reference: the composition stepped with both inputs
+    // present at each instant.
+    let mut synchronous: Flows = BTreeMap::new();
+    let mut sim = Simulator::new(design.composition());
+    let steps = a.len().min(b.len());
+    for i in 0..steps {
+        let drives = [
+            ("a", Drive::Present(Value::Bool(a[i]))),
+            ("b", Drive::Present(Value::Bool(b[i]))),
+        ];
+        if let Ok(reaction) = sim.step(&drives) {
+            for (name, value) in reaction.events() {
+                if design.composition().is_output(name.as_str()) {
+                    synchronous.entry(name.clone()).or_default().push(value);
+                }
+            }
+        }
+    }
+
+    // Asynchronous side: one simulator per component, FIFO-connected.
+    let mut network = AsyncNetwork::new();
+    for component in design.components() {
+        network.add_component(component.name(), component.kernel(), Vec::<Name>::new());
+    }
+    network.feed_paced("a", a.iter().copied());
+    network.feed_paced("b", b.iter().copied());
+    network.run_random(8 * (a.len() + b.len()), seed);
+    let mut asynchronous: Flows = BTreeMap::new();
+    for (name, flow) in network.flows() {
+        if design.composition().is_output(name.as_str()) {
+            asynchronous.insert(name.clone(), flow.clone());
+        }
+    }
+    IsochronyObservation {
+        synchronous,
+        asynchronous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use signal_lang::stdlib;
+
+    fn design() -> Design {
+        Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds")
+    }
+
+    #[test]
+    fn synchronous_and_asynchronous_flows_coincide() {
+        let design = design();
+        let a = [true, false, true, false, true, true, false];
+        let b = [false, true, false, true, false, false, true];
+        for seed in [3u64, 17, 1234] {
+            let obs = observe_producer_consumer(&design, &a, &b, seed);
+            assert!(
+                obs.flows_match(),
+                "seed {seed}: mismatch on {:?}\nsync: {:?}\nasync: {:?}",
+                obs.mismatches(),
+                obs.synchronous,
+                obs.asynchronous
+            );
+        }
+    }
+
+    #[test]
+    fn mismatches_are_reported_when_flows_differ() {
+        let mut obs = IsochronyObservation {
+            synchronous: BTreeMap::new(),
+            asynchronous: BTreeMap::new(),
+        };
+        obs.synchronous
+            .insert(Name::from("u"), vec![Value::Int(1)]);
+        assert!(!obs.flows_match());
+        assert_eq!(obs.mismatches(), vec![Name::from("u")]);
+    }
+}

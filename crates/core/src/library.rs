@@ -1,0 +1,78 @@
+//! The paper's case studies, packaged as ready-made designs.
+//!
+//! The underlying Signal sources live in [`signal_lang::stdlib`]; this
+//! module assembles them into [`Design`]s so that examples and benchmarks
+//! can analyze, compile and execute them in one call.
+
+pub use signal_lang::stdlib::*;
+
+use crate::design::{Design, DesignError};
+
+/// The producer/consumer design of Section 5 (two endochronous components,
+/// weakly hierarchic composition, isochronous by Theorem 1).
+pub fn producer_consumer_design() -> Result<Design, DesignError> {
+    Design::compose("main", [producer(), consumer()])
+}
+
+/// The `filter | merge` design of Section 1.
+pub fn filter_merge_design() -> Result<Design, DesignError> {
+    let filter = filter().instantiate("filter", &[("y", "y"), ("x", "x")]);
+    let merge = merge().instantiate("merge", &[("c", "c"), ("y", "x"), ("z", "z"), ("d", "d")]);
+    Design::compose("filter_merge", [filter, merge])
+}
+
+/// The loosely time-triggered architecture of Section 4.2: writer, the two
+/// one-place buffers of the bus, and reader — four endochronous components,
+/// each paced by its own clock, exactly as in the paper's four-tree
+/// hierarchy figure.
+pub fn ltta_design() -> Result<Design, DesignError> {
+    let stage1 = buffer_pair().instantiate(
+        "bus1",
+        &[("y", "yw"), ("b", "bw"), ("yo", "ym"), ("bo", "bm")],
+    );
+    let stage2 = buffer_pair().instantiate(
+        "bus2",
+        &[("y", "ym"), ("b", "bm"), ("yo", "yr"), ("bo", "br")],
+    );
+    Design::compose("ltta", [ltta_writer(), stage1, stage2, ltta_reader()])
+}
+
+/// The one-place buffer of Section 3 as a single-component design.
+pub fn buffer_design() -> Result<Design, DesignError> {
+    Design::new(buffer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_designs_satisfy_the_static_criterion() {
+        for design in [
+            producer_consumer_design().unwrap(),
+            filter_merge_design().unwrap(),
+            ltta_design().unwrap(),
+            buffer_design().unwrap(),
+        ] {
+            let v = design.verdict();
+            assert!(v.components_endochronous, "{}:\n{v}", design.name());
+            assert!(v.weakly_hierarchic, "{}:\n{v}", design.name());
+            assert!(v.isochronous, "{}:\n{v}", design.name());
+        }
+    }
+
+    #[test]
+    fn only_the_buffer_is_globally_endochronous() {
+        assert!(buffer_design().unwrap().verdict().endochronous);
+        assert!(!producer_consumer_design().unwrap().verdict().endochronous);
+        assert!(!ltta_design().unwrap().verdict().endochronous);
+        assert!(!filter_merge_design().unwrap().verdict().endochronous);
+    }
+
+    #[test]
+    fn the_ltta_has_one_root_per_device() {
+        let v = ltta_design().unwrap().verdict();
+        assert_eq!(v.roots, 4);
+        assert_eq!(v.component_count, 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Aggregated verdicts of the compositional methodology.
+
+use std::fmt;
+
+/// The verdict of analyzing a design with the paper's criteria.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The design name.
+    pub name: String,
+    /// Number of components of the design.
+    pub component_count: usize,
+    /// Every component is compilable and hierarchic (hence endochronous).
+    pub components_endochronous: bool,
+    /// The composition is well-clocked (Definition 7).
+    pub well_clocked: bool,
+    /// The composition is acyclic (Definition 8).
+    pub acyclic: bool,
+    /// The composition is compilable (Definition 10).
+    pub compilable: bool,
+    /// The composition itself has a single-rooted hierarchy (Definition 11).
+    pub endochronous: bool,
+    /// The composition satisfies the static weak-hierarchy criterion
+    /// (Definition 12).
+    pub weakly_hierarchic: bool,
+    /// By Theorem 1, the components are isochronous: their asynchronous
+    /// composition has the same flows as the synchronous one.
+    pub isochronous: bool,
+    /// Number of roots of the composition's hierarchy.
+    pub roots: usize,
+}
+
+impl Verdict {
+    /// Returns `true` when the design can be compiled by the compositional
+    /// scheme of Section 5 (separate compilation plus synthesized
+    /// controllers).
+    pub fn separately_compilable(&self) -> bool {
+        self.weakly_hierarchic
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {} ({} components)", self.name, self.component_count)?;
+        writeln!(f, "  components endochronous : {}", self.components_endochronous)?;
+        writeln!(f, "  well-clocked             : {}", self.well_clocked)?;
+        writeln!(f, "  acyclic                  : {}", self.acyclic)?;
+        writeln!(f, "  compilable               : {}", self.compilable)?;
+        writeln!(f, "  endochronous             : {}", self.endochronous)?;
+        writeln!(f, "  weakly hierarchic        : {}", self.weakly_hierarchic)?;
+        writeln!(f, "  isochronous (Theorem 1)  : {}", self.isochronous)?;
+        writeln!(f, "  hierarchy roots          : {}", self.roots)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Verdict {
+        Verdict {
+            name: "main".into(),
+            component_count: 2,
+            components_endochronous: true,
+            well_clocked: true,
+            acyclic: true,
+            compilable: true,
+            endochronous: false,
+            weakly_hierarchic: true,
+            isochronous: true,
+            roots: 2,
+        }
+    }
+
+    #[test]
+    fn separate_compilation_follows_weak_hierarchy() {
+        let mut v = sample();
+        assert!(v.separately_compilable());
+        v.weakly_hierarchic = false;
+        assert!(!v.separately_compilable());
+    }
+
+    #[test]
+    fn display_reports_every_field() {
+        let text = sample().to_string();
+        assert!(text.contains("design main (2 components)"));
+        assert!(text.contains("weakly hierarchic        : true"));
+        assert!(text.contains("hierarchy roots          : 2"));
+    }
+}

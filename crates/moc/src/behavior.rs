@@ -1,0 +1,396 @@
+//! Behaviors: functions from names to signals.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::equivalence;
+use crate::reaction::Reaction;
+use crate::{Name, Stream, Tag, Value};
+
+/// A behavior `b`: a finite function from signal names to signals.
+///
+/// The *domain* `V(b)` of a behavior is the set of names it maps; a name may
+/// be mapped to the empty signal (the paper writes `Ø|X` for the empty
+/// reaction on the names `X`), which is different from not belonging to the
+/// domain at all.
+///
+/// # Example
+///
+/// ```
+/// use moc::{Behavior, Tag, Value};
+/// let mut b = Behavior::new();
+/// b.declare("x");
+/// b.insert_event("y", Tag::new(0), Value::from(1));
+/// assert_eq!(b.domain().count(), 2);
+/// assert!(b.stream("x").unwrap().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Behavior {
+    signals: BTreeMap<Name, Stream>,
+}
+
+impl Behavior {
+    /// Creates the empty behavior with an empty domain.
+    pub fn new() -> Self {
+        Behavior {
+            signals: BTreeMap::new(),
+        }
+    }
+
+    /// Creates the empty behavior `Ø|X` over the domain `names`.
+    pub fn empty_on<I, N>(names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        let mut b = Behavior::new();
+        for n in names {
+            b.declare(n);
+        }
+        b
+    }
+
+    /// Adds `name` to the domain of the behavior, mapped to the empty signal
+    /// if it was not present yet.
+    pub fn declare(&mut self, name: impl Into<Name>) {
+        self.signals.entry(name.into()).or_default();
+    }
+
+    /// Inserts the event `(tag, value)` on the signal `name`, adding the name
+    /// to the domain if necessary.
+    pub fn insert_event(&mut self, name: impl Into<Name>, tag: Tag, value: Value) {
+        self.signals.entry(name.into()).or_default().insert(tag, value);
+    }
+
+    /// Replaces the whole signal assigned to `name`.
+    pub fn insert_stream(&mut self, name: impl Into<Name>, stream: Stream) {
+        self.signals.insert(name.into(), stream);
+    }
+
+    /// The domain `V(b)` of the behavior.
+    pub fn domain(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.signals.keys()
+    }
+
+    /// The domain as an owned set.
+    pub fn domain_set(&self) -> BTreeSet<Name> {
+        self.signals.keys().cloned().collect()
+    }
+
+    /// Returns `true` when `name` belongs to the domain.
+    pub fn contains(&self, name: &str) -> bool {
+        self.signals.contains_key(name)
+    }
+
+    /// Returns the signal assigned to `name`, if in the domain.
+    pub fn stream(&self, name: &str) -> Option<&Stream> {
+        self.signals.get(name)
+    }
+
+    /// Returns a mutable reference to the signal assigned to `name`,
+    /// declaring it if necessary.
+    pub fn stream_mut(&mut self, name: impl Into<Name>) -> &mut Stream {
+        self.signals.entry(name.into()).or_default()
+    }
+
+    /// Iterates over `(name, signal)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Stream)> + '_ {
+        self.signals.iter()
+    }
+
+    /// Returns the number of names in the domain.
+    pub fn width(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Returns the total number of events of the behavior.
+    pub fn event_count(&self) -> usize {
+        self.signals.values().map(Stream::len).sum()
+    }
+
+    /// Returns `true` when every signal of the behavior is empty.
+    pub fn is_silent(&self) -> bool {
+        self.signals.values().all(Stream::is_empty)
+    }
+
+    /// The set `T(b)` of tags used by the behavior, in increasing order.
+    pub fn tags(&self) -> BTreeSet<Tag> {
+        self.signals
+            .values()
+            .flat_map(|s| s.tags().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// The maximal tag used by the behavior, if any.
+    pub fn max_tag(&self) -> Option<Tag> {
+        self.signals.values().filter_map(Stream::max_tag).max()
+    }
+
+    /// The restriction `b|X` of the behavior to the names in `names`.
+    ///
+    /// Names of `names` that are not in the domain of `b` are ignored, so
+    /// that `V(b|X) = V(b) ∩ X`.
+    pub fn restrict<'a, I>(&self, names: I) -> Behavior
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let wanted: BTreeSet<&str> = names.into_iter().collect();
+        Behavior {
+            signals: self
+                .signals
+                .iter()
+                .filter(|(n, _)| wanted.contains(n.as_str()))
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect(),
+        }
+    }
+
+    /// The complement `b/X`: the behavior restricted to names *not* in
+    /// `names`, so that `b = b|X ⊎ b/X`.
+    pub fn hide<'a, I>(&self, names: I) -> Behavior
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let hidden: BTreeSet<&str> = names.into_iter().collect();
+        Behavior {
+            signals: self
+                .signals
+                .iter()
+                .filter(|(n, _)| !hidden.contains(n.as_str()))
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect(),
+        }
+    }
+
+    /// The disjoint union of two behaviors with disjoint domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains overlap; use [`Behavior::merge`] when the
+    /// behaviors are known to agree on their shared names.
+    pub fn union(&self, other: &Behavior) -> Behavior {
+        let mut signals = self.signals.clone();
+        for (n, s) in &other.signals {
+            let prev = signals.insert(n.clone(), s.clone());
+            assert!(
+                prev.is_none(),
+                "union of behaviors with overlapping domains (signal {n})"
+            );
+        }
+        Behavior { signals }
+    }
+
+    /// Merges two behaviors that agree on their shared names.
+    ///
+    /// Returns `None` when the behaviors disagree on a shared name (they map
+    /// it to different signals), which is exactly the side condition of the
+    /// synchronous composition `p | q`.
+    pub fn merge(&self, other: &Behavior) -> Option<Behavior> {
+        let mut signals = self.signals.clone();
+        for (n, s) in &other.signals {
+            match signals.get(n) {
+                Some(existing) if existing != s => return None,
+                _ => {
+                    signals.insert(n.clone(), s.clone());
+                }
+            }
+        }
+        Some(Behavior { signals })
+    }
+
+    /// Concatenates the reaction `r` to the behavior (`b · r`).
+    ///
+    /// The reaction must be concatenable: same domain and its tag strictly
+    /// greater than the maximal tag of every signal it extends.  Returns
+    /// `None` otherwise.
+    pub fn concat(&self, r: &Reaction) -> Option<Behavior> {
+        if self.domain_set() != r.domain_set() {
+            return None;
+        }
+        if let Some(tag) = r.tag() {
+            // Concatenability: max(b(x)) < T(r(x)) for every extended signal;
+            // we enforce the stronger, simpler condition that the reaction tag
+            // follows every tag already present in the behavior, which is what
+            // the inductive construction of the paper produces.
+            if let Some(max) = self.max_tag() {
+                if tag <= max {
+                    return None;
+                }
+            }
+        }
+        let mut out = self.clone();
+        if let Some(tag) = r.tag() {
+            for (name, value) in r.events() {
+                out.insert_event(name.clone(), tag, value);
+            }
+        }
+        Some(out)
+    }
+
+    /// The flow of the behavior: for every signal, its sequence of values.
+    pub fn flows(&self) -> BTreeMap<Name, Vec<Value>> {
+        self.signals
+            .iter()
+            .map(|(n, s)| (n.clone(), s.flow()))
+            .collect()
+    }
+
+    /// Tests whether `self` and `other` are *clock-equivalent* (`b ~ c`):
+    /// equal up to an order-isomorphism on tags.
+    pub fn clock_equivalent(&self, other: &Behavior) -> bool {
+        equivalence::clock_equivalent(self, other)
+    }
+
+    /// Tests whether `self` and `other` are *flow-equivalent* (`b ≈ c`):
+    /// same domain and every signal carries the same values in the same
+    /// order.
+    pub fn flow_equivalent(&self, other: &Behavior) -> bool {
+        equivalence::flow_equivalent(self, other)
+    }
+
+    /// Tests whether `other` is a *stretching* of `self` (`self ≤ other`).
+    pub fn stretching_of(&self, other: &Behavior) -> bool {
+        equivalence::is_stretching(self, other)
+    }
+
+    /// Tests whether `other` is a *relaxation* of `self` (`self ⊑ other`).
+    pub fn relaxation_of(&self, other: &Behavior) -> bool {
+        equivalence::is_relaxation(self, other)
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, s) in &self.signals {
+            writeln!(f, "{n} -> {s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(Name, Stream)> for Behavior {
+    fn from_iter<I: IntoIterator<Item = (Name, Stream)>>(iter: I) -> Self {
+        Behavior {
+            signals: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_behavior() -> Behavior {
+        // The filter example of Section 1 of the paper.
+        let mut b = Behavior::new();
+        b.insert_stream("y", Stream::from_values(Tag::new(1), [true, false, false, true]));
+        b.insert_event("x", Tag::new(2), Value::from(true));
+        b.insert_event("x", Tag::new(4), Value::from(true));
+        b
+    }
+
+    #[test]
+    fn domain_and_declaration() {
+        let mut b = Behavior::new();
+        b.declare("x");
+        assert!(b.contains("x"));
+        assert!(b.stream("x").unwrap().is_empty());
+        assert!(!b.contains("y"));
+    }
+
+    #[test]
+    fn empty_on_builds_silent_behavior() {
+        let b = Behavior::empty_on(["x", "y"]);
+        assert_eq!(b.width(), 2);
+        assert!(b.is_silent());
+    }
+
+    #[test]
+    fn restriction_and_complement_partition_the_domain() {
+        let b = filter_behavior();
+        let on_x = b.restrict(["x"]);
+        let off_x = b.hide(["x"]);
+        assert_eq!(on_x.domain_set().len(), 1);
+        assert_eq!(off_x.domain_set().len(), 1);
+        assert!(on_x.contains("x"));
+        assert!(off_x.contains("y"));
+        assert_eq!(on_x.union(&off_x), b);
+    }
+
+    #[test]
+    fn tags_is_the_union_of_signal_chains() {
+        let b = filter_behavior();
+        let tags: Vec<Tag> = b.tags().into_iter().collect();
+        assert_eq!(tags, vec![Tag::new(1), Tag::new(2), Tag::new(3), Tag::new(4)]);
+        assert_eq!(b.max_tag(), Some(Tag::new(4)));
+    }
+
+    #[test]
+    fn merge_requires_agreement_on_shared_names() {
+        let b = filter_behavior();
+        let mut c = Behavior::new();
+        c.insert_stream("y", b.stream("y").unwrap().clone());
+        c.insert_event("z", Tag::new(1), Value::from(false));
+        assert!(b.merge(&c).is_some());
+
+        let mut d = Behavior::new();
+        d.insert_stream("y", Stream::from_values(Tag::new(1), [false]));
+        assert!(b.merge(&d).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn union_panics_on_overlap() {
+        let b = filter_behavior();
+        let _ = b.union(&b);
+    }
+
+    #[test]
+    fn concat_appends_a_reaction() {
+        let mut b = Behavior::empty_on(["x", "y"]);
+        b.insert_event("y", Tag::new(1), Value::from(true));
+
+        let mut r = Reaction::empty_on(["x", "y"]);
+        r.set_tag(Tag::new(2));
+        r.insert("y", Value::from(false));
+        r.insert("x", Value::from(true));
+
+        let extended = b.concat(&r).expect("concatenable");
+        assert_eq!(extended.stream("y").unwrap().len(), 2);
+        assert_eq!(extended.stream("x").unwrap().len(), 1);
+
+        // A reaction whose tag is in the past is not concatenable.
+        let mut stale = Reaction::empty_on(["x", "y"]);
+        stale.set_tag(Tag::new(1));
+        stale.insert("y", Value::from(true));
+        assert!(extended.concat(&stale).is_none());
+    }
+
+    #[test]
+    fn concat_requires_equal_domains() {
+        let b = Behavior::empty_on(["x"]);
+        let mut r = Reaction::empty_on(["x", "y"]);
+        r.set_tag(Tag::new(0));
+        r.insert("y", Value::from(true));
+        assert!(b.concat(&r).is_none());
+    }
+
+    #[test]
+    fn event_count_and_silence() {
+        let b = filter_behavior();
+        assert_eq!(b.event_count(), 6);
+        assert!(!b.is_silent());
+        assert!(Behavior::empty_on(["x"]).is_silent());
+    }
+
+    #[test]
+    fn flows_project_values() {
+        let b = filter_behavior();
+        let flows = b.flows();
+        assert_eq!(
+            flows[&Name::from("x")],
+            vec![Value::from(true), Value::from(true)]
+        );
+        assert_eq!(flows[&Name::from("y")].len(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! Synchronous and asynchronous composition of trace sets.
+//!
+//! Section 2.1 of the paper defines:
+//!
+//! * the **synchronous composition** `p | q` as the set of unions `b ∪ c` of
+//!   behaviors `b ∈ p`, `c ∈ q` that are *identical* on the interface
+//!   `I = V(p) ∩ V(q)`;
+//! * the **asynchronous composition** `p ‖ q` as the set of behaviors that
+//!   are *flow-equivalent* to some `b ∈ p` and `c ∈ q` on the interface —
+//!   the network may retime interface signals arbitrarily, only the flows of
+//!   values are preserved.
+//!
+//! Because this crate manipulates finite sets of finite behaviors, the
+//! asynchronous composition is represented by one *canonical representative
+//! per flow-equivalence class*: for every pair `(b, c)` whose interface flows
+//! agree, the representative keeps the signals of `b` on `V(p)` and the
+//! non-interface signals of `c`.  All tests of isochrony compare flows
+//! ([`TraceSet::same_flows_as`]), for which a canonical representative is
+//! sufficient.
+
+use std::collections::BTreeSet;
+
+use crate::{Name, TraceSet};
+
+/// Returns the interface `I = V(p) ∩ V(q)` of two trace sets.
+pub fn interface(p: &TraceSet, q: &TraceSet) -> BTreeSet<Name> {
+    p.domain_set()
+        .intersection(&q.domain_set())
+        .cloned()
+        .collect()
+}
+
+/// The synchronous composition `p | q` of two trace sets.
+///
+/// Behaviors are combined when they are *identical* (not merely equivalent)
+/// on the interface, exactly as in the paper's definition.
+pub fn sync_compose(p: &TraceSet, q: &TraceSet) -> TraceSet {
+    let shared = interface(p, q);
+    let shared_strs: Vec<&str> = shared.iter().map(Name::as_str).collect();
+    let domain: BTreeSet<Name> = p.domain_set().union(&q.domain_set()).cloned().collect();
+    let mut out = TraceSet::new(domain.iter().cloned());
+    for b in p.iter() {
+        for c in q.iter() {
+            let b_i = b.restrict(shared_strs.iter().copied());
+            let c_i = c.restrict(shared_strs.iter().copied());
+            if b_i == c_i {
+                if let Some(merged) = b.merge(c) {
+                    if !out.iter().any(|existing| *existing == merged) {
+                        out.push(merged);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The asynchronous composition `p ‖ q` of two trace sets, represented by a
+/// canonical behavior per flow-equivalence class.
+///
+/// Two behaviors are combined whenever their interface signals carry the same
+/// *flows* of values (timing is discarded by the network).  The canonical
+/// representative keeps the interface and `V(p)`-signals of `b` and the
+/// remaining signals of `c`.
+pub fn async_compose(p: &TraceSet, q: &TraceSet) -> TraceSet {
+    let shared = interface(p, q);
+    let shared_strs: Vec<&str> = shared.iter().map(Name::as_str).collect();
+    let domain: BTreeSet<Name> = p.domain_set().union(&q.domain_set()).cloned().collect();
+    let only_q: Vec<Name> = q
+        .domain_set()
+        .difference(&p.domain_set())
+        .cloned()
+        .collect();
+    let mut out = TraceSet::new(domain.iter().cloned());
+    for b in p.iter() {
+        for c in q.iter() {
+            let b_i = b.restrict(shared_strs.iter().copied());
+            let c_i = c.restrict(shared_strs.iter().copied());
+            if b_i.flow_equivalent(&c_i) {
+                let mut d = b.clone();
+                for name in &only_q {
+                    let stream = c
+                        .stream(name.as_str())
+                        .expect("name in the domain of q")
+                        .clone();
+                    d.insert_stream(name.clone(), stream);
+                }
+                let duplicate = out.iter().any(|existing| existing.flow_equivalent(&d));
+                if !duplicate {
+                    out.push(d);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Behavior, Stream, Tag, Value};
+
+    /// A one-behavior trace set for the `filter` process of the paper:
+    /// input `y`, output `x` present when the value of `y` changes.
+    fn filter_traces() -> TraceSet {
+        let mut b = Behavior::new();
+        b.insert_stream(
+            "y",
+            Stream::from_events([
+                (Tag::new(1), Value::from(true)),
+                (Tag::new(2), Value::from(false)),
+                (Tag::new(3), Value::from(false)),
+                (Tag::new(4), Value::from(true)),
+            ]),
+        );
+        b.insert_stream(
+            "x",
+            Stream::from_events([
+                (Tag::new(2), Value::from(true)),
+                (Tag::new(4), Value::from(true)),
+            ]),
+        );
+        TraceSet::from_behaviors(["x", "y"], vec![b])
+    }
+
+    /// Same flows as `filter_traces` but on a different tag carrier: the
+    /// interface signal `x` keeps its flow but loses synchronization.
+    fn merge_traces() -> TraceSet {
+        // d = merge(c, x, z): here the interface with the filter is x.
+        let mut b = Behavior::new();
+        b.insert_stream(
+            "c",
+            Stream::from_events([
+                (Tag::new(10), Value::from(false)),
+                (Tag::new(12), Value::from(true)),
+                (Tag::new(14), Value::from(true)),
+                (Tag::new(17), Value::from(false)),
+            ]),
+        );
+        b.insert_stream(
+            "x",
+            Stream::from_events([
+                (Tag::new(12), Value::from(true)),
+                (Tag::new(14), Value::from(true)),
+            ]),
+        );
+        b.insert_stream(
+            "z",
+            Stream::from_events([
+                (Tag::new(10), Value::from(true)),
+                (Tag::new(17), Value::from(false)),
+            ]),
+        );
+        b.insert_stream(
+            "d",
+            Stream::from_events([
+                (Tag::new(10), Value::from(true)),
+                (Tag::new(12), Value::from(true)),
+                (Tag::new(14), Value::from(true)),
+                (Tag::new(17), Value::from(false)),
+            ]),
+        );
+        TraceSet::from_behaviors(["c", "x", "z", "d"], vec![b])
+    }
+
+    #[test]
+    fn interface_is_the_shared_domain() {
+        let p = filter_traces();
+        let q = merge_traces();
+        let i = interface(&p, &q);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains("x"));
+    }
+
+    #[test]
+    fn sync_compose_requires_identical_interface_signals() {
+        let p = filter_traces();
+        let q = merge_traces();
+        // The filter and the merge use different tags for x, so the strict
+        // synchronous composition of these particular trace enumerations is
+        // empty...
+        assert!(sync_compose(&p, &q).is_empty());
+        // ...whereas composing the filter with itself keeps its behavior.
+        let pp = sync_compose(&p, &p);
+        assert_eq!(pp.len(), 1);
+        assert_eq!(pp.domain_set(), p.domain_set());
+    }
+
+    #[test]
+    fn async_compose_accepts_flow_equivalent_interfaces() {
+        let p = filter_traces();
+        let q = merge_traces();
+        let a = async_compose(&p, &q);
+        assert_eq!(a.len(), 1);
+        let d = a.iter().next().unwrap();
+        // The canonical representative carries the flows of both components.
+        assert_eq!(
+            d.stream("d").unwrap().flow(),
+            vec![
+                Value::from(true),
+                Value::from(true),
+                Value::from(true),
+                Value::from(false)
+            ]
+        );
+        assert_eq!(d.stream("y").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn async_compose_rejects_different_interface_flows() {
+        let p = filter_traces();
+        let mut q = merge_traces();
+        // Tamper with the interface flow of q: x now carries (true, false).
+        let mut tampered = q.iter().next().unwrap().clone();
+        tampered.insert_event("x", Tag::new(14), Value::from(false));
+        q = TraceSet::from_behaviors(["c", "x", "z", "d"], vec![tampered]);
+        assert!(async_compose(&p, &q).is_empty());
+    }
+
+    #[test]
+    fn composition_domains_are_unions() {
+        let p = filter_traces();
+        let q = merge_traces();
+        let s = sync_compose(&p, &q);
+        let a = async_compose(&p, &q);
+        let expected: BTreeSet<Name> = ["c", "d", "x", "y", "z"]
+            .into_iter()
+            .map(Name::from)
+            .collect();
+        assert_eq!(s.domain_set(), expected);
+        assert_eq!(a.domain_set(), expected);
+    }
+
+    #[test]
+    fn sync_composition_is_a_subset_of_async_composition_up_to_flows() {
+        // Isochrony-style sanity check on a case where both succeed: compose
+        // the filter with a retagged but synchronization-preserving copy.
+        let p = filter_traces();
+        let s = sync_compose(&p, &p);
+        let a = async_compose(&p, &p);
+        assert!(s.iter().all(|b| a.contains_up_to_flow_equivalence(b)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Stretching, relaxation, clock- and flow-equivalence.
+//!
+//! These are the timing relations of Section 2.1 of the paper:
+//!
+//! * a behavior `c` is a **stretching** of `b` (written `b ≤ c`) when `c` is
+//!   obtained from `b` by an order-preserving re-timing of the *whole*
+//!   behavior: a single bijection on tags stretches every signal at once, so
+//!   the relative synchronization of signals is preserved;
+//! * `b` and `c` are **clock-equivalent** (`b ~ c`) when a common behavior
+//!   stretches into both — equivalently, when they are equal up to an
+//!   order-isomorphism on tags;
+//! * a behavior `c` is a **relaxation** of `b` (`b ⊑ c`) when each signal of
+//!   `c` is a stretching of the corresponding signal of `b` *independently*:
+//!   relative synchronization between distinct signals may be lost;
+//! * `b` and `c` are **flow-equivalent** (`b ≈ c`) when they have the same
+//!   domain and every signal carries the same values in the same order.
+
+use std::collections::BTreeMap;
+
+use crate::{Behavior, Tag};
+
+/// Tests whether `b` and `c` are clock-equivalent (`b ~ c`).
+///
+/// Two behaviors are clock-equivalent iff they are equal up to an
+/// order-isomorphism on tags.  Because tags are totally ordered this is
+/// decided by aligning the sorted tag sets of both behaviors positionally and
+/// checking that every signal is present with equal values at corresponding
+/// positions.
+pub fn clock_equivalent(b: &Behavior, c: &Behavior) -> bool {
+    if b.domain_set() != c.domain_set() {
+        return false;
+    }
+    let tags_b: Vec<Tag> = b.tags().into_iter().collect();
+    let tags_c: Vec<Tag> = c.tags().into_iter().collect();
+    if tags_b.len() != tags_c.len() {
+        return false;
+    }
+    // Position of each tag in the global chain of the behavior.
+    let pos_b: BTreeMap<Tag, usize> = tags_b.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+    let pos_c: BTreeMap<Tag, usize> = tags_c.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+
+    for name in b.domain() {
+        let sb = b.stream(name.as_str()).expect("name in domain");
+        let sc = c.stream(name.as_str()).expect("same domain");
+        if sb.len() != sc.len() {
+            return false;
+        }
+        let events_b: Vec<_> = sb.iter().map(|(t, v)| (pos_b[&t], v)).collect();
+        let events_c: Vec<_> = sc.iter().map(|(t, v)| (pos_c[&t], v)).collect();
+        if events_b != events_c {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tests whether `b` and `c` are flow-equivalent (`b ≈ c`).
+///
+/// Flow equivalence requires the same domain and, signal per signal, the same
+/// sequence of values — timing (and relative synchronization) is ignored.
+pub fn flow_equivalent(b: &Behavior, c: &Behavior) -> bool {
+    if b.domain_set() != c.domain_set() {
+        return false;
+    }
+    b.domain().all(|name| {
+        let sb = b.stream(name.as_str()).expect("name in domain");
+        let sc = c.stream(name.as_str()).expect("same domain");
+        sb.same_flow(sc)
+    })
+}
+
+/// Tests whether `c` is a stretching of `b` (`b ≤ c`).
+///
+/// A stretching preserves the global synchronization structure: there must be
+/// a single order-preserving injection of the tags of `b` into tags such that
+/// every signal of `c` is the image of the corresponding signal of `b`.
+/// Since behaviors here are finite and total on their tags, `b ≤ c` holds iff
+/// `b` and `c` are clock-equivalent — stretching cannot add or remove events.
+/// The function is still provided separately because the *direction* of the
+/// relation matters when defining relaxation and the paper's definitions.
+pub fn is_stretching(b: &Behavior, c: &Behavior) -> bool {
+    clock_equivalent(b, c)
+}
+
+/// Tests whether `c` is a relaxation of `b` (`b ⊑ c`).
+///
+/// Relaxation applies an independent stretching to every signal: `c` is a
+/// relaxation of `b` iff both have the same domain and, for every signal,
+/// the sequences of values coincide (each signal considered in isolation is
+/// stretched, i.e. value-preserving and order-preserving).
+pub fn is_relaxation(b: &Behavior, c: &Behavior) -> bool {
+    flow_equivalent(b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stream, Value};
+
+    /// The pair of clock-equivalent behaviors from Section 2.1 of the paper.
+    fn paper_pair() -> (Behavior, Behavior) {
+        let mut b = Behavior::new();
+        b.insert_stream("y", Stream::from_events([
+            (Tag::new(1), Value::from(true)),
+            (Tag::new(2), Value::from(false)),
+            (Tag::new(3), Value::from(false)),
+        ]));
+        b.insert_event("x", Tag::new(2), Value::from(true));
+
+        let mut c = Behavior::new();
+        c.insert_stream("y", Stream::from_events([
+            (Tag::new(10), Value::from(true)),
+            (Tag::new(30), Value::from(false)),
+            (Tag::new(50), Value::from(false)),
+        ]));
+        c.insert_event("x", Tag::new(30), Value::from(true));
+        (b, c)
+    }
+
+    #[test]
+    fn paper_example_is_clock_equivalent() {
+        let (b, c) = paper_pair();
+        assert!(clock_equivalent(&b, &c));
+        assert!(clock_equivalent(&c, &b));
+    }
+
+    #[test]
+    fn clock_equivalence_is_sensitive_to_synchronization() {
+        // The flow-equivalence example of the paper: x moves from t2 to u1,
+        // losing its synchronization with the second event of y.
+        let (b, _) = paper_pair();
+        let mut c = Behavior::new();
+        c.insert_stream("y", Stream::from_events([
+            (Tag::new(1), Value::from(true)),
+            (Tag::new(2), Value::from(false)),
+            (Tag::new(3), Value::from(false)),
+        ]));
+        c.insert_event("x", Tag::new(1), Value::from(true));
+        assert!(!clock_equivalent(&b, &c));
+        assert!(flow_equivalent(&b, &c));
+    }
+
+    #[test]
+    fn flow_equivalence_requires_same_values() {
+        let (b, _) = paper_pair();
+        let mut c = b.clone();
+        c.insert_event("x", Tag::new(2), Value::from(false));
+        assert!(!flow_equivalent(&b, &c));
+    }
+
+    #[test]
+    fn equivalences_require_equal_domains() {
+        let (b, _) = paper_pair();
+        let only_y = b.restrict(["y"]);
+        assert!(!clock_equivalent(&b, &only_y));
+        assert!(!flow_equivalent(&b, &only_y));
+    }
+
+    #[test]
+    fn clock_equivalence_is_reflexive_and_symmetric() {
+        let (b, c) = paper_pair();
+        assert!(clock_equivalent(&b, &b));
+        assert!(clock_equivalent(&c, &c));
+        assert_eq!(clock_equivalent(&b, &c), clock_equivalent(&c, &b));
+    }
+
+    #[test]
+    fn clock_equivalence_implies_flow_equivalence() {
+        let (b, c) = paper_pair();
+        assert!(clock_equivalent(&b, &c));
+        assert!(flow_equivalent(&b, &c));
+    }
+
+    #[test]
+    fn different_event_counts_are_never_equivalent() {
+        let (b, _) = paper_pair();
+        let mut c = b.clone();
+        c.insert_event("x", Tag::new(3), Value::from(true));
+        assert!(!clock_equivalent(&b, &c));
+        assert!(!flow_equivalent(&b, &c));
+    }
+
+    #[test]
+    fn stretching_and_relaxation_directions() {
+        let (b, c) = paper_pair();
+        assert!(is_stretching(&b, &c));
+        assert!(is_relaxation(&b, &c));
+    }
+}

@@ -1,0 +1,60 @@
+//! Polychronous model of computation.
+//!
+//! This crate implements the denotational domain used by the paper
+//! *Compositional design of isochronous systems* (Talpin, Ouy, Besnard,
+//! Le Guernic — DATE 2008 / INRIA RR-6227), which itself refines Lee's
+//! tagged-signal model:
+//!
+//! * an **event** is a pair of a [`Tag`] and a [`Value`];
+//! * a **signal** ([`Stream`]) is a function from a chain of tags to values;
+//! * a **behavior** ([`Behavior`]) is a function from names to signals;
+//! * a **reaction** ([`Reaction`]) is a behavior with at most one tag;
+//! * a **process** ([`TraceSet`]) is a set of behaviors over the same domain.
+//!
+//! On top of the raw objects the crate provides the timing relations the
+//! paper relies on: *stretching* (`b <= c`), *relaxation* (`b ⊑ c`),
+//! *clock-equivalence* (`b ~ c`), *flow-equivalence* (`b ≈ c`), reaction
+//! concatenation (`b · r`), the union of independent reactions (`r ⊔ s`)
+//! and the synchronous / asynchronous composition of trace sets.
+//!
+//! # Example
+//!
+//! ```
+//! use moc::{Behavior, Tag, Value};
+//!
+//! // The `filter` example of the paper: two clock-equivalent behaviors.
+//! let mut b = Behavior::new();
+//! b.insert_event("y", Tag::new(1), Value::from(true));
+//! b.insert_event("y", Tag::new(2), Value::from(false));
+//! b.insert_event("x", Tag::new(2), Value::from(true));
+//!
+//! let mut c = Behavior::new();
+//! c.insert_event("y", Tag::new(10), Value::from(true));
+//! c.insert_event("y", Tag::new(30), Value::from(false));
+//! c.insert_event("x", Tag::new(30), Value::from(true));
+//!
+//! assert!(b.clock_equivalent(&c));
+//! assert!(b.flow_equivalent(&c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod compose;
+pub mod equivalence;
+pub mod name;
+pub mod reaction;
+pub mod stream;
+pub mod tag;
+pub mod trace_set;
+pub mod value;
+
+pub use behavior::Behavior;
+pub use compose::{async_compose, sync_compose};
+pub use name::Name;
+pub use reaction::Reaction;
+pub use stream::Stream;
+pub use tag::Tag;
+pub use trace_set::TraceSet;
+pub use value::Value;

@@ -1,0 +1,101 @@
+//! Signal names.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// The name of a signal.
+///
+/// Names are reference-counted strings so that behaviors, reactions and trace
+/// sets can be cloned cheaply.  They compare, order and hash like the string
+/// they carry.
+///
+/// # Example
+///
+/// ```
+/// use moc::Name;
+/// let x = Name::from("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x, Name::from(String::from("x")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Name(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Name::from("x"), Name::new("x"));
+        assert_ne!(Name::from("x"), Name::from("y"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Name::from("a") < Name::from("b"));
+        assert!(Name::from("x1") < Name::from("x2"));
+    }
+
+    #[test]
+    fn can_be_looked_up_by_str_in_sets() {
+        let mut set = BTreeSet::new();
+        set.insert(Name::from("x"));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+
+    #[test]
+    fn display_is_the_raw_string() {
+        assert_eq!(Name::from("sig_7").to_string(), "sig_7");
+    }
+}

@@ -1,0 +1,282 @@
+//! Reactions: behaviors with at most one time tag.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Behavior, Name, Tag, Value};
+
+/// A reaction `r`: a behavior with (at most) one time tag.
+///
+/// A reaction has a *domain* (the names it is defined on), an optional tag
+/// and, for a subset of its domain, a value per present signal.  The empty
+/// reaction on the names `X` (written `Ø|X` in the paper) has no tag and no
+/// present signal.
+///
+/// # Example
+///
+/// ```
+/// use moc::{Reaction, Tag, Value};
+/// let mut r = Reaction::empty_on(["x", "y"]);
+/// r.set_tag(Tag::new(3));
+/// r.insert("x", Value::from(true));
+/// assert!(r.is_present("x"));
+/// assert!(!r.is_present("y"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reaction {
+    domain: BTreeSet<Name>,
+    tag: Option<Tag>,
+    events: BTreeMap<Name, Value>,
+}
+
+impl Reaction {
+    /// Creates the empty reaction `Ø|X` on the domain `names`.
+    pub fn empty_on<I, N>(names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        Reaction {
+            domain: names.into_iter().map(Into::into).collect(),
+            tag: None,
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the unique time tag of the reaction.
+    pub fn set_tag(&mut self, tag: Tag) {
+        self.tag = Some(tag);
+    }
+
+    /// The time tag `T(r)` of the reaction, if it is not empty.
+    pub fn tag(&self) -> Option<Tag> {
+        self.tag
+    }
+
+    /// Adds `name` to the domain without making it present.
+    pub fn declare(&mut self, name: impl Into<Name>) {
+        self.domain.insert(name.into());
+    }
+
+    /// Makes the signal `name` present with value `value`.
+    ///
+    /// The name is added to the domain if it was not declared.
+    pub fn insert(&mut self, name: impl Into<Name>, value: Value) {
+        let name = name.into();
+        self.domain.insert(name.clone());
+        self.events.insert(name, value);
+    }
+
+    /// The domain `V(r)` of the reaction.
+    pub fn domain(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.domain.iter()
+    }
+
+    /// The domain as an owned set.
+    pub fn domain_set(&self) -> BTreeSet<Name> {
+        self.domain.clone()
+    }
+
+    /// Returns `true` when `name` is present in the reaction.
+    pub fn is_present(&self, name: &str) -> bool {
+        self.events.contains_key(name)
+    }
+
+    /// Returns the value carried by `name`, if present.
+    pub fn value(&self, name: &str) -> Option<Value> {
+        self.events.get(name).copied()
+    }
+
+    /// Iterates over the present signals of the reaction, with their values.
+    pub fn events(&self) -> impl Iterator<Item = (&Name, Value)> + '_ {
+        self.events.iter().map(|(n, v)| (n, *v))
+    }
+
+    /// The set of present signal names.
+    pub fn present_set(&self) -> BTreeSet<Name> {
+        self.events.keys().cloned().collect()
+    }
+
+    /// The number of present signals.
+    pub fn present_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the reaction has no present signal (it stutters).
+    pub fn is_silent(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns `true` when `self` and `other` are *independent*: their sets
+    /// of present signals are disjoint.
+    ///
+    /// Independence is the side condition of the diamond properties (2a)–(2c)
+    /// of weak endochrony (Definition 2 of the paper).
+    pub fn independent(&self, other: &Reaction) -> bool {
+        self.events.keys().all(|n| !other.events.contains_key(n.as_str()))
+    }
+
+    /// The union `r ⊔ s` of two independent reactions of the same tag.
+    ///
+    /// Returns `None` when the reactions are not independent.  The resulting
+    /// domain is the union of the domains and the tag is the tag of either
+    /// operand (the non-empty one if only one has a tag).
+    pub fn union(&self, other: &Reaction) -> Option<Reaction> {
+        if !self.independent(other) {
+            return None;
+        }
+        let mut out = self.clone();
+        out.domain.extend(other.domain.iter().cloned());
+        for (n, v) in &other.events {
+            out.events.insert(n.clone(), *v);
+        }
+        if out.tag.is_none() {
+            out.tag = other.tag;
+        }
+        Some(out)
+    }
+
+    /// The restriction of the reaction to the names in `names`.
+    pub fn restrict<'a, I>(&self, names: I) -> Reaction
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let wanted: BTreeSet<&str> = names.into_iter().collect();
+        Reaction {
+            domain: self
+                .domain
+                .iter()
+                .filter(|n| wanted.contains(n.as_str()))
+                .cloned()
+                .collect(),
+            tag: self.tag,
+            events: self
+                .events
+                .iter()
+                .filter(|(n, _)| wanted.contains(n.as_str()))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Converts the reaction into a one-instant behavior.
+    pub fn to_behavior(&self) -> Behavior {
+        let mut b = Behavior::empty_on(self.domain.iter().cloned());
+        if let Some(tag) = self.tag {
+            for (n, v) in &self.events {
+                b.insert_event(n.clone(), tag, *v);
+            }
+        }
+        b
+    }
+}
+
+impl fmt::Display for Reaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag {
+            None => write!(f, "Ø|{{{}}}", join(&self.domain)),
+            Some(tag) => {
+                write!(f, "{{")?;
+                let mut first = true;
+                for (n, v) in &self.events {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}:({tag},{v})")?;
+                    first = false;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn join(names: &BTreeSet<Name>) -> String {
+    names
+        .iter()
+        .map(Name::as_str)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reaction(tag: u64, pairs: &[(&str, Value)]) -> Reaction {
+        let mut r = Reaction::empty_on(pairs.iter().map(|(n, _)| *n));
+        r.set_tag(Tag::new(tag));
+        for (n, v) in pairs {
+            r.insert(*n, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_reaction_has_no_tag_and_is_silent() {
+        let r = Reaction::empty_on(["x", "y"]);
+        assert!(r.tag().is_none());
+        assert!(r.is_silent());
+        assert_eq!(r.domain_set().len(), 2);
+        assert_eq!(r.present_count(), 0);
+    }
+
+    #[test]
+    fn insert_makes_signals_present() {
+        let r = reaction(2, &[("y", Value::from(false)), ("x", Value::from(true))]);
+        assert!(r.is_present("x"));
+        assert_eq!(r.value("y"), Some(Value::from(false)));
+        assert_eq!(r.value("z"), None);
+        assert_eq!(r.present_count(), 2);
+    }
+
+    #[test]
+    fn independence_is_disjointness_of_present_sets() {
+        let r = reaction(2, &[("y", Value::from(false))]);
+        let s = reaction(2, &[("x", Value::from(true))]);
+        let t = reaction(2, &[("y", Value::from(true))]);
+        assert!(r.independent(&s));
+        assert!(s.independent(&r));
+        assert!(!r.independent(&t));
+        // The silent reaction is independent from everything.
+        assert!(Reaction::empty_on(["y"]).independent(&t));
+    }
+
+    #[test]
+    fn union_merges_independent_reactions() {
+        // The example of the paper:
+        // (y -> (t2,0)) ⊔ (x -> (t2,1)) = (y -> (t2,0), x -> (t2,1))
+        let r = reaction(2, &[("y", Value::from(false))]);
+        let s = reaction(2, &[("x", Value::from(true))]);
+        let u = r.union(&s).expect("independent reactions");
+        assert!(u.is_present("x") && u.is_present("y"));
+        assert_eq!(u.tag(), Some(Tag::new(2)));
+
+        let t = reaction(2, &[("y", Value::from(true))]);
+        assert!(r.union(&t).is_none());
+    }
+
+    #[test]
+    fn restriction_projects_domain_and_events() {
+        let r = reaction(2, &[("y", Value::from(false)), ("x", Value::from(true))]);
+        let rx = r.restrict(["x"]);
+        assert!(rx.is_present("x"));
+        assert!(!rx.domain_set().contains("y"));
+    }
+
+    #[test]
+    fn to_behavior_produces_one_instant() {
+        let r = reaction(5, &[("x", Value::from(7))]);
+        let b = r.to_behavior();
+        assert_eq!(b.stream("x").unwrap().len(), 1);
+        assert_eq!(b.stream("x").unwrap().value_at(Tag::new(5)), Some(Value::from(7)));
+    }
+
+    #[test]
+    fn display_shows_emptiness_or_events() {
+        let e = Reaction::empty_on(["x"]);
+        assert!(e.to_string().starts_with('Ø'));
+        let r = reaction(1, &[("x", Value::from(true))]);
+        assert!(r.to_string().contains("x:(t1,true)"));
+    }
+}

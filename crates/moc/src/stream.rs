@@ -1,0 +1,249 @@
+//! Signals as functions from chains of tags to values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Tag, Value};
+
+/// A signal of the polychronous model: a finite function from a chain of
+/// tags to values.
+///
+/// The paper writes `T(s)` for the chain of tags of a signal `s` and
+/// `min s` / `max s` for its extremal tags; these are exposed as
+/// [`Stream::tags`], [`Stream::min_tag`] and [`Stream::max_tag`].
+///
+/// # Example
+///
+/// ```
+/// use moc::{Stream, Tag, Value};
+/// let mut s = Stream::new();
+/// s.insert(Tag::new(1), Value::from(true));
+/// s.insert(Tag::new(4), Value::from(false));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.value_at(Tag::new(4)), Some(Value::from(false)));
+/// assert_eq!(s.values().collect::<Vec<_>>(), vec![Value::from(true), Value::from(false)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stream {
+    events: BTreeMap<Tag, Value>,
+}
+
+impl Stream {
+    /// Creates the empty signal (written `∅` in the paper).
+    pub fn new() -> Self {
+        Stream {
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a signal from an iterator of events.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = (Tag, Value)>,
+    {
+        Stream {
+            events: events.into_iter().collect(),
+        }
+    }
+
+    /// Creates a signal carrying `values` at consecutive tags starting at
+    /// `start`.
+    pub fn from_values<I, V>(start: Tag, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let mut events = BTreeMap::new();
+        let mut tag = start;
+        for v in values {
+            events.insert(tag, v.into());
+            tag = tag.next();
+        }
+        Stream { events }
+    }
+
+    /// Returns `true` when the signal carries no event.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the number of events of the signal.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds (or overwrites) the event `(tag, value)`.
+    pub fn insert(&mut self, tag: Tag, value: Value) {
+        self.events.insert(tag, value);
+    }
+
+    /// Returns the value carried at `tag`, if any.
+    pub fn value_at(&self, tag: Tag) -> Option<Value> {
+        self.events.get(&tag).copied()
+    }
+
+    /// Returns `true` when the signal is present at `tag`.
+    pub fn present_at(&self, tag: Tag) -> bool {
+        self.events.contains_key(&tag)
+    }
+
+    /// The chain of tags of the signal, in increasing order (`T(s)`).
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.events.keys().copied()
+    }
+
+    /// The values of the signal in tag order — its *flow*.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.events.values().copied()
+    }
+
+    /// The flow of the signal collected into a vector.
+    pub fn flow(&self) -> Vec<Value> {
+        self.values().collect()
+    }
+
+    /// Iterates over the events of the signal in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tag, Value)> + '_ {
+        self.events.iter().map(|(t, v)| (*t, *v))
+    }
+
+    /// The minimal tag of the signal (`min s`), if the signal is not empty.
+    pub fn min_tag(&self) -> Option<Tag> {
+        self.events.keys().next().copied()
+    }
+
+    /// The maximal tag of the signal (`max s`), if the signal is not empty.
+    pub fn max_tag(&self) -> Option<Tag> {
+        self.events.keys().next_back().copied()
+    }
+
+    /// Returns the last value of the signal, if any.
+    pub fn last_value(&self) -> Option<Value> {
+        self.events.values().next_back().copied()
+    }
+
+    /// Returns the prefix of the signal restricted to tags `<= tag`.
+    pub fn up_to(&self, tag: Tag) -> Stream {
+        Stream {
+            events: self
+                .events
+                .range(..=tag)
+                .map(|(t, v)| (*t, *v))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` when `self` and `other` carry the same values in the
+    /// same order (they are *flow-equal*), regardless of tags.
+    pub fn same_flow(&self, other: &Stream) -> bool {
+        self.len() == other.len() && self.values().eq(other.values())
+    }
+}
+
+impl FromIterator<(Tag, Value)> for Stream {
+    fn from_iter<I: IntoIterator<Item = (Tag, Value)>>(iter: I) -> Self {
+        Stream::from_events(iter)
+    }
+}
+
+impl Extend<(Tag, Value)> for Stream {
+    fn extend<I: IntoIterator<Item = (Tag, Value)>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl fmt::Display for Stream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (t, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "({t},{v})")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stream {
+        Stream::from_events([
+            (Tag::new(1), Value::from(true)),
+            (Tag::new(2), Value::from(false)),
+            (Tag::new(4), Value::from(true)),
+        ])
+    }
+
+    #[test]
+    fn tags_are_sorted() {
+        let s = Stream::from_events([
+            (Tag::new(4), Value::from(1)),
+            (Tag::new(1), Value::from(2)),
+        ]);
+        assert_eq!(s.tags().collect::<Vec<_>>(), vec![Tag::new(1), Tag::new(4)]);
+    }
+
+    #[test]
+    fn min_and_max_tags() {
+        let s = sample();
+        assert_eq!(s.min_tag(), Some(Tag::new(1)));
+        assert_eq!(s.max_tag(), Some(Tag::new(4)));
+        assert_eq!(Stream::new().max_tag(), None);
+    }
+
+    #[test]
+    fn presence_and_values() {
+        let s = sample();
+        assert!(s.present_at(Tag::new(2)));
+        assert!(!s.present_at(Tag::new(3)));
+        assert_eq!(s.value_at(Tag::new(1)), Some(Value::from(true)));
+        assert_eq!(s.value_at(Tag::new(3)), None);
+    }
+
+    #[test]
+    fn from_values_uses_consecutive_tags() {
+        let s = Stream::from_values(Tag::new(10), [1, 2, 3]);
+        assert_eq!(
+            s.tags().collect::<Vec<_>>(),
+            vec![Tag::new(10), Tag::new(11), Tag::new(12)]
+        );
+        assert_eq!(s.flow(), vec![Value::from(1), Value::from(2), Value::from(3)]);
+    }
+
+    #[test]
+    fn same_flow_ignores_tags() {
+        let a = Stream::from_values(Tag::new(0), [true, false, true]);
+        let b = Stream::from_events([
+            (Tag::new(5), Value::from(true)),
+            (Tag::new(9), Value::from(false)),
+            (Tag::new(100), Value::from(true)),
+        ]);
+        assert!(a.same_flow(&b));
+        let c = Stream::from_values(Tag::new(0), [true, true, true]);
+        assert!(!a.same_flow(&c));
+    }
+
+    #[test]
+    fn up_to_is_a_prefix() {
+        let s = sample();
+        let p = s.up_to(Tag::new(2));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.max_tag(), Some(Tag::new(2)));
+    }
+
+    #[test]
+    fn last_value() {
+        assert_eq!(sample().last_value(), Some(Value::from(true)));
+        assert_eq!(Stream::new().last_value(), None);
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let s = Stream::from_events([(Tag::new(1), Value::from(true))]);
+        assert_eq!(s.to_string(), "(t1,true)");
+    }
+}

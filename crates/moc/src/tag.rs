@@ -1,0 +1,143 @@
+//! Symbolic time tags.
+//!
+//! A tag denotes a period in time during which execution takes place.  Time
+//! is a partial order on tags; within a single behavior the tags of a signal
+//! form a *chain* (a totally ordered set).  For the purposes of this library
+//! tags are drawn from a totally ordered, countable carrier (`u64`), which is
+//! sufficient to represent any finite behavior up to order-isomorphism: the
+//! stretching relation of the paper only ever compares tags through an
+//! order-preserving bijection.
+
+use std::fmt;
+
+/// A symbolic instant of logical time.
+///
+/// `Tag`s are cheap, `Copy`, totally ordered values.  Two behaviors that use
+/// different tag carriers are compared up to order-isomorphism (see
+/// [`Behavior::clock_equivalent`](crate::Behavior::clock_equivalent)), so the
+/// concrete numbers carried by tags are irrelevant to the semantics; only
+/// their relative order matters.
+///
+/// # Example
+///
+/// ```
+/// use moc::Tag;
+/// let t1 = Tag::new(1);
+/// let t2 = t1.next();
+/// assert!(t1 < t2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// The first usable tag.
+    pub const ZERO: Tag = Tag(0);
+
+    /// Creates a tag from its index in the global chain.
+    pub fn new(index: u64) -> Self {
+        Tag(index)
+    }
+
+    /// Returns the index of this tag in the global chain.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the tag immediately following this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag index would overflow `u64`, which cannot happen for
+    /// behaviors of realistic length.
+    pub fn next(self) -> Tag {
+        Tag(self.0.checked_add(1).expect("tag index overflow"))
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(index: u64) -> Self {
+        Tag(index)
+    }
+}
+
+/// An iterator producing an unbounded chain of fresh tags.
+///
+/// # Example
+///
+/// ```
+/// use moc::tag::TagSource;
+/// let mut tags = TagSource::new();
+/// let a = tags.fresh();
+/// let b = tags.fresh();
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TagSource {
+    next: u64,
+}
+
+impl TagSource {
+    /// Creates a source starting at [`Tag::ZERO`].
+    pub fn new() -> Self {
+        TagSource { next: 0 }
+    }
+
+    /// Creates a source whose first tag strictly follows `tag`.
+    pub fn after(tag: Tag) -> Self {
+        TagSource { next: tag.0 + 1 }
+    }
+
+    /// Returns a fresh tag, strictly greater than all previously returned.
+    pub fn fresh(&mut self) -> Tag {
+        let t = Tag(self.next);
+        self.next += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_ordered_by_index() {
+        assert!(Tag::new(0) < Tag::new(1));
+        assert!(Tag::new(41) < Tag::new(42));
+        assert_eq!(Tag::new(7), Tag::from(7));
+    }
+
+    #[test]
+    fn next_is_strictly_increasing() {
+        let t = Tag::new(10);
+        assert!(t < t.next());
+        assert_eq!(t.next().index(), 11);
+    }
+
+    #[test]
+    fn display_is_symbolic() {
+        assert_eq!(Tag::new(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn tag_source_is_monotone() {
+        let mut src = TagSource::new();
+        let mut prev = src.fresh();
+        for _ in 0..100 {
+            let next = src.fresh();
+            assert!(prev < next);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn tag_source_after_skips_past_tag() {
+        let mut src = TagSource::after(Tag::new(5));
+        assert_eq!(src.fresh(), Tag::new(6));
+    }
+}

@@ -1,0 +1,242 @@
+//! Processes as sets of behaviors.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Behavior, Name};
+
+/// A process of the polychronous model: a finite set of behaviors over the
+/// same domain.
+///
+/// The denotational objects of the paper are (generally infinite) sets of
+/// behaviors; for analysis and testing we manipulate finite enumerations of
+/// finite behaviors, which is sufficient to exercise the definitions of
+/// synchronous/asynchronous composition, isochrony and the diamond
+/// properties on concrete traces.
+///
+/// # Example
+///
+/// ```
+/// use moc::{Behavior, TraceSet, Tag, Value};
+/// let mut b = Behavior::empty_on(["x"]);
+/// b.insert_event("x", Tag::new(0), Value::from(true));
+/// let p = TraceSet::from_behaviors(["x"], vec![b]);
+/// assert_eq!(p.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSet {
+    domain: BTreeSet<Name>,
+    behaviors: Vec<Behavior>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set over the domain `names`.
+    pub fn new<I, N>(names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        TraceSet {
+            domain: names.into_iter().map(Into::into).collect(),
+            behaviors: Vec::new(),
+        }
+    }
+
+    /// Creates a trace set from a collection of behaviors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a behavior's domain is not exactly `names`.
+    pub fn from_behaviors<I, N>(names: I, behaviors: Vec<Behavior>) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        let mut set = TraceSet::new(names);
+        for b in behaviors {
+            set.push(b);
+        }
+        set
+    }
+
+    /// The domain `V(p)` shared by every behavior of the set.
+    pub fn domain(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.domain.iter()
+    }
+
+    /// The domain as an owned set.
+    pub fn domain_set(&self) -> BTreeSet<Name> {
+        self.domain.clone()
+    }
+
+    /// Adds a behavior to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the behavior's domain differs from the trace set's domain.
+    pub fn push(&mut self, behavior: Behavior) {
+        assert_eq!(
+            behavior.domain_set(),
+            self.domain,
+            "behavior domain must match the trace-set domain"
+        );
+        self.behaviors.push(behavior);
+    }
+
+    /// The number of behaviors in the set.
+    pub fn len(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// Returns `true` when the set contains no behavior.
+    pub fn is_empty(&self) -> bool {
+        self.behaviors.is_empty()
+    }
+
+    /// Iterates over the behaviors of the set.
+    pub fn iter(&self) -> impl Iterator<Item = &Behavior> + '_ {
+        self.behaviors.iter()
+    }
+
+    /// Returns `true` when the set contains a behavior clock-equivalent to
+    /// `b`.
+    pub fn contains_up_to_clock_equivalence(&self, b: &Behavior) -> bool {
+        self.behaviors.iter().any(|c| c.clock_equivalent(b))
+    }
+
+    /// Returns `true` when the set contains a behavior flow-equivalent to
+    /// `b`.
+    pub fn contains_up_to_flow_equivalence(&self, b: &Behavior) -> bool {
+        self.behaviors.iter().any(|c| c.flow_equivalent(b))
+    }
+
+    /// Tests **isochrony** of this trace set against another (Definition 3 of
+    /// the paper): every behavior of `self` must be flow-equivalent to some
+    /// behavior of `other` and conversely, i.e. the two sets denote the same
+    /// flows.
+    ///
+    /// Typically `self` is a synchronous composition `p | q` and `other` an
+    /// asynchronous composition `p ‖ q` restricted to the same domain.
+    pub fn same_flows_as(&self, other: &TraceSet) -> bool {
+        if self.domain != other.domain {
+            return false;
+        }
+        self.behaviors
+            .iter()
+            .all(|b| other.contains_up_to_flow_equivalence(b))
+            && other
+                .behaviors
+                .iter()
+                .all(|b| self.contains_up_to_flow_equivalence(b))
+    }
+
+    /// Restricts every behavior of the set to `names`.
+    pub fn restrict<'a, I>(&self, names: I) -> TraceSet
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let wanted: BTreeSet<&str> = names.into_iter().collect();
+        let domain: BTreeSet<Name> = self
+            .domain
+            .iter()
+            .filter(|n| wanted.contains(n.as_str()))
+            .cloned()
+            .collect();
+        let behaviors = self
+            .behaviors
+            .iter()
+            .map(|b| b.restrict(wanted.iter().copied()))
+            .collect();
+        TraceSet { domain, behaviors }
+    }
+}
+
+impl fmt::Display for TraceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "process over {{{}}} with {} behaviors", join(&self.domain), self.len())?;
+        for (i, b) in self.behaviors.iter().enumerate() {
+            writeln!(f, "-- behavior {i}")?;
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+fn join(names: &BTreeSet<Name>) -> String {
+    names
+        .iter()
+        .map(Name::as_str)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stream, Tag, Value};
+
+    fn behavior(xs: &[(&str, &[bool])]) -> Behavior {
+        let mut b = Behavior::new();
+        for (name, values) in xs {
+            b.insert_stream(
+                *name,
+                Stream::from_values(Tag::new(0), values.iter().copied()),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn push_checks_the_domain() {
+        let mut p = TraceSet::new(["x"]);
+        p.push(behavior(&[("x", &[true])]));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must match")]
+    fn push_rejects_wrong_domain() {
+        let mut p = TraceSet::new(["x"]);
+        p.push(behavior(&[("y", &[true])]));
+    }
+
+    #[test]
+    fn membership_up_to_equivalence() {
+        let mut b = Behavior::new();
+        b.insert_event("x", Tag::new(3), Value::from(true));
+        let p = TraceSet::from_behaviors(["x"], vec![b]);
+
+        let mut shifted = Behavior::new();
+        shifted.insert_event("x", Tag::new(77), Value::from(true));
+        assert!(p.contains_up_to_clock_equivalence(&shifted));
+        assert!(p.contains_up_to_flow_equivalence(&shifted));
+
+        let mut other = Behavior::new();
+        other.insert_event("x", Tag::new(3), Value::from(false));
+        assert!(!p.contains_up_to_flow_equivalence(&other));
+    }
+
+    #[test]
+    fn same_flows_as_is_symmetric_and_domain_sensitive() {
+        let p = TraceSet::from_behaviors(["x"], vec![behavior(&[("x", &[true, false])])]);
+        let q = TraceSet::from_behaviors(["x"], vec![behavior(&[("x", &[true, false])])]);
+        let r = TraceSet::from_behaviors(["x"], vec![behavior(&[("x", &[false, true])])]);
+        assert!(p.same_flows_as(&q));
+        assert!(q.same_flows_as(&p));
+        assert!(!p.same_flows_as(&r));
+
+        let s = TraceSet::from_behaviors(["y"], vec![behavior(&[("y", &[true, false])])]);
+        assert!(!p.same_flows_as(&s));
+    }
+
+    #[test]
+    fn restriction_projects_all_behaviors() {
+        let p = TraceSet::from_behaviors(
+            ["x", "y"],
+            vec![behavior(&[("x", &[true]), ("y", &[false])])],
+        );
+        let px = p.restrict(["x"]);
+        assert_eq!(px.domain_set().len(), 1);
+        assert_eq!(px.iter().next().unwrap().domain_set().len(), 1);
+    }
+}

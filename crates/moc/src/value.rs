@@ -1,0 +1,138 @@
+//! Values carried by signals.
+
+use std::fmt;
+
+/// A value carried by an event of a signal.
+///
+/// The Signal kernel of the paper only needs booleans (for clocks, alternating
+/// flags and sampling conditions) and integers (for the arithmetic of the
+/// producer/consumer and LTTA examples).  `Value` is a small, `Copy`-able sum
+/// of the two.
+///
+/// # Example
+///
+/// ```
+/// use moc::Value;
+/// let v = Value::from(3) ;
+/// assert_eq!(v.as_int(), Some(3));
+/// assert!(Value::from(true).as_bool().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean value.
+    Bool(bool),
+    /// A signed integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Returns the boolean payload, if this value is a boolean.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer payload, if this value is an integer.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Returns `true` when the value is the boolean `true`.
+    pub fn is_true(self) -> bool {
+        self == Value::Bool(true)
+    }
+
+    /// Returns `true` when the value is the boolean `false`.
+    pub fn is_false(self) -> bool {
+        self == Value::Bool(false)
+    }
+
+    /// Returns the truthiness of the value: booleans map to themselves and
+    /// integers to `value != 0`.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(i) => i != 0,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Bool(false)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(false).as_bool(), Some(false));
+        assert_eq!(Value::from(17).as_int(), Some(17));
+        assert_eq!(Value::from(17i64).as_int(), Some(17));
+        assert_eq!(Value::from(true).as_int(), None);
+        assert_eq!(Value::from(1).as_bool(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::from(true).truthy());
+        assert!(!Value::from(false).truthy());
+        assert!(Value::from(3).truthy());
+        assert!(!Value::from(0).truthy());
+    }
+
+    #[test]
+    fn is_true_and_is_false_are_strict() {
+        assert!(Value::from(true).is_true());
+        assert!(!Value::from(1).is_true());
+        assert!(Value::from(false).is_false());
+        assert!(!Value::from(0).is_false());
+    }
+
+    #[test]
+    fn display_matches_payload() {
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn default_is_false() {
+        assert_eq!(Value::default(), Value::Bool(false));
+    }
+}

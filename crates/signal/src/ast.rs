@@ -1,0 +1,626 @@
+//! Abstract syntax of Signal processes.
+//!
+//! A process (`P`, `Q`) is the synchronous composition of equations on
+//! signals, possibly restricting the scope of local signals:
+//!
+//! ```text
+//! P, Q ::= x := e  |  clock constraint  |  P | Q  |  P / x
+//! ```
+//!
+//! Expressions `e` combine the four Signal primitives — functional
+//! operators, the delay `$`, the sampling `when` and the deterministic merge
+//! `default` — plus the derived `cell` operator used by the paper's
+//! controller.  Nested expressions are flattened into the four-primitive
+//! kernel by [`Process::normalize`](crate::kernel).
+
+use std::fmt;
+
+use crate::{Name, SignalError, Value};
+
+/// A unary operator of the functional kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Not => write!(f, "not"),
+            UnOp::Neg => write!(f, "-"),
+        }
+    }
+}
+
+/// A binary operator of the functional kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean exclusive or.
+    Xor,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Equality test.
+    Eq,
+    /// Disequality test.
+    Ne,
+    /// Strictly-less-than test.
+    Lt,
+    /// Less-or-equal test.
+    Le,
+    /// Strictly-greater-than test.
+    Gt,
+    /// Greater-or-equal test.
+    Ge,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "/=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A signal expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.  Constants are present at whichever clock the context
+    /// requires.
+    Const(Value),
+    /// A reference to a signal.
+    Var(Name),
+    /// The delay `body $ init v`: initially `v`, then the previous value of
+    /// `body`.  Input and output are synchronous.
+    Pre {
+        /// The delayed expression.
+        body: Box<Expr>,
+        /// The initial value emitted at the first instant.
+        init: Value,
+    },
+    /// The sampling `body when cond`: present (with the value of `body`) iff
+    /// both operands are present and `cond` is true.
+    When {
+        /// The sampled expression.
+        body: Box<Expr>,
+        /// The boolean condition.
+        cond: Box<Expr>,
+    },
+    /// The deterministic merge `left default right`: the value of `left`
+    /// when present, otherwise the value of `right`.
+    Default {
+        /// Priority operand.
+        left: Box<Expr>,
+        /// Fallback operand.
+        right: Box<Expr>,
+    },
+    /// The derived memory `body cell clock init v`: present whenever `body`
+    /// or `clock` is present, carrying the value of `body` when present and
+    /// the last value of `body` otherwise.
+    Cell {
+        /// The memorized expression.
+        body: Box<Expr>,
+        /// The clock at which the memory is read.
+        clock: Box<Expr>,
+        /// Initial content of the memory.
+        init: Value,
+    },
+    /// A unary functional operator.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Its operand.
+        arg: Box<Expr>,
+    },
+    /// A binary functional operator (operands are synchronous).
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// A constant expression.
+    pub fn cst(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// A reference to the signal `name`.
+    pub fn var(name: impl Into<Name>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// The delayed expression `self $ init v` (`self pre v` in the paper).
+    pub fn pre(self, init: impl Into<Value>) -> Expr {
+        Expr::Pre {
+            body: Box::new(self),
+            init: init.into(),
+        }
+    }
+
+    /// The sampled expression `self when cond`.
+    pub fn when(self, cond: Expr) -> Expr {
+        Expr::When {
+            body: Box::new(self),
+            cond: Box::new(cond),
+        }
+    }
+
+    /// The merged expression `self default other`.
+    pub fn default(self, other: Expr) -> Expr {
+        Expr::Default {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// The memorized expression `self cell clock init v`.
+    pub fn cell(self, clock: Expr, init: impl Into<Value>) -> Expr {
+        Expr::Cell {
+            body: Box::new(self),
+            clock: Box::new(clock),
+            init: init.into(),
+        }
+    }
+
+    /// Boolean negation.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            arg: Box::new(self),
+        }
+    }
+
+    /// Applies a binary operator.
+    pub fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Boolean conjunction.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// Boolean disjunction.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinOp::Or, other)
+    }
+
+    /// Integer addition.
+    pub fn add(self, other: Expr) -> Expr {
+        self.binary(BinOp::Add, other)
+    }
+
+    /// Equality test.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// Disequality test.
+    pub fn ne(self, other: Expr) -> Expr {
+        self.binary(BinOp::Ne, other)
+    }
+
+    /// Iterates over the free signal names of the expression.
+    pub fn free_vars(&self, acc: &mut Vec<Name>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(n) => acc.push(n.clone()),
+            Expr::Pre { body, .. } => body.free_vars(acc),
+            Expr::When { body, cond } => {
+                body.free_vars(acc);
+                cond.free_vars(acc);
+            }
+            Expr::Default { left, right } => {
+                left.free_vars(acc);
+                right.free_vars(acc);
+            }
+            Expr::Cell { body, clock, .. } => {
+                body.free_vars(acc);
+                clock.free_vars(acc);
+            }
+            Expr::Unary { arg, .. } => arg.free_vars(acc),
+            Expr::Binary { left, right, .. } => {
+                left.free_vars(acc);
+                right.free_vars(acc);
+            }
+        }
+    }
+}
+
+/// A clock expression appearing in explicit clock constraints.
+///
+/// `^x` is the clock of `x` (the instants where `x` is present), `[x]` and
+/// `[not x]` the sub-clocks where the boolean signal `x` is true or false.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClockAst {
+    /// The empty clock `^0`.
+    Zero,
+    /// The clock `^x` of a signal.
+    Of(Name),
+    /// The true-sampling `[x]` of a boolean signal.
+    WhenTrue(Name),
+    /// The false-sampling `[not x]` of a boolean signal.
+    WhenFalse(Name),
+    /// Clock conjunction (intersection of instants).
+    And(Box<ClockAst>, Box<ClockAst>),
+    /// Clock disjunction (union of instants).
+    Or(Box<ClockAst>, Box<ClockAst>),
+    /// Clock difference (instants of the left operand not in the right).
+    Diff(Box<ClockAst>, Box<ClockAst>),
+}
+
+impl ClockAst {
+    /// The clock `^x` of the signal `name`.
+    pub fn of(name: impl Into<Name>) -> ClockAst {
+        ClockAst::Of(name.into())
+    }
+
+    /// The sub-clock `[x]` where the boolean signal `name` is true.
+    pub fn when_true(name: impl Into<Name>) -> ClockAst {
+        ClockAst::WhenTrue(name.into())
+    }
+
+    /// The sub-clock `[not x]` where the boolean signal `name` is false.
+    pub fn when_false(name: impl Into<Name>) -> ClockAst {
+        ClockAst::WhenFalse(name.into())
+    }
+
+    /// Clock conjunction.
+    pub fn and(self, other: ClockAst) -> ClockAst {
+        ClockAst::And(Box::new(self), Box::new(other))
+    }
+
+    /// Clock disjunction.
+    pub fn or(self, other: ClockAst) -> ClockAst {
+        ClockAst::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Clock difference.
+    pub fn diff(self, other: ClockAst) -> ClockAst {
+        ClockAst::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Collects the signal names mentioned by the clock expression.
+    pub fn free_vars(&self, acc: &mut Vec<Name>) {
+        match self {
+            ClockAst::Zero => {}
+            ClockAst::Of(n) | ClockAst::WhenTrue(n) | ClockAst::WhenFalse(n) => {
+                acc.push(n.clone());
+            }
+            ClockAst::And(a, b) | ClockAst::Or(a, b) | ClockAst::Diff(a, b) => {
+                a.free_vars(acc);
+                b.free_vars(acc);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClockAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockAst::Zero => write!(f, "^0"),
+            ClockAst::Of(n) => write!(f, "^{n}"),
+            ClockAst::WhenTrue(n) => write!(f, "[{n}]"),
+            ClockAst::WhenFalse(n) => write!(f, "[not {n}]"),
+            ClockAst::And(a, b) => write!(f, "({a} ^* {b})"),
+            ClockAst::Or(a, b) => write!(f, "({a} ^+ {b})"),
+            ClockAst::Diff(a, b) => write!(f, "({a} ^- {b})"),
+        }
+    }
+}
+
+/// A statement of a Signal process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// The equation `target := rhs`.
+    Define {
+        /// The defined signal.
+        target: Name,
+        /// Its defining expression.
+        rhs: Expr,
+    },
+    /// An explicit clock constraint `left = right` between two clock
+    /// expressions (e.g. `^x = [t]` in the `flip` process of the paper).
+    Constraint {
+        /// Left clock expression.
+        left: ClockAst,
+        /// Right clock expression.
+        right: ClockAst,
+    },
+    /// Synchronous composition `P | Q`.
+    Compose(Vec<Process>),
+    /// Scope restriction `P / x1, ..., xn`.
+    Hide {
+        /// The restricted sub-process.
+        body: Box<Process>,
+        /// The local signals whose scope is restricted to `body`.
+        locals: Vec<Name>,
+    },
+}
+
+impl Process {
+    /// The composition of a collection of processes.
+    pub fn compose<I: IntoIterator<Item = Process>>(parts: I) -> Process {
+        let parts: Vec<Process> = parts.into_iter().collect();
+        Process::Compose(parts)
+    }
+
+    /// The synchronization constraint `^left = ^right` between two signals.
+    pub fn synchro(left: impl Into<Name>, right: impl Into<Name>) -> Process {
+        Process::Constraint {
+            left: ClockAst::of(left),
+            right: ClockAst::of(right),
+        }
+    }
+}
+
+/// A named process definition with an explicit input/output interface.
+///
+/// The interface of the paper's processes (e.g. `x = filter(y)`) is recorded
+/// so that instantiation, code generation and simulation know which free
+/// signals are inputs and which are outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDef {
+    /// The process name (`filter`, `buffer`, ...).
+    pub name: String,
+    /// Declared input signals.
+    pub inputs: Vec<Name>,
+    /// Declared output signals.
+    pub outputs: Vec<Name>,
+    /// The body of the process.
+    pub body: Process,
+}
+
+impl ProcessDef {
+    /// Creates a process definition.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: impl IntoIterator<Item = impl Into<Name>>,
+        outputs: impl IntoIterator<Item = impl Into<Name>>,
+        body: Process,
+    ) -> Self {
+        ProcessDef {
+            name: name.into(),
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            outputs: outputs.into_iter().map(Into::into).collect(),
+            body,
+        }
+    }
+
+    /// Normalizes the definition into the four-primitive kernel form used by
+    /// the clock calculus and the code generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::MultipleDefinitions`] if a signal is defined
+    /// twice.
+    pub fn normalize(&self) -> Result<crate::KernelProcess, SignalError> {
+        crate::kernel::normalize(self)
+    }
+
+    /// Renames every signal of the definition with a `prefix_` prefix except
+    /// the ones listed in `keep`, and renames the process itself.
+    ///
+    /// This is how separate *instances* of library processes (two buffers in
+    /// the LTTA bus, two schedulers in the controller) are given disjoint
+    /// namespaces before composition.
+    pub fn instantiate(
+        &self,
+        instance: &str,
+        keep: &[(&str, &str)],
+    ) -> ProcessDef {
+        let rename = |n: &Name| -> Name {
+            for (old, new) in keep {
+                if n.as_str() == *old {
+                    return Name::from(*new);
+                }
+            }
+            Name::from(format!("{instance}_{n}"))
+        };
+        ProcessDef {
+            name: instance.to_string(),
+            inputs: self.inputs.iter().map(&rename).collect(),
+            outputs: self.outputs.iter().map(&rename).collect(),
+            body: rename_process(&self.body, &rename),
+        }
+    }
+}
+
+fn rename_process(p: &Process, rename: &impl Fn(&Name) -> Name) -> Process {
+    match p {
+        Process::Define { target, rhs } => Process::Define {
+            target: rename(target),
+            rhs: rename_expr(rhs, rename),
+        },
+        Process::Constraint { left, right } => Process::Constraint {
+            left: rename_clock(left, rename),
+            right: rename_clock(right, rename),
+        },
+        Process::Compose(parts) => {
+            Process::Compose(parts.iter().map(|q| rename_process(q, rename)).collect())
+        }
+        Process::Hide { body, locals } => Process::Hide {
+            body: Box::new(rename_process(body, rename)),
+            locals: locals.iter().map(rename).collect(),
+        },
+    }
+}
+
+fn rename_clock(c: &ClockAst, rename: &impl Fn(&Name) -> Name) -> ClockAst {
+    match c {
+        ClockAst::Zero => ClockAst::Zero,
+        ClockAst::Of(n) => ClockAst::Of(rename(n)),
+        ClockAst::WhenTrue(n) => ClockAst::WhenTrue(rename(n)),
+        ClockAst::WhenFalse(n) => ClockAst::WhenFalse(rename(n)),
+        ClockAst::And(a, b) => ClockAst::And(
+            Box::new(rename_clock(a, rename)),
+            Box::new(rename_clock(b, rename)),
+        ),
+        ClockAst::Or(a, b) => ClockAst::Or(
+            Box::new(rename_clock(a, rename)),
+            Box::new(rename_clock(b, rename)),
+        ),
+        ClockAst::Diff(a, b) => ClockAst::Diff(
+            Box::new(rename_clock(a, rename)),
+            Box::new(rename_clock(b, rename)),
+        ),
+    }
+}
+
+fn rename_expr(e: &Expr, rename: &impl Fn(&Name) -> Name) -> Expr {
+    match e {
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Var(n) => Expr::Var(rename(n)),
+        Expr::Pre { body, init } => Expr::Pre {
+            body: Box::new(rename_expr(body, rename)),
+            init: *init,
+        },
+        Expr::When { body, cond } => Expr::When {
+            body: Box::new(rename_expr(body, rename)),
+            cond: Box::new(rename_expr(cond, rename)),
+        },
+        Expr::Default { left, right } => Expr::Default {
+            left: Box::new(rename_expr(left, rename)),
+            right: Box::new(rename_expr(right, rename)),
+        },
+        Expr::Cell { body, clock, init } => Expr::Cell {
+            body: Box::new(rename_expr(body, rename)),
+            clock: Box::new(rename_expr(clock, rename)),
+            init: *init,
+        },
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, rename)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rename_expr(left, rename)),
+            right: Box::new(rename_expr(right, rename)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_combinators_build_the_expected_tree() {
+        let e = Expr::cst(true).when(Expr::var("y").ne(Expr::var("z")));
+        match e {
+            Expr::When { body, cond } => {
+                assert_eq!(*body, Expr::Const(Value::Bool(true)));
+                match *cond {
+                    Expr::Binary { op, .. } => assert_eq!(op, BinOp::Ne),
+                    other => panic!("unexpected condition {other:?}"),
+                }
+            }
+            other => panic!("unexpected expression {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_collects_every_signal_reference() {
+        let e = Expr::var("y")
+            .default(Expr::var("r").pre(false))
+            .when(Expr::var("c"));
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        let names: Vec<&str> = vars.iter().map(Name::as_str).collect();
+        assert_eq!(names, vec!["y", "r", "c"]);
+    }
+
+    #[test]
+    fn clock_ast_display_uses_signal_notation() {
+        let c = ClockAst::of("x").or(ClockAst::when_false("t"));
+        assert_eq!(c.to_string(), "(^x ^+ [not t])");
+    }
+
+    #[test]
+    fn clock_ast_free_vars() {
+        let c = ClockAst::of("x").diff(ClockAst::when_true("y"));
+        let mut vars = Vec::new();
+        c.free_vars(&mut vars);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn synchro_builds_a_constraint() {
+        match Process::synchro("x", "y") {
+            Process::Constraint { left, right } => {
+                assert_eq!(left, ClockAst::of("x"));
+                assert_eq!(right, ClockAst::of("y"));
+            }
+            other => panic!("unexpected process {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instantiation_prefixes_every_name_except_kept_ones() {
+        let def = ProcessDef::new(
+            "filter",
+            ["y"],
+            ["x"],
+            Process::compose([
+                Process::Define {
+                    target: Name::from("x"),
+                    rhs: Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
+                },
+                Process::Define {
+                    target: Name::from("z"),
+                    rhs: Expr::var("y").pre(true),
+                },
+            ]),
+        );
+        let inst = def.instantiate("f1", &[("y", "input"), ("x", "output")]);
+        assert_eq!(inst.name, "f1");
+        assert_eq!(inst.inputs, vec![Name::from("input")]);
+        assert_eq!(inst.outputs, vec![Name::from("output")]);
+        // The local z is prefixed.
+        let mut vars = Vec::new();
+        if let Process::Compose(parts) = &inst.body {
+            for p in parts {
+                if let Process::Define { target, rhs } = p {
+                    vars.push(target.clone());
+                    rhs.free_vars(&mut vars);
+                }
+            }
+        }
+        assert!(vars.iter().any(|n| n.as_str() == "f1_z"));
+        assert!(vars.iter().all(|n| n.as_str() != "z"));
+    }
+}

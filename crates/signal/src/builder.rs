@@ -1,0 +1,254 @@
+//! Fluent construction of Signal process definitions.
+
+use crate::ast::{ClockAst, Expr, Process, ProcessDef};
+use crate::vars;
+use crate::{Name, SignalError};
+
+/// A fluent builder for [`ProcessDef`]s.
+///
+/// Statements are accumulated in order; the interface can be declared
+/// explicitly with [`ProcessBuilder::input`] / [`ProcessBuilder::output`], or
+/// left implicit, in which case free signals become inputs and defined
+/// visible signals become outputs.
+///
+/// # Example
+///
+/// ```
+/// use signal_lang::{ProcessBuilder, Expr};
+///
+/// let buffer_flip = ProcessBuilder::new("flip")
+///     .define("s", Expr::var("t").pre(true))
+///     .define("t", Expr::var("s").not())
+///     .constraint_eq("x", signal_lang::ClockAst::when_true("t"))
+///     .constraint_eq("y", signal_lang::ClockAst::when_false("t"))
+///     .hide(["s", "t"])
+///     .build()?;
+/// assert_eq!(buffer_flip.name, "flip");
+/// # Ok::<(), signal_lang::SignalError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProcessBuilder {
+    name: String,
+    statements: Vec<Process>,
+    hidden: Vec<Name>,
+    inputs: Vec<Name>,
+    outputs: Vec<Name>,
+}
+
+impl ProcessBuilder {
+    /// Starts building a process called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds the equation `target := rhs`.
+    pub fn define(mut self, target: impl Into<Name>, rhs: Expr) -> Self {
+        self.statements.push(Process::Define {
+            target: target.into(),
+            rhs,
+        });
+        self
+    }
+
+    /// Adds the clock constraint `^signal = clock`.
+    pub fn constraint_eq(mut self, signal: impl Into<Name>, clock: ClockAst) -> Self {
+        self.statements.push(Process::Constraint {
+            left: ClockAst::of(signal),
+            right: clock,
+        });
+        self
+    }
+
+    /// Adds an arbitrary clock constraint `left = right`.
+    pub fn constraint(mut self, left: ClockAst, right: ClockAst) -> Self {
+        self.statements.push(Process::Constraint { left, right });
+        self
+    }
+
+    /// Adds the synchronization constraint `^a = ^b`.
+    pub fn synchro(mut self, a: impl Into<Name>, b: impl Into<Name>) -> Self {
+        self.statements.push(Process::synchro(a, b));
+        self
+    }
+
+    /// Adds an already-built sub-process.
+    pub fn sub_process(mut self, p: Process) -> Self {
+        self.statements.push(p);
+        self
+    }
+
+    /// Inlines the body of another process definition (its interface
+    /// declarations are ignored; names are used as-is).
+    pub fn include(mut self, def: &ProcessDef) -> Self {
+        self.statements.push(def.body.clone());
+        self
+    }
+
+    /// Restricts the scope of `names` to this process.
+    pub fn hide<I, N>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        self.hidden.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares an input signal.
+    pub fn input(mut self, name: impl Into<Name>) -> Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Declares an output signal.
+    pub fn output(mut self, name: impl Into<Name>) -> Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Declares several input signals.
+    pub fn inputs<I, N>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        self.inputs.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares several output signals.
+    pub fn outputs<I, N>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        self.outputs.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Builds the process definition.
+    ///
+    /// When no interface was declared explicitly, the free signals of the
+    /// body become inputs and the visible defined signals become outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::HiddenUndefined`] if a hidden signal is never
+    /// defined by the body.
+    pub fn build(self) -> Result<ProcessDef, SignalError> {
+        let body = Process::Compose(self.statements);
+        let body = if self.hidden.is_empty() {
+            body
+        } else {
+            for h in &self.hidden {
+                if !vars::defined_signals(&body).contains(h) {
+                    return Err(SignalError::HiddenUndefined(h.clone()));
+                }
+            }
+            Process::Hide {
+                body: Box::new(body),
+                locals: self.hidden.clone(),
+            }
+        };
+        let inputs = if self.inputs.is_empty() {
+            vars::free_signals(&body).into_iter().collect()
+        } else {
+            self.inputs
+        };
+        let outputs = if self.outputs.is_empty() {
+            let defined = vars::defined_signals(&body);
+            let hidden: std::collections::BTreeSet<Name> = self.hidden.into_iter().collect();
+            defined.into_iter().filter(|n| !hidden.contains(n)).collect()
+        } else {
+            self.outputs
+        };
+        Ok(ProcessDef {
+            name: self.name,
+            inputs,
+            outputs,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_interface_is_inferred_from_the_body() {
+        let def = ProcessBuilder::new("inc")
+            .define("x", Expr::var("a").add(Expr::cst(1)))
+            .build()
+            .expect("builds");
+        assert_eq!(def.inputs, vec![Name::from("a")]);
+        assert_eq!(def.outputs, vec![Name::from("x")]);
+    }
+
+    #[test]
+    fn explicit_interface_wins_over_inference() {
+        let def = ProcessBuilder::new("inc")
+            .define("x", Expr::var("a").add(Expr::cst(1)))
+            .input("a")
+            .output("x")
+            .build()
+            .expect("builds");
+        assert_eq!(def.inputs.len(), 1);
+        assert_eq!(def.outputs.len(), 1);
+    }
+
+    #[test]
+    fn hidden_signals_are_not_outputs() {
+        let def = ProcessBuilder::new("filter")
+            .define("x", Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))))
+            .define("z", Expr::var("y").pre(true))
+            .hide(["z"])
+            .build()
+            .expect("builds");
+        assert_eq!(def.outputs, vec![Name::from("x")]);
+        assert_eq!(def.inputs, vec![Name::from("y")]);
+    }
+
+    #[test]
+    fn hiding_an_undefined_signal_is_an_error() {
+        let err = ProcessBuilder::new("oops")
+            .define("x", Expr::var("y"))
+            .hide(["nope"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SignalError::HiddenUndefined(Name::from("nope")));
+    }
+
+    #[test]
+    fn synchro_and_constraints_are_recorded() {
+        let def = ProcessBuilder::new("c")
+            .synchro("x", "y")
+            .constraint_eq("x", ClockAst::when_true("t"))
+            .inputs(["x", "y", "t"])
+            .build()
+            .expect("builds");
+        match &def.body {
+            Process::Compose(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn include_embeds_another_definition() {
+        let inner = ProcessBuilder::new("inner")
+            .define("x", Expr::var("y"))
+            .build()
+            .unwrap();
+        let outer = ProcessBuilder::new("outer")
+            .include(&inner)
+            .define("z", Expr::var("x"))
+            .build()
+            .unwrap();
+        let k = outer.normalize().unwrap();
+        assert!(k.definition_of("x").is_some());
+        assert!(k.definition_of("z").is_some());
+    }
+}

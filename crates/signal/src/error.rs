@@ -1,0 +1,90 @@
+//! Errors reported while building, parsing or normalizing Signal processes.
+
+use std::fmt;
+
+use crate::Name;
+
+/// An error produced by the Signal front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// A signal is defined by more than one equation.
+    MultipleDefinitions(Name),
+    /// A hidden (restricted) signal is never defined inside the process.
+    HiddenUndefined(Name),
+    /// A delay (`$`/`pre`) was applied to an expression that has no
+    /// syntactic initial value.
+    MissingInit(Name),
+    /// The parser found an unexpected token.
+    Parse {
+        /// Line of the offending token (1-based).
+        line: usize,
+        /// Column of the offending token (1-based).
+        column: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A named process was referenced but never declared.
+    UnknownProcess(String),
+    /// An instantiation supplied the wrong number of arguments.
+    ArityMismatch {
+        /// The instantiated process name.
+        process: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::MultipleDefinitions(n) => {
+                write!(f, "signal {n} is defined by more than one equation")
+            }
+            SignalError::HiddenUndefined(n) => {
+                write!(f, "hidden signal {n} is never defined")
+            }
+            SignalError::MissingInit(n) => {
+                write!(f, "delay defining {n} is missing an initial value")
+            }
+            SignalError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            SignalError::UnknownProcess(name) => {
+                write!(f, "unknown process {name}")
+            }
+            SignalError::ArityMismatch { process, expected, found } => {
+                write!(
+                    f,
+                    "process {process} expects {expected} arguments, found {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SignalError::MultipleDefinitions(Name::from("x"));
+        assert_eq!(e.to_string(), "signal x is defined by more than one equation");
+        let e = SignalError::Parse {
+            line: 3,
+            column: 7,
+            message: "expected ':='".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+        let e = SignalError::ArityMismatch {
+            process: "buffer".into(),
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("buffer"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Seeded random generation of endochronous Signal processes.
+//!
+//! The paper's static criterion accepts any composition of *endochronous*
+//! components whose composition is well-clocked and acyclic.  To exercise
+//! the analyses and the code generator beyond the handful of hand-written
+//! paper processes, this module generates random — but endochronous by
+//! construction — processes: a single boolean input signal paces the whole
+//! process, every other signal is sampled (directly or transitively) from
+//! it, following the idioms of the paper's `producer` (explicit sampling
+//! constraints over self-referential delays) and `consumer` (merges of
+//! complementary samplings).
+//!
+//! Generation is deterministic in the seed, so property-based tests and
+//! benchmarks can reproduce any failing instance.
+//!
+//! ```
+//! use signal_lang::generate;
+//!
+//! let def = generate::endochronous("gen", 8, 42);
+//! assert_eq!(def.inputs.len(), 1);
+//! assert!(def.normalize().is_ok());
+//! ```
+
+use crate::ast::{ClockAst, Expr, ProcessDef};
+use crate::builder::ProcessBuilder;
+use crate::Name;
+
+/// A small deterministic pseudo-random number generator (SplitMix64), kept
+/// local so the crate does not need a `rand` dependency.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be non-zero).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next_u64() % 100 < percent
+    }
+}
+
+/// The kind of signal a generation step produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    /// A boolean signal alternating between `true` and `false` at its clock.
+    BoolAlternator,
+    /// An integer counter incremented at its clock.
+    IntCounter,
+    /// A boolean signal holding the previous value of its parent.
+    BoolDelay,
+}
+
+/// Generates a random endochronous process.
+///
+/// The process has exactly one (boolean) input signal named `<name>_c`; all
+/// other signals are defined, their clocks sampled from the input through a
+/// randomly shaped tree of `[x]` / `[not x]` samplings, with occasional
+/// merges of two complementary samplings (which exercise the hierarchy's
+/// least-upper-bound rule).  `size` is the number of generated signals
+/// (clamped to at least 1); `seed` makes the generation reproducible.
+///
+/// The result is endochronous by construction: its clock hierarchy has the
+/// single root `^<name>_c`.
+pub fn endochronous(name: &str, size: usize, seed: u64) -> ProcessDef {
+    let mut rng = SplitMix64::new(seed ^ 0x5851_f42d_4c95_7f2d);
+    let size = size.max(1);
+    let root = Name::from(format!("{name}_c"));
+    let mut builder = ProcessBuilder::new(name).input(root.clone());
+
+    // Boolean signals that may pace further samplings, starting with the
+    // root input.  Each entry also records the signal it was sampled from
+    // and the polarity, so complementary siblings can be merged.
+    let mut booleans: Vec<Name> = vec![root.clone()];
+    let mut outputs: Vec<Name> = Vec::new();
+    let mut sampled: Vec<(Name, Name, bool)> = Vec::new();
+
+    for k in 0..size {
+        let parent = booleans[rng.below(booleans.len())].clone();
+        let positive = rng.chance(50);
+        let clock = if positive {
+            ClockAst::when_true(parent.clone())
+        } else {
+            ClockAst::when_false(parent.clone())
+        };
+        let signal = Name::from(format!("{name}_s{k}"));
+        let kind = match rng.below(3) {
+            0 => NodeKind::BoolAlternator,
+            1 => NodeKind::IntCounter,
+            _ => NodeKind::BoolDelay,
+        };
+        builder = match kind {
+            NodeKind::BoolAlternator => builder.define(
+                signal.clone(),
+                Expr::var(signal.clone()).pre(false).not(),
+            ),
+            NodeKind::IntCounter => builder.define(
+                signal.clone(),
+                Expr::var(signal.clone()).pre(0).add(Expr::cst(1)),
+            ),
+            NodeKind::BoolDelay => builder.define(
+                signal.clone(),
+                Expr::var(signal.clone()).pre(positive).not(),
+            ),
+        };
+        builder = builder.constraint_eq(signal.clone(), clock);
+        if kind != NodeKind::IntCounter {
+            booleans.push(signal.clone());
+            sampled.push((signal.clone(), parent.clone(), positive));
+        }
+        outputs.push(signal.clone());
+
+        // Occasionally merge two complementary samplings of the same parent
+        // back together: the merged signal lives in the parent's clock
+        // class, which exercises rule 3 of the hierarchy construction.
+        if kind != NodeKind::IntCounter && rng.chance(30) {
+            let complement = sampled
+                .iter()
+                .find(|(s, p, pol)| *p == parent && *pol != positive && *s != signal)
+                .map(|(s, _, _)| s.clone());
+            if let Some(other) = complement {
+                let merged = Name::from(format!("{name}_m{k}"));
+                builder = builder.define(
+                    merged.clone(),
+                    Expr::var(signal.clone()).default(Expr::var(other)),
+                );
+                outputs.push(merged);
+            }
+        }
+    }
+
+    for out in &outputs {
+        builder = builder.output(out.clone());
+    }
+    builder
+        .build()
+        .expect("generated processes are well-formed by construction")
+}
+
+/// Generates `count` independent endochronous components (disjoint signal
+/// name spaces), each of `size` signals, for compositional workloads.
+///
+/// Their composition is weakly hierarchic: every component is endochronous
+/// and they share no signal, so the composition is trivially well-clocked
+/// and acyclic.
+pub fn component_batch(count: usize, size: usize, seed: u64) -> Vec<ProcessDef> {
+    (0..count)
+        .map(|i| endochronous(&format!("gen{i}"), size, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// The single input signal of a process generated by [`endochronous`].
+pub fn input_of(def: &ProcessDef) -> &Name {
+    &def.inputs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = endochronous("g", 10, 7);
+        let b = endochronous("g", 10, 7);
+        assert_eq!(format!("{:?}", a.body), format!("{:?}", b.body));
+        let c = endochronous("g", 10, 8);
+        assert_ne!(format!("{:?}", a.body), format!("{:?}", c.body));
+    }
+
+    #[test]
+    fn generated_processes_normalize_and_have_one_input() {
+        for seed in 0..20 {
+            let def = endochronous("g", 12, seed);
+            assert_eq!(def.inputs.len(), 1);
+            assert_eq!(input_of(&def).as_str(), "g_c");
+            let kernel = def.normalize().expect("normalizes");
+            assert!(kernel.equations().len() >= 12);
+        }
+    }
+
+    #[test]
+    fn batches_use_disjoint_name_spaces() {
+        let batch = component_batch(3, 5, 11);
+        assert_eq!(batch.len(), 3);
+        let mut all = std::collections::BTreeSet::new();
+        for def in &batch {
+            let kernel = def.normalize().unwrap();
+            for s in kernel.signals() {
+                assert!(all.insert(s.clone()), "signal {s} appears in two components");
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_clamped_to_at_least_one_signal() {
+        let def = endochronous("g", 0, 3);
+        assert!(!def.outputs.is_empty());
+    }
+}

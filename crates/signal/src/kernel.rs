@@ -1,0 +1,1009 @@
+//! Normalization of Signal processes into the four-primitive kernel.
+//!
+//! The clock calculus, the analyses and the code generator all work on a
+//! *kernel* form in which every equation is one of the four primitives of
+//! Section 2 of the paper:
+//!
+//! * a functional equation `x = f(y, z, ...)` (operands synchronous),
+//! * a delay `x = y $ init v`,
+//! * a sampling `x = y when z`,
+//! * a deterministic merge `x = y default z`,
+//!
+//! plus explicit clock constraints carried over from the source process.
+//! Nested expressions are flattened by introducing fresh local signals.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ast::{BinOp, ClockAst, Expr, Process, ProcessDef, UnOp};
+use crate::{Name, SignalError, Value};
+
+/// A primitive functional operator of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Identity (plain copy, used for `x := y` and `x := constant`).
+    Id,
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean exclusive or.
+    Xor,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Equality test.
+    Eq,
+    /// Disequality test.
+    Ne,
+    /// Strictly-less-than test.
+    Lt,
+    /// Less-or-equal test.
+    Le,
+    /// Strictly-greater-than test.
+    Gt,
+    /// Greater-or-equal test.
+    Ge,
+}
+
+impl PrimOp {
+    /// Returns `true` when the operator produces a boolean result.
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Not
+                | PrimOp::And
+                | PrimOp::Or
+                | PrimOp::Xor
+                | PrimOp::Eq
+                | PrimOp::Ne
+                | PrimOp::Lt
+                | PrimOp::Le
+                | PrimOp::Gt
+                | PrimOp::Ge
+        )
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimOp::Id => "id",
+            PrimOp::Not => "not",
+            PrimOp::Neg => "neg",
+            PrimOp::And => "and",
+            PrimOp::Or => "or",
+            PrimOp::Xor => "xor",
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Eq => "=",
+            PrimOp::Ne => "/=",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl From<UnOp> for PrimOp {
+    fn from(op: UnOp) -> Self {
+        match op {
+            UnOp::Not => PrimOp::Not,
+            UnOp::Neg => PrimOp::Neg,
+        }
+    }
+}
+
+impl From<BinOp> for PrimOp {
+    fn from(op: BinOp) -> Self {
+        match op {
+            BinOp::And => PrimOp::And,
+            BinOp::Or => PrimOp::Or,
+            BinOp::Xor => PrimOp::Xor,
+            BinOp::Add => PrimOp::Add,
+            BinOp::Sub => PrimOp::Sub,
+            BinOp::Mul => PrimOp::Mul,
+            BinOp::Div => PrimOp::Div,
+            BinOp::Eq => PrimOp::Eq,
+            BinOp::Ne => PrimOp::Ne,
+            BinOp::Lt => PrimOp::Lt,
+            BinOp::Le => PrimOp::Le,
+            BinOp::Gt => PrimOp::Gt,
+            BinOp::Ge => PrimOp::Ge,
+        }
+    }
+}
+
+/// An operand of a kernel equation: either a constant or a signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A constant operand: present at whatever clock the equation requires.
+    Const(Value),
+    /// A signal operand.
+    Var(Name),
+}
+
+impl Atom {
+    /// Returns the signal name when the atom is a variable.
+    pub fn as_var(&self) -> Option<&Name> {
+        match self {
+            Atom::Var(n) => Some(n),
+            Atom::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant when the atom is a constant.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            Atom::Const(v) => Some(*v),
+            Atom::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Const(v) => write!(f, "{v}"),
+            Atom::Var(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Name> for Atom {
+    fn from(n: Name) -> Self {
+        Atom::Var(n)
+    }
+}
+
+impl From<Value> for Atom {
+    fn from(v: Value) -> Self {
+        Atom::Const(v)
+    }
+}
+
+/// A kernel equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelEq {
+    /// `out = op(args...)` — all variable operands and the output are
+    /// synchronous.
+    Func {
+        /// Defined signal.
+        out: Name,
+        /// Applied operator.
+        op: PrimOp,
+        /// Operands.
+        args: Vec<Atom>,
+    },
+    /// `out = arg $ init v` — `out` and `arg` are synchronous, `out` starts
+    /// at `init` and then carries the previous value of `arg`.
+    Delay {
+        /// Defined signal.
+        out: Name,
+        /// Delayed signal.
+        arg: Name,
+        /// Initial value.
+        init: Value,
+    },
+    /// `out = arg when cond` — present iff `arg` (when it is a signal) and
+    /// `cond` are present and `cond` is true.
+    When {
+        /// Defined signal.
+        out: Name,
+        /// Sampled operand.
+        arg: Atom,
+        /// Boolean condition signal.
+        cond: Name,
+    },
+    /// `out = left default right` — the value of `left` when present,
+    /// otherwise the value of `right`.
+    Default {
+        /// Defined signal.
+        out: Name,
+        /// Priority operand.
+        left: Atom,
+        /// Fallback operand.
+        right: Atom,
+    },
+}
+
+impl KernelEq {
+    /// The signal defined by the equation.
+    pub fn defined(&self) -> &Name {
+        match self {
+            KernelEq::Func { out, .. }
+            | KernelEq::Delay { out, .. }
+            | KernelEq::When { out, .. }
+            | KernelEq::Default { out, .. } => out,
+        }
+    }
+
+    /// The signals read by the equation (variable operands, including the
+    /// sampling condition).
+    pub fn reads(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        match self {
+            KernelEq::Func { args, .. } => {
+                for a in args {
+                    if let Atom::Var(n) = a {
+                        out.push(n.clone());
+                    }
+                }
+            }
+            KernelEq::Delay { arg, .. } => out.push(arg.clone()),
+            KernelEq::When { arg, cond, .. } => {
+                if let Atom::Var(n) = arg {
+                    out.push(n.clone());
+                }
+                out.push(cond.clone());
+            }
+            KernelEq::Default { left, right, .. } => {
+                if let Atom::Var(n) = left {
+                    out.push(n.clone());
+                }
+                if let Atom::Var(n) = right {
+                    out.push(n.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when the equation is a delay (its data dependency is
+    /// on the *previous* instant, so it never participates in instantaneous
+    /// dependency cycles).
+    pub fn is_delay(&self) -> bool {
+        matches!(self, KernelEq::Delay { .. })
+    }
+}
+
+impl fmt::Display for KernelEq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelEq::Func { out, op, args } => {
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{out} := {op}({})", args.join(", "))
+            }
+            KernelEq::Delay { out, arg, init } => write!(f, "{out} := {arg} $ init {init}"),
+            KernelEq::When { out, arg, cond } => write!(f, "{out} := {arg} when {cond}"),
+            KernelEq::Default { out, left, right } => {
+                write!(f, "{out} := {left} default {right}")
+            }
+        }
+    }
+}
+
+/// The inferred type of a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalType {
+    /// Carries booleans.
+    Bool,
+    /// Carries integers.
+    Int,
+    /// Could not be resolved (treated as integer-like by the analyses).
+    Unknown,
+}
+
+/// A Signal process in kernel form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProcess {
+    name: String,
+    equations: Vec<KernelEq>,
+    constraints: Vec<(ClockAst, ClockAst)>,
+    inputs: BTreeSet<Name>,
+    outputs: BTreeSet<Name>,
+    locals: BTreeSet<Name>,
+}
+
+impl KernelProcess {
+    /// Creates an empty kernel process with the given name.
+    pub fn empty(name: impl Into<String>) -> Self {
+        KernelProcess {
+            name: name.into(),
+            equations: Vec::new(),
+            constraints: Vec::new(),
+            inputs: BTreeSet::new(),
+            outputs: BTreeSet::new(),
+            locals: BTreeSet::new(),
+        }
+    }
+
+    /// The process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel equations, in source order.
+    pub fn equations(&self) -> &[KernelEq] {
+        &self.equations
+    }
+
+    /// The explicit clock constraints of the process.
+    pub fn constraints(&self) -> &[(ClockAst, ClockAst)] {
+        &self.constraints
+    }
+
+    /// The input signals (free signals that are never defined).
+    pub fn inputs(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.inputs.iter()
+    }
+
+    /// The output signals (defined signals exposed by the interface).
+    pub fn outputs(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.outputs.iter()
+    }
+
+    /// The local signals (defined signals hidden from the interface,
+    /// including the temporaries introduced by normalization).
+    pub fn locals(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.locals.iter()
+    }
+
+    /// Every signal of the process, inputs first.
+    pub fn signals(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .chain(self.locals.iter())
+    }
+
+    /// The set of all signal names.
+    pub fn signal_set(&self) -> BTreeSet<Name> {
+        self.signals().cloned().collect()
+    }
+
+    /// The visible interface: inputs and outputs.
+    pub fn interface(&self) -> BTreeSet<Name> {
+        self.inputs.union(&self.outputs).cloned().collect()
+    }
+
+    /// Returns `true` when `name` is an input of the process.
+    pub fn is_input(&self, name: &str) -> bool {
+        self.inputs.contains(name)
+    }
+
+    /// Returns `true` when `name` is an output of the process.
+    pub fn is_output(&self, name: &str) -> bool {
+        self.outputs.contains(name)
+    }
+
+    /// The equation defining `name`, if any.
+    pub fn definition_of(&self, name: &str) -> Option<&KernelEq> {
+        self.equations.iter().find(|eq| eq.defined().as_str() == name)
+    }
+
+    /// Adds an equation to the process, maintaining the input/output/local
+    /// partition.  The defined signal is classified as a local unless it was
+    /// already declared as an output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::MultipleDefinitions`] when the defined signal
+    /// already has an equation.
+    pub fn push_equation(&mut self, eq: KernelEq) -> Result<(), SignalError> {
+        let out = eq.defined().clone();
+        if self.definition_of(out.as_str()).is_some() {
+            return Err(SignalError::MultipleDefinitions(out));
+        }
+        self.inputs.remove(&out);
+        if !self.outputs.contains(&out) {
+            self.locals.insert(out.clone());
+        }
+        for read in eq.reads() {
+            if !self.outputs.contains(&read) && !self.locals.contains(&read) {
+                self.inputs.insert(read);
+            }
+        }
+        self.equations.push(eq);
+        Ok(())
+    }
+
+    /// Adds an explicit clock constraint to the process.
+    pub fn push_constraint(&mut self, left: ClockAst, right: ClockAst) {
+        let mut vars = Vec::new();
+        left.free_vars(&mut vars);
+        right.free_vars(&mut vars);
+        for v in vars {
+            if !self.outputs.contains(&v) && !self.locals.contains(&v) {
+                self.inputs.insert(v);
+            }
+        }
+        self.constraints.push((left, right));
+    }
+
+    /// Declares `name` as an output of the interface.
+    pub fn declare_output(&mut self, name: impl Into<Name>) {
+        let name = name.into();
+        self.locals.remove(&name);
+        self.inputs.remove(&name);
+        self.outputs.insert(name);
+    }
+
+    /// Declares `name` as an input of the interface.
+    pub fn declare_input(&mut self, name: impl Into<Name>) {
+        let name = name.into();
+        if !self.outputs.contains(&name) && !self.locals.contains(&name) {
+            self.inputs.insert(name);
+        }
+    }
+
+    /// Synchronous composition of two kernel processes.
+    ///
+    /// Equations and constraints are concatenated; a signal that is an output
+    /// of either operand is an output of the composition, and the inputs are
+    /// the remaining free signals.  Local signals keep their status (callers
+    /// are expected to have renamed instances so that locals do not collide).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::MultipleDefinitions`] when both operands define
+    /// the same signal.
+    pub fn compose(&self, other: &KernelProcess) -> Result<KernelProcess, SignalError> {
+        let mut out = KernelProcess::empty(format!("{}|{}", self.name, other.name));
+        for o in self.outputs.iter().chain(other.outputs.iter()) {
+            out.outputs.insert(o.clone());
+        }
+        for l in self.locals.iter().chain(other.locals.iter()) {
+            out.locals.insert(l.clone());
+        }
+        for eq in self.equations.iter().chain(other.equations.iter()) {
+            let defined = eq.defined().clone();
+            if out.definition_of(defined.as_str()).is_some() {
+                return Err(SignalError::MultipleDefinitions(defined));
+            }
+            out.equations.push(eq.clone());
+        }
+        for (l, r) in self.constraints.iter().chain(other.constraints.iter()) {
+            out.constraints.push((l.clone(), r.clone()));
+        }
+        // Inputs: every read or constrained signal that is not defined.
+        let defined: BTreeSet<Name> = out
+            .equations
+            .iter()
+            .map(|eq| eq.defined().clone())
+            .collect();
+        let mut used: BTreeSet<Name> = BTreeSet::new();
+        for eq in &out.equations {
+            used.extend(eq.reads());
+        }
+        for (l, r) in &out.constraints {
+            let mut vars = Vec::new();
+            l.free_vars(&mut vars);
+            r.free_vars(&mut vars);
+            used.extend(vars);
+        }
+        for name in self.inputs.iter().chain(other.inputs.iter()) {
+            used.insert(name.clone());
+        }
+        out.inputs = used.difference(&defined).cloned().collect();
+        // Defined signals that were declared neither output nor local become
+        // locals.
+        for d in defined {
+            if !out.outputs.contains(&d) {
+                out.locals.insert(d);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Hides `names`: they become locals and disappear from the interface.
+    pub fn hide<'a, I>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for n in names {
+            let name = Name::from(n);
+            if self.outputs.remove(&name) || self.inputs.remove(&name) {
+                self.locals.insert(name);
+            }
+        }
+    }
+
+    /// Infers a type for every signal of the process by propagating type
+    /// information through equations and constraints until a fixed point.
+    pub fn infer_types(&self) -> BTreeMap<Name, SignalType> {
+        let mut types: BTreeMap<Name, SignalType> = self
+            .signal_set()
+            .into_iter()
+            .map(|n| (n, SignalType::Unknown))
+            .collect();
+        let set = |types: &mut BTreeMap<Name, SignalType>, n: &Name, t: SignalType| -> bool {
+            if t == SignalType::Unknown {
+                return false;
+            }
+            let entry = types.get_mut(n).expect("signal declared");
+            if *entry == SignalType::Unknown {
+                *entry = t;
+                true
+            } else {
+                false
+            }
+        };
+        let value_type = |v: Value| match v {
+            Value::Bool(_) => SignalType::Bool,
+            Value::Int(_) => SignalType::Int,
+        };
+        let atom_type = |types: &BTreeMap<Name, SignalType>, a: &Atom| match a {
+            Atom::Const(v) => value_type(*v),
+            Atom::Var(n) => types[n],
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Clock constraints sample boolean signals.
+            for (l, r) in &self.constraints {
+                for c in [l, r] {
+                    let mut stack = vec![c];
+                    while let Some(c) = stack.pop() {
+                        match c {
+                            ClockAst::WhenTrue(n) | ClockAst::WhenFalse(n) => {
+                                changed |= set(&mut types, n, SignalType::Bool);
+                            }
+                            ClockAst::And(a, b) | ClockAst::Or(a, b) | ClockAst::Diff(a, b) => {
+                                stack.push(a);
+                                stack.push(b);
+                            }
+                            ClockAst::Zero | ClockAst::Of(_) => {}
+                        }
+                    }
+                }
+            }
+            for eq in &self.equations {
+                match eq {
+                    KernelEq::Func { out, op, args } => {
+                        if op.is_boolean() {
+                            changed |= set(&mut types, out, SignalType::Bool);
+                        } else if *op == PrimOp::Id {
+                            let arg_t = atom_type(&types, &args[0]);
+                            changed |= set(&mut types, out, arg_t);
+                            if let Atom::Var(n) = &args[0] {
+                                let out_t = types[out];
+                                changed |= set(&mut types, n, out_t);
+                            }
+                        } else {
+                            changed |= set(&mut types, out, SignalType::Int);
+                        }
+                        // Comparison and arithmetic arguments are integers
+                        // unless the operator is purely boolean.
+                        let arg_ty = match op {
+                            PrimOp::And | PrimOp::Or | PrimOp::Xor | PrimOp::Not => {
+                                SignalType::Bool
+                            }
+                            PrimOp::Add
+                            | PrimOp::Sub
+                            | PrimOp::Mul
+                            | PrimOp::Div
+                            | PrimOp::Neg
+                            | PrimOp::Lt
+                            | PrimOp::Le
+                            | PrimOp::Gt
+                            | PrimOp::Ge => SignalType::Int,
+                            PrimOp::Eq | PrimOp::Ne | PrimOp::Id => SignalType::Unknown,
+                        };
+                        for a in args {
+                            if let Atom::Var(n) = a {
+                                changed |= set(&mut types, n, arg_ty);
+                            }
+                        }
+                    }
+                    KernelEq::Delay { out, arg, init } => {
+                        changed |= set(&mut types, out, value_type(*init));
+                        let out_t = types[out];
+                        changed |= set(&mut types, arg, out_t);
+                        let arg_t = types[arg];
+                        changed |= set(&mut types, out, arg_t);
+                    }
+                    KernelEq::When { out, arg, cond } => {
+                        changed |= set(&mut types, cond, SignalType::Bool);
+                        let arg_t = atom_type(&types, arg);
+                        changed |= set(&mut types, out, arg_t);
+                        if let Atom::Var(n) = arg {
+                            let out_t = types[out];
+                            changed |= set(&mut types, n, out_t);
+                        }
+                    }
+                    KernelEq::Default { out, left, right } => {
+                        let lt = atom_type(&types, left);
+                        let rt = atom_type(&types, right);
+                        let t = if lt != SignalType::Unknown { lt } else { rt };
+                        changed |= set(&mut types, out, t);
+                        let out_t = types[out];
+                        if let Atom::Var(n) = left {
+                            changed |= set(&mut types, n, out_t);
+                        }
+                        if let Atom::Var(n) = right {
+                            changed |= set(&mut types, n, out_t);
+                        }
+                    }
+                }
+            }
+        }
+        types
+    }
+
+    /// The signals of boolean type according to [`KernelProcess::infer_types`].
+    pub fn boolean_signals(&self) -> BTreeSet<Name> {
+        self.infer_types()
+            .into_iter()
+            .filter(|(_, t)| *t == SignalType::Bool)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// The delay registers of the process: one per delay equation, with its
+    /// initial value.
+    pub fn registers(&self) -> Vec<(Name, Name, Value)> {
+        self.equations
+            .iter()
+            .filter_map(|eq| match eq {
+                KernelEq::Delay { out, arg, init } => {
+                    Some((out.clone(), arg.clone(), *init))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for KernelProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "process {} (", self.name)?;
+        writeln!(
+            f,
+            "  ? {}",
+            self.inputs.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+        )?;
+        writeln!(
+            f,
+            "  ! {}",
+            self.outputs.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+        )?;
+        writeln!(f, ")")?;
+        for eq in &self.equations {
+            writeln!(f, "| {eq}")?;
+        }
+        for (l, r) in &self.constraints {
+            writeln!(f, "| {l} ^= {r}")?;
+        }
+        if !self.locals.is_empty() {
+            writeln!(
+                f,
+                "/ {}",
+                self.locals.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes a [`ProcessDef`] into kernel form.
+///
+/// # Errors
+///
+/// Returns [`SignalError::MultipleDefinitions`] if a signal ends up defined
+/// by more than one equation.
+pub fn normalize(def: &ProcessDef) -> Result<KernelProcess, SignalError> {
+    let mut ctx = Normalizer {
+        kernel: KernelProcess::empty(def.name.clone()),
+        counter: 0,
+        hidden: Vec::new(),
+    };
+    for out in &def.outputs {
+        ctx.kernel.declare_output(out.clone());
+    }
+    ctx.process(&def.body)?;
+    for input in &def.inputs {
+        ctx.kernel.declare_input(input.clone());
+    }
+    let hidden: Vec<Name> = ctx.hidden.clone();
+    let mut kernel = ctx.kernel;
+    kernel.hide(hidden.iter().map(Name::as_str));
+    Ok(kernel)
+}
+
+struct Normalizer {
+    kernel: KernelProcess,
+    counter: usize,
+    hidden: Vec<Name>,
+}
+
+impl Normalizer {
+    fn fresh(&mut self, hint: &str) -> Name {
+        self.counter += 1;
+        // Temporaries carry the process name so that separately normalized
+        // components can be composed without capture.
+        let prefix: String = self
+            .kernel
+            .name()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        Name::from(format!("_{prefix}_{hint}{}", self.counter))
+    }
+
+    fn process(&mut self, p: &Process) -> Result<(), SignalError> {
+        match p {
+            Process::Define { target, rhs } => self.define(target.clone(), rhs),
+            Process::Constraint { left, right } => {
+                self.kernel.push_constraint(left.clone(), right.clone());
+                Ok(())
+            }
+            Process::Compose(parts) => {
+                for q in parts {
+                    self.process(q)?;
+                }
+                Ok(())
+            }
+            Process::Hide { body, locals } => {
+                self.process(body)?;
+                self.hidden.extend(locals.iter().cloned());
+                Ok(())
+            }
+        }
+    }
+
+    /// Flattens `expr` into an atom, introducing a temporary definition when
+    /// the expression is not already a constant or a variable.
+    fn atom(&mut self, expr: &Expr) -> Result<Atom, SignalError> {
+        match expr {
+            Expr::Const(v) => Ok(Atom::Const(*v)),
+            Expr::Var(n) => Ok(Atom::Var(n.clone())),
+            _ => {
+                let tmp = self.fresh("e");
+                self.define(tmp.clone(), expr)?;
+                Ok(Atom::Var(tmp))
+            }
+        }
+    }
+
+    /// Flattens `expr` into a signal name.
+    fn signal(&mut self, expr: &Expr) -> Result<Name, SignalError> {
+        match self.atom(expr)? {
+            Atom::Var(n) => Ok(n),
+            Atom::Const(v) => {
+                let tmp = self.fresh("k");
+                self.kernel.push_equation(KernelEq::Func {
+                    out: tmp.clone(),
+                    op: PrimOp::Id,
+                    args: vec![Atom::Const(v)],
+                })?;
+                Ok(tmp)
+            }
+        }
+    }
+
+    fn define(&mut self, out: Name, rhs: &Expr) -> Result<(), SignalError> {
+        match rhs {
+            Expr::Const(v) => self.kernel.push_equation(KernelEq::Func {
+                out,
+                op: PrimOp::Id,
+                args: vec![Atom::Const(*v)],
+            }),
+            Expr::Var(n) => self.kernel.push_equation(KernelEq::Func {
+                out,
+                op: PrimOp::Id,
+                args: vec![Atom::Var(n.clone())],
+            }),
+            Expr::Pre { body, init } => {
+                let arg = self.signal(body)?;
+                self.kernel.push_equation(KernelEq::Delay {
+                    out,
+                    arg,
+                    init: *init,
+                })
+            }
+            Expr::When { body, cond } => {
+                let arg = self.atom(body)?;
+                let cond = self.signal(cond)?;
+                self.kernel.push_equation(KernelEq::When { out, arg, cond })
+            }
+            Expr::Default { left, right } => {
+                let left = self.atom(left)?;
+                let right = self.atom(right)?;
+                self.kernel
+                    .push_equation(KernelEq::Default { out, left, right })
+            }
+            Expr::Cell { body, clock, init } => {
+                // z := x cell b init v
+                //   ≡ z := x default (z $ init v)  |  ^z = ^x ^+ [b]
+                let body_name = self.signal(body)?;
+                let clock_name = self.signal(clock)?;
+                let mem = self.fresh("cell");
+                self.kernel.push_equation(KernelEq::Delay {
+                    out: mem.clone(),
+                    arg: out.clone(),
+                    init: *init,
+                })?;
+                self.kernel.push_equation(KernelEq::Default {
+                    out: out.clone(),
+                    left: Atom::Var(body_name.clone()),
+                    right: Atom::Var(mem),
+                })?;
+                self.kernel.push_constraint(
+                    ClockAst::of(out),
+                    ClockAst::of(body_name).or(ClockAst::when_true(clock_name)),
+                );
+                Ok(())
+            }
+            Expr::Unary { op, arg } => {
+                let arg = self.atom(arg)?;
+                self.kernel.push_equation(KernelEq::Func {
+                    out,
+                    op: (*op).into(),
+                    args: vec![arg],
+                })
+            }
+            Expr::Binary { op, left, right } => {
+                let left = self.atom(left)?;
+                let right = self.atom(right)?;
+                self.kernel.push_equation(KernelEq::Func {
+                    out,
+                    op: (*op).into(),
+                    args: vec![left, right],
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+
+    fn filter() -> ProcessDef {
+        ProcessBuilder::new("filter")
+            .define(
+                "x",
+                Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
+            )
+            .define("z", Expr::var("y").pre(true))
+            .hide(["z"])
+            .output("x")
+            .input("y")
+            .build()
+            .expect("filter builds")
+    }
+
+    #[test]
+    fn filter_normalizes_into_three_equations() {
+        let k = filter().normalize().expect("normalizes");
+        // x := true when _e1 ;  _e1 := y /= z ;  z := y $ init true
+        assert_eq!(k.equations().len(), 3);
+        assert!(k.is_input("y"));
+        assert!(k.is_output("x"));
+        assert!(k.locals().any(|n| n.as_str() == "z"));
+        assert_eq!(k.registers().len(), 1);
+    }
+
+    #[test]
+    fn multiple_definitions_are_rejected() {
+        let def = ProcessBuilder::new("bad")
+            .define("x", Expr::var("y"))
+            .define("x", Expr::var("z"))
+            .build()
+            .expect("builder does not check duplicates");
+        assert_eq!(
+            def.normalize(),
+            Err(SignalError::MultipleDefinitions(Name::from("x")))
+        );
+    }
+
+    #[test]
+    fn cell_desugars_into_delay_merge_and_constraint() {
+        let def = ProcessBuilder::new("mem")
+            .define("y", Expr::var("x").cell(Expr::var("c"), false))
+            .output("y")
+            .build()
+            .expect("builds");
+        let k = def.normalize().expect("normalizes");
+        assert_eq!(k.constraints().len(), 1);
+        assert!(k.equations().iter().any(KernelEq::is_delay));
+        assert!(k
+            .equations()
+            .iter()
+            .any(|eq| matches!(eq, KernelEq::Default { .. })));
+    }
+
+    #[test]
+    fn type_inference_finds_booleans_and_integers() {
+        let def = ProcessBuilder::new("typed")
+            .define("b", Expr::var("x").ne(Expr::var("y")))
+            .define("n", Expr::var("x").add(Expr::cst(1)))
+            .define("m", Expr::var("n").pre(0))
+            .build()
+            .expect("builds");
+        let k = def.normalize().expect("normalizes");
+        let types = k.infer_types();
+        assert_eq!(types[&Name::from("b")], SignalType::Bool);
+        assert_eq!(types[&Name::from("n")], SignalType::Int);
+        assert_eq!(types[&Name::from("m")], SignalType::Int);
+        assert_eq!(types[&Name::from("x")], SignalType::Int);
+    }
+
+    #[test]
+    fn composition_merges_interfaces() {
+        let producer = ProcessBuilder::new("p")
+            .define("x", Expr::var("a").add(Expr::cst(1)))
+            .output("x")
+            .build()
+            .unwrap()
+            .normalize()
+            .unwrap();
+        let consumer = ProcessBuilder::new("c")
+            .define("y", Expr::var("x").add(Expr::var("b")))
+            .output("y")
+            .build()
+            .unwrap()
+            .normalize()
+            .unwrap();
+        let both = producer.compose(&consumer).expect("composable");
+        assert!(both.is_output("x"));
+        assert!(both.is_output("y"));
+        assert!(both.is_input("a"));
+        assert!(both.is_input("b"));
+        assert!(!both.is_input("x"));
+    }
+
+    #[test]
+    fn composition_rejects_double_definitions() {
+        let a = ProcessBuilder::new("a")
+            .define("x", Expr::cst(1))
+            .output("x")
+            .build()
+            .unwrap()
+            .normalize()
+            .unwrap();
+        let b = ProcessBuilder::new("b")
+            .define("x", Expr::cst(2))
+            .output("x")
+            .build()
+            .unwrap()
+            .normalize()
+            .unwrap();
+        assert!(matches!(
+            a.compose(&b),
+            Err(SignalError::MultipleDefinitions(_))
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_enough_information() {
+        let k = filter().normalize().unwrap();
+        let text = k.to_string();
+        assert!(text.contains("process filter"));
+        assert!(text.contains("? y"));
+        assert!(text.contains("! x"));
+        assert!(text.contains("$ init true"));
+    }
+
+    #[test]
+    fn hide_moves_interface_signals_to_locals() {
+        let mut k = filter().normalize().unwrap();
+        k.hide(["x"]);
+        assert!(!k.is_output("x"));
+        assert!(k.locals().any(|n| n.as_str() == "x"));
+    }
+
+    #[test]
+    fn push_constraint_registers_free_signals_as_inputs() {
+        let mut k = KernelProcess::empty("c");
+        k.push_constraint(ClockAst::of("x"), ClockAst::when_true("t"));
+        assert!(k.is_input("x"));
+        assert!(k.is_input("t"));
+        assert!(k.boolean_signals().contains("t"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The Signal kernel language.
+//!
+//! This crate implements the data-flow synchronous language used by the paper
+//! *Compositional design of isochronous systems* (Talpin, Ouy, Besnard,
+//! Le Guernic — DATE 2008): abstract syntax for processes built from
+//! equations over signals ([`ast`]), a normalization into the four-primitive
+//! kernel used by the clock calculus ([`kernel`]), a fluent builder API
+//! ([`builder`]), a textual parser for a small Signal-like concrete syntax
+//! ([`parser`]), a pretty-printer ([`printer`]) and a library of the
+//! processes used throughout the paper ([`stdlib`]): `filter`, `merge`,
+//! `buffer` (= `flip | current`), the producer/consumer pair, the controller
+//! and the loosely time-triggered architecture (writer / bus / reader).
+//!
+//! # Example
+//!
+//! ```
+//! use signal_lang::builder::ProcessBuilder;
+//! use signal_lang::ast::Expr;
+//!
+//! // filter: x := true when (y /= z) | z := y $ init true, hiding z.
+//! let filter = ProcessBuilder::new("filter")
+//!     .define("x", Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))))
+//!     .define("z", Expr::var("y").pre(true))
+//!     .hide(["z"])
+//!     .build()?;
+//! let kernel = filter.normalize()?;
+//! assert!(kernel.inputs().any(|n| n.as_str() == "y"));
+//! assert!(kernel.outputs().any(|n| n.as_str() == "x"));
+//! # Ok::<(), signal_lang::SignalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod generate;
+pub mod kernel;
+pub mod parser;
+pub mod printer;
+pub mod stdlib;
+pub mod vars;
+
+pub use ast::{BinOp, ClockAst, Expr, Process, ProcessDef, UnOp};
+pub use builder::ProcessBuilder;
+pub use error::SignalError;
+pub use kernel::{Atom, KernelEq, KernelProcess, PrimOp};
+
+/// Signal names — shared with the polychronous model-of-computation crate.
+pub use moc::Name;
+/// Values carried by signals — shared with the model-of-computation crate.
+pub use moc::Value;

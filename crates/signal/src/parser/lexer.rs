@@ -1,0 +1,420 @@
+//! Tokenizer for the Signal concrete syntax.
+
+use std::fmt;
+
+use crate::SignalError;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (signal or process name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// The `process` keyword.
+    KwProcess,
+    /// The `end` keyword.
+    KwEnd,
+    /// The `where` keyword, introducing the list of local signals.
+    KwWhere,
+    /// The `when` keyword.
+    KwWhen,
+    /// The `default` keyword.
+    KwDefault,
+    /// The `cell` keyword.
+    KwCell,
+    /// The `init` keyword.
+    KwInit,
+    /// The `not` keyword.
+    KwNot,
+    /// The `and` keyword.
+    KwAnd,
+    /// The `or` keyword.
+    KwOr,
+    /// The `xor` keyword.
+    KwXor,
+    /// The `true` literal.
+    KwTrue,
+    /// The `false` literal.
+    KwFalse,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// `:=`
+    Assign,
+    /// `$`
+    Dollar,
+    /// `^` (clock-of prefix)
+    Caret,
+    /// `^=` (clock equality)
+    CaretEq,
+    /// `^+` (clock union)
+    CaretPlus,
+    /// `^-` (clock difference)
+    CaretMinus,
+    /// `^*` (clock intersection)
+    CaretStar,
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::KwProcess => write!(f, "`process`"),
+            TokenKind::KwEnd => write!(f, "`end`"),
+            TokenKind::KwWhere => write!(f, "`where`"),
+            TokenKind::KwWhen => write!(f, "`when`"),
+            TokenKind::KwDefault => write!(f, "`default`"),
+            TokenKind::KwCell => write!(f, "`cell`"),
+            TokenKind::KwInit => write!(f, "`init`"),
+            TokenKind::KwNot => write!(f, "`not`"),
+            TokenKind::KwAnd => write!(f, "`and`"),
+            TokenKind::KwOr => write!(f, "`or`"),
+            TokenKind::KwXor => write!(f, "`xor`"),
+            TokenKind::KwTrue => write!(f, "`true`"),
+            TokenKind::KwFalse => write!(f, "`false`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Dollar => write!(f, "`$`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::CaretEq => write!(f, "`^=`"),
+            TokenKind::CaretPlus => write!(f, "`^+`"),
+            TokenKind::CaretMinus => write!(f, "`^-`"),
+            TokenKind::CaretStar => write!(f, "`^*`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`/=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub column: usize,
+}
+
+/// The tokenizer.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    chars: std::iter::Peekable<std::str::Chars<'src>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'src str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, appending a final [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Parse`] on an unexpected character.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SignalError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let line = self.line;
+            let column = self.column;
+            let Some(&c) = self.chars.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, column });
+                return Ok(out);
+            };
+            let kind = self.next_kind(c, line, column)?;
+            out.push(Token { kind, line, column });
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    // Comments run from `%` to the end of the line.
+                    while let Some(&c) = self.chars.peek() {
+                        self.bump();
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_kind(&mut self, c: char, line: usize, column: usize) -> Result<TokenKind, SignalError> {
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = self.chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(keyword_or_ident(s));
+        }
+        if c.is_ascii_digit() {
+            let mut n: i64 = 0;
+            while let Some(&c) = self.chars.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    n = n * 10 + i64::from(d);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(TokenKind::Int(n));
+        }
+        self.bump();
+        let two = |lexer: &mut Self, next: char, yes: TokenKind, no: TokenKind| {
+            if lexer.chars.peek() == Some(&next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            '|' => TokenKind::Pipe,
+            '?' => TokenKind::Question,
+            '!' => TokenKind::Bang,
+            '$' => TokenKind::Dollar,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '=' => TokenKind::Eq,
+            '<' => two(self, '=', TokenKind::Le, TokenKind::Lt),
+            '>' => two(self, '=', TokenKind::Ge, TokenKind::Gt),
+            '/' => two(self, '=', TokenKind::Ne, TokenKind::Slash),
+            ':' => {
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    TokenKind::Assign
+                } else {
+                    return Err(SignalError::Parse {
+                        line,
+                        column,
+                        message: "expected `:=`".to_string(),
+                    });
+                }
+            }
+            '^' => match self.chars.peek() {
+                Some('=') => {
+                    self.bump();
+                    TokenKind::CaretEq
+                }
+                Some('+') => {
+                    self.bump();
+                    TokenKind::CaretPlus
+                }
+                Some('-') => {
+                    self.bump();
+                    TokenKind::CaretMinus
+                }
+                Some('*') => {
+                    self.bump();
+                    TokenKind::CaretStar
+                }
+                _ => TokenKind::Caret,
+            },
+            other => {
+                return Err(SignalError::Parse {
+                    line,
+                    column,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        Ok(kind)
+    }
+}
+
+fn keyword_or_ident(s: String) -> TokenKind {
+    match s.as_str() {
+        "process" => TokenKind::KwProcess,
+        "end" => TokenKind::KwEnd,
+        "where" => TokenKind::KwWhere,
+        "when" => TokenKind::KwWhen,
+        "default" => TokenKind::KwDefault,
+        "cell" => TokenKind::KwCell,
+        "init" => TokenKind::KwInit,
+        "not" => TokenKind::KwNot,
+        "and" => TokenKind::KwAnd,
+        "or" => TokenKind::KwOr,
+        "xor" => TokenKind::KwXor,
+        "true" => TokenKind::KwTrue,
+        "false" => TokenKind::KwFalse,
+        _ => TokenKind::Ident(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_keywords_and_integers() {
+        assert_eq!(
+            kinds("x := y when 42"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("y".into()),
+                TokenKind::KwWhen,
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_clock_operators() {
+        assert_eq!(
+            kinds("^x ^= (^y ^+ [not t])"),
+            vec![
+                TokenKind::Caret,
+                TokenKind::Ident("x".into()),
+                TokenKind::CaretEq,
+                TokenKind::LParen,
+                TokenKind::Caret,
+                TokenKind::Ident("y".into()),
+                TokenKind::CaretPlus,
+                TokenKind::LBracket,
+                TokenKind::KwNot,
+                TokenKind::Ident("t".into()),
+                TokenKind::RBracket,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_slash_and_ne() {
+        assert_eq!(
+            kinds("a / b /= c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let tokens = Lexer::new("x % a comment\n:= 1").tokenize().unwrap();
+        assert_eq!(tokens[1].kind, TokenKind::Assign);
+        assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = Lexer::new("x := #").tokenize().unwrap_err();
+        assert!(matches!(err, SignalError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_lone_colon() {
+        let err = Lexer::new("x : y").tokenize().unwrap_err();
+        assert!(matches!(err, SignalError::Parse { .. }));
+    }
+}

@@ -1,0 +1,117 @@
+//! A textual front-end for the Signal kernel.
+//!
+//! The concrete syntax is a small, unambiguous rendition of Signal:
+//!
+//! ```text
+//! process filter (? y ! x)
+//!   x := true when (y /= z)
+//! | z := y $ init true
+//! where z
+//! end
+//! ```
+//!
+//! * equations are written `x := expr` and separated by `|`;
+//! * explicit clock constraints are written `^x ^= [t]`, `^r ^= (^x ^+ ^y)`,
+//!   with `^+`, `^*`, `^-` for clock union, intersection and difference and
+//!   `[t]` / `[not t]` for the true/false samplings of a boolean signal;
+//! * the delay is the postfix `$ init <constant>`;
+//! * local signals are listed after `where`;
+//! * a file may contain several `process ... end` definitions.
+//!
+//! The pretty-printer of [`crate::printer`] emits exactly this syntax, which
+//! the round-trip tests rely on.
+
+mod lexer;
+mod parse;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parse::{parse_process, parse_program};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer;
+    use crate::stdlib;
+
+    #[test]
+    fn parses_the_filter_example() {
+        let src = "
+process filter (? y ! x)
+  x := true when (y /= z)
+| z := y $ init true
+where z
+end";
+        let def = parse_process(src).expect("parses");
+        assert_eq!(def.name, "filter");
+        assert_eq!(def.inputs.len(), 1);
+        assert_eq!(def.outputs.len(), 1);
+        let k = def.normalize().expect("normalizes");
+        assert_eq!(k.registers().len(), 1);
+    }
+
+    #[test]
+    fn parses_clock_constraints() {
+        let src = "
+process flip (? x, y ! )
+  s := t $ init true
+| t := not s
+| ^x ^= [t]
+| ^y ^= [not t]
+| ^r ^= (^x ^+ ^y)
+| r := x default y
+where s, t, r
+end";
+        let def = parse_process(src).expect("parses");
+        let k = def.normalize().expect("normalizes");
+        assert_eq!(k.constraints().len(), 3);
+    }
+
+    #[test]
+    fn round_trips_every_paper_process() {
+        for def in stdlib::all_paper_processes() {
+            let text = printer::render(&def);
+            let reparsed = parse_process(&text)
+                .unwrap_or_else(|e| panic!("{} does not reparse: {e}\n{text}", def.name));
+            let k1 = def.normalize().expect("original normalizes");
+            let k2 = reparsed.normalize().expect("reparsed normalizes");
+            assert_eq!(
+                k1.equations().len(),
+                k2.equations().len(),
+                "equation count differs for {}",
+                def.name
+            );
+            assert_eq!(
+                k1.constraints().len(),
+                k2.constraints().len(),
+                "constraint count differs for {}",
+                def.name
+            );
+            assert_eq!(k1.signal_set(), k2.signal_set(), "signals differ for {}", def.name);
+        }
+    }
+
+    #[test]
+    fn a_program_may_contain_several_processes() {
+        let src = "
+process a (? x ! y)
+  y := x + 1
+end
+process b (? y ! z)
+  z := y * 2
+end";
+        let defs = parse_program(src).expect("parses");
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].name, "a");
+        assert_eq!(defs[1].name, "b");
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let src = "process broken (? x ! y)\n  y := := x\nend";
+        let err = parse_process(src).unwrap_err();
+        match err {
+            crate::SignalError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Recursive-descent parser producing [`ProcessDef`]s.
+
+use crate::ast::{BinOp, ClockAst, Expr, Process, ProcessDef};
+use crate::parser::lexer::{Lexer, Token, TokenKind};
+use crate::{Name, SignalError, Value};
+
+/// Parses a single `process ... end` definition.
+///
+/// # Errors
+///
+/// Returns [`SignalError::Parse`] on malformed input.
+pub fn parse_process(source: &str) -> Result<ProcessDef, SignalError> {
+    let mut defs = parse_program(source)?;
+    if defs.len() == 1 {
+        Ok(defs.remove(0))
+    } else {
+        Err(SignalError::Parse {
+            line: 1,
+            column: 1,
+            message: format!("expected exactly one process, found {}", defs.len()),
+        })
+    }
+}
+
+/// Parses a whole program: a sequence of `process ... end` definitions.
+///
+/// # Errors
+///
+/// Returns [`SignalError::Parse`] on malformed input.
+pub fn parse_program(source: &str) -> Result<Vec<ProcessDef>, SignalError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut defs = Vec::new();
+    while !parser.at(&TokenKind::Eof) {
+        defs.push(parser.process_def()?);
+    }
+    Ok(defs)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SignalError> {
+        let t = self.peek();
+        Err(SignalError::Parse {
+            line: t.line,
+            column: t.column,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, SignalError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek_kind()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Name, SignalError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Name::from(s))
+            }
+            other => self.error(format!("expected an identifier, found {other}")),
+        }
+    }
+
+    fn name_list(&mut self) -> Result<Vec<Name>, SignalError> {
+        let mut names = Vec::new();
+        if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            names.push(self.ident()?);
+            while self.at(&TokenKind::Comma) {
+                self.bump();
+                names.push(self.ident()?);
+            }
+        }
+        Ok(names)
+    }
+
+    fn process_def(&mut self) -> Result<ProcessDef, SignalError> {
+        self.expect(&TokenKind::KwProcess)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        self.expect(&TokenKind::Question)?;
+        let inputs = self.name_list()?;
+        self.expect(&TokenKind::Bang)?;
+        let outputs = self.name_list()?;
+        self.expect(&TokenKind::RParen)?;
+
+        let mut statements = vec![self.statement()?];
+        while self.at(&TokenKind::Pipe) {
+            self.bump();
+            statements.push(self.statement()?);
+        }
+        let locals = if self.at(&TokenKind::KwWhere) {
+            self.bump();
+            self.name_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&TokenKind::KwEnd)?;
+
+        let body = Process::Compose(statements);
+        let body = if locals.is_empty() {
+            body
+        } else {
+            Process::Hide {
+                body: Box::new(body),
+                locals,
+            }
+        };
+        Ok(ProcessDef {
+            name: name.as_str().to_string(),
+            inputs,
+            outputs,
+            body,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Process, SignalError> {
+        // `x := expr` when an identifier is directly followed by `:=`,
+        // otherwise a clock constraint `clockexpr ^= clockexpr`.
+        if matches!(self.peek_kind(), TokenKind::Ident(_))
+            && *self.peek2_kind() == TokenKind::Assign
+        {
+            let target = self.ident()?;
+            self.expect(&TokenKind::Assign)?;
+            let rhs = self.expr()?;
+            return Ok(Process::Define { target, rhs });
+        }
+        let left = self.clock_expr()?;
+        self.expect(&TokenKind::CaretEq)?;
+        let right = self.clock_expr()?;
+        Ok(Process::Constraint { left, right })
+    }
+
+    // ---- clock expressions -------------------------------------------------
+
+    fn clock_expr(&mut self) -> Result<ClockAst, SignalError> {
+        let mut left = self.clock_term()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::CaretPlus => {
+                    self.bump();
+                    left = left.or(self.clock_term()?);
+                }
+                TokenKind::CaretStar => {
+                    self.bump();
+                    left = left.and(self.clock_term()?);
+                }
+                TokenKind::CaretMinus => {
+                    self.bump();
+                    left = left.diff(self.clock_term()?);
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn clock_term(&mut self) -> Result<ClockAst, SignalError> {
+        match self.peek_kind().clone() {
+            TokenKind::Caret => {
+                self.bump();
+                match self.peek_kind().clone() {
+                    TokenKind::Int(0) => {
+                        self.bump();
+                        Ok(ClockAst::Zero)
+                    }
+                    TokenKind::Ident(_) => Ok(ClockAst::Of(self.ident()?)),
+                    other => self.error(format!("expected a signal or `0` after `^`, found {other}")),
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let negated = if self.at(&TokenKind::KwNot) {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let name = self.ident()?;
+                self.expect(&TokenKind::RBracket)?;
+                Ok(if negated {
+                    ClockAst::WhenFalse(name)
+                } else {
+                    ClockAst::WhenTrue(name)
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.clock_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(_) => Ok(ClockAst::Of(self.ident()?)),
+            other => self.error(format!("expected a clock expression, found {other}")),
+        }
+    }
+
+    // ---- signal expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SignalError> {
+        self.default_expr()
+    }
+
+    fn default_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.when_expr()?;
+        while self.at(&TokenKind::KwDefault) {
+            self.bump();
+            let right = self.when_expr()?;
+            left = left.default(right);
+        }
+        Ok(left)
+    }
+
+    fn when_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.cell_expr()?;
+        while self.at(&TokenKind::KwWhen) {
+            self.bump();
+            let cond = self.cell_expr()?;
+            left = left.when(cond);
+        }
+        Ok(left)
+    }
+
+    fn cell_expr(&mut self) -> Result<Expr, SignalError> {
+        let body = self.or_expr()?;
+        if self.at(&TokenKind::KwCell) {
+            self.bump();
+            let clock = self.or_expr()?;
+            self.expect(&TokenKind::KwInit)?;
+            let init = self.constant()?;
+            return Ok(body.cell(clock, init));
+        }
+        Ok(body)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.and_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::KwOr => BinOp::Or,
+                TokenKind::KwXor => BinOp::Xor,
+                _ => return Ok(left),
+            };
+            self.bump();
+            left = left.binary(op, self.and_expr()?);
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.cmp_expr()?;
+        while self.at(&TokenKind::KwAnd) {
+            self.bump();
+            left = left.and(self.cmp_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SignalError> {
+        let left = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        Ok(left.binary(op, right))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            left = left.binary(op, self.mul_expr()?);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            left = left.binary(op, self.unary_expr()?);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SignalError> {
+        match self.peek_kind() {
+            TokenKind::KwNot => {
+                self.bump();
+                Ok(self.unary_expr()?.not())
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: crate::ast::UnOp::Neg,
+                    arg: Box::new(arg),
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, SignalError> {
+        let mut e = self.primary_expr()?;
+        while self.at(&TokenKind::Dollar) {
+            self.bump();
+            self.expect(&TokenKind::KwInit)?;
+            let init = self.constant()?;
+            e = e.pre(init);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SignalError> {
+        match self.peek_kind().clone() {
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Expr::cst(true))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr::cst(false))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::cst(n))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Var(self.ident()?)),
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => self.error(format!("expected an expression, found {other}")),
+        }
+    }
+
+    fn constant(&mut self) -> Result<Value, SignalError> {
+        match self.peek_kind().clone() {
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Value::Bool(true))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Value::Bool(false))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Value::Int(n))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.peek_kind().clone() {
+                    TokenKind::Int(n) => {
+                        self.bump();
+                        Ok(Value::Int(-n))
+                    }
+                    other => self.error(format!("expected an integer after `-`, found {other}")),
+                }
+            }
+            other => self.error(format!("expected a constant, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_precedence_matches_signal() {
+        let def = parse_process("process p (? a, b, c ! x)\n x := a + b * c when a = b\nend")
+            .expect("parses");
+        // when binds weaker than the arithmetic comparison.
+        match &def.body {
+            Process::Compose(parts) => match &parts[0] {
+                Process::Define { rhs, .. } => match rhs {
+                    Expr::When { body, cond } => {
+                        assert!(matches!(**body, Expr::Binary { op: BinOp::Add, .. }));
+                        assert!(matches!(**cond, Expr::Binary { op: BinOp::Eq, .. }));
+                    }
+                    other => panic!("unexpected rhs {other:?}"),
+                },
+                other => panic!("unexpected statement {other:?}"),
+            },
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dollar_init_parses_negative_constants() {
+        let def = parse_process("process p (? a ! x)\n x := a $ init -3\nend").expect("parses");
+        let k = def.normalize().unwrap();
+        assert_eq!(k.registers()[0].2, Value::Int(-3));
+    }
+
+    #[test]
+    fn cell_parses_with_init() {
+        let def =
+            parse_process("process p (? a, c ! x)\n x := a cell c init false\nend").expect("parses");
+        let k = def.normalize().unwrap();
+        assert_eq!(k.constraints().len(), 1);
+    }
+
+    #[test]
+    fn empty_interface_sections_are_allowed() {
+        let def = parse_process("process p (? x, y ! )\n ^x ^= ^y\nend").expect("parses");
+        assert!(def.outputs.is_empty());
+        assert_eq!(def.inputs.len(), 2);
+    }
+
+    #[test]
+    fn unexpected_tokens_are_reported() {
+        assert!(parse_process("process p (? a ! x) x := end").is_err());
+        assert!(parse_process("process p ? a ! x) x := a end").is_err());
+        assert!(parse_process("").is_err());
+    }
+}

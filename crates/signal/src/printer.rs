@@ -1,0 +1,136 @@
+//! Pretty-printing of Signal processes in the crate's concrete syntax.
+//!
+//! The emitted text can be parsed back by [`crate::parser`], which the test
+//! suite uses as a round-trip property.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, Process, ProcessDef};
+
+/// Renders a process definition in the concrete syntax accepted by the
+/// parser.
+///
+/// # Example
+///
+/// ```
+/// use signal_lang::{ProcessBuilder, Expr, printer};
+/// let def = ProcessBuilder::new("inc")
+///     .define("x", Expr::var("a").add(Expr::cst(1)))
+///     .build()?;
+/// let text = printer::render(&def);
+/// assert!(text.starts_with("process inc"));
+/// # Ok::<(), signal_lang::SignalError>(())
+/// ```
+pub fn render(def: &ProcessDef) -> String {
+    let mut out = String::new();
+    let inputs: Vec<&str> = def.inputs.iter().map(|n| n.as_str()).collect();
+    let outputs: Vec<&str> = def.outputs.iter().map(|n| n.as_str()).collect();
+    let _ = writeln!(
+        out,
+        "process {} (? {} ! {})",
+        def.name,
+        inputs.join(", "),
+        outputs.join(", ")
+    );
+    let mut statements = Vec::new();
+    let mut hidden = Vec::new();
+    flatten(&def.body, &mut statements, &mut hidden);
+    for (i, s) in statements.iter().enumerate() {
+        let sep = if i == 0 { " " } else { "|" };
+        let _ = writeln!(out, "{sep} {s}");
+    }
+    if !hidden.is_empty() {
+        let _ = writeln!(out, "where {}", hidden.join(", "));
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+fn flatten(p: &Process, statements: &mut Vec<String>, hidden: &mut Vec<String>) {
+    match p {
+        Process::Define { target, rhs } => {
+            statements.push(format!("{target} := {}", render_expr(rhs)));
+        }
+        Process::Constraint { left, right } => {
+            statements.push(format!("{left} ^= {right}"));
+        }
+        Process::Compose(parts) => {
+            for q in parts {
+                flatten(q, statements, hidden);
+            }
+        }
+        Process::Hide { body, locals } => {
+            flatten(body, statements, hidden);
+            hidden.extend(locals.iter().map(|n| n.as_str().to_string()));
+        }
+    }
+}
+
+/// Renders an expression with fully parenthesized sub-expressions, so that
+/// the output never depends on operator precedence.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(n) => n.to_string(),
+        Expr::Pre { body, init } => format!("({} $ init {init})", render_expr(body)),
+        Expr::When { body, cond } => {
+            format!("({} when {})", render_expr(body), render_expr(cond))
+        }
+        Expr::Default { left, right } => {
+            format!("({} default {})", render_expr(left), render_expr(right))
+        }
+        Expr::Cell { body, clock, init } => format!(
+            "({} cell {} init {init})",
+            render_expr(body),
+            render_expr(clock)
+        ),
+        Expr::Unary { op, arg } => format!("({op} {})", render_expr(arg)),
+        Expr::Binary { op, left, right } => {
+            format!("({} {op} {})", render_expr(left), render_expr(right))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::ast::ClockAst;
+
+    #[test]
+    fn renders_equations_constraints_and_restrictions() {
+        let def = ProcessBuilder::new("flip")
+            .define("s", Expr::var("t").pre(true))
+            .define("t", Expr::var("s").not())
+            .constraint_eq("x", ClockAst::when_true("t"))
+            .constraint_eq("y", ClockAst::when_false("t"))
+            .hide(["s", "t"])
+            .inputs(["y"])
+            .outputs(["x"])
+            .build()
+            .unwrap();
+        let text = render(&def);
+        assert!(text.contains("process flip (? y ! x)"));
+        assert!(text.contains("s := (t $ init true)"));
+        assert!(text.contains("^x ^= [t]"));
+        assert!(text.contains("where s, t"));
+        assert!(text.trim_end().ends_with("end"));
+    }
+
+    #[test]
+    fn expression_rendering_is_fully_parenthesized() {
+        let e = Expr::var("y")
+            .default(Expr::var("r").pre(false))
+            .when(Expr::var("c"));
+        assert_eq!(
+            render_expr(&e),
+            "((y default (r $ init false)) when c)"
+        );
+    }
+
+    #[test]
+    fn cell_and_unary_render() {
+        let e = Expr::var("x").cell(Expr::var("c"), true).not();
+        assert_eq!(render_expr(&e), "(not (x cell c init true))");
+    }
+}

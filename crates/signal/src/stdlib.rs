@@ -1,0 +1,459 @@
+//! The processes used throughout the paper, ready to be analyzed, composed,
+//! compiled and simulated.
+//!
+//! * [`filter`] — Section 1: emits `x` every time the value of `y` changes.
+//! * [`merge`] — Section 1: `d = if c then y else z`.
+//! * [`buffer`] — Section 3: the one-place buffer `flip | current`.
+//! * [`flip`], [`current`] — the two halves of the buffer.
+//! * [`producer`], [`consumer`] — Section 5.1: the pair whose composition is
+//!   weakly endochronous but not endochronous.
+//! * [`producer_consumer`] — the `main` process composing the two.
+//! * [`ltta_writer`], [`ltta_reader`], [`buffer_pair`], [`ltta_bus`],
+//!   [`ltta`] — Section 4.2: the loosely time-triggered architecture.
+//! * [`controller`] — Section 5.2: the synthesized controller specification
+//!   (its operational counterpart is produced by the code generator).
+
+use crate::ast::{ClockAst, Expr, ProcessDef};
+use crate::builder::ProcessBuilder;
+
+/// The `filter` process of Section 1: `x` is emitted (with value `true`)
+/// every time the value of the boolean input `y` changes.
+///
+/// ```text
+/// x = filter(y)  =def=  ( x := true when (y /= z) | z := y $ init true ) / z
+/// ```
+pub fn filter() -> ProcessDef {
+    ProcessBuilder::new("filter")
+        .define(
+            "x",
+            Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
+        )
+        .define("z", Expr::var("y").pre(true))
+        .hide(["z"])
+        .input("y")
+        .output("x")
+        .build()
+        .expect("filter is well-formed")
+}
+
+/// The `merge` equation of Section 1: `d` equals `y` when the boolean `c` is
+/// true and `z` otherwise.
+///
+/// As in the paper's traces, `y` is present exactly when `c` is true and `z`
+/// exactly when `c` is false, so that `merge` on its own is endochronous
+/// (single root `^c`); composing it with [`filter`] on the shared signal is
+/// what breaks endochrony.
+pub fn merge() -> ProcessDef {
+    ProcessBuilder::new("merge")
+        .define(
+            "d",
+            Expr::var("y")
+                .when(Expr::var("c"))
+                .default(Expr::var("z").when(Expr::var("c").not())),
+        )
+        .constraint_eq("y", ClockAst::when_true("c"))
+        .constraint_eq("z", ClockAst::when_false("c"))
+        .inputs(["c", "y", "z"])
+        .output("d")
+        .build()
+        .expect("merge is well-formed")
+}
+
+/// The `flip` half of the buffer: synchronizes `x` and `y` to the true and
+/// false values of an alternating boolean state.
+///
+/// ```text
+/// flip(x, y) =def= ( s := t $ init true | t := not s | ^x = [t] | ^y = [not t] ) / s, t
+/// ```
+pub fn flip() -> ProcessDef {
+    ProcessBuilder::new("flip")
+        .define("s", Expr::var("t").pre(true))
+        .define("t", Expr::var("s").not())
+        .constraint_eq("x", ClockAst::when_true("t"))
+        .constraint_eq("y", ClockAst::when_false("t"))
+        .hide(["s", "t"])
+        .inputs(["x", "y"])
+        .build()
+        .expect("flip is well-formed")
+}
+
+/// The `current` half of the buffer: stores the value of `y` and loads it
+/// into `x` on request.  The request clock is the boolean signal `c`.
+///
+/// ```text
+/// x = current(y, c) =def= ( r := y default (r $ init false)
+///                         | x := r when c | ^r = ^x ^+ ^y ) / r
+/// ```
+pub fn current() -> ProcessDef {
+    ProcessBuilder::new("current")
+        .define(
+            "r",
+            Expr::var("y").default(Expr::var("r").pre(false)),
+        )
+        .define("x", Expr::var("r").when(Expr::var("c")))
+        .constraint(
+            ClockAst::of("r"),
+            ClockAst::of("x").or(ClockAst::of("y")),
+        )
+        .hide(["r"])
+        .inputs(["y", "c"])
+        .output("x")
+        .build()
+        .expect("current is well-formed")
+}
+
+/// The one-place `buffer` of Section 3: alternately reads `y` and emits `x`.
+///
+/// This is the composition `current | flip` of the paper with the sampling
+/// clock of `current` provided by the alternating state `t` of `flip`:
+/// its clock relations are `^r = ^s = ^t`, `^x = [t]`, `^y = [not t]`.
+pub fn buffer() -> ProcessDef {
+    ProcessBuilder::new("buffer")
+        // flip
+        .define("s", Expr::var("t").pre(true))
+        .define("t", Expr::var("s").not())
+        .constraint_eq("x", ClockAst::when_true("t"))
+        .constraint_eq("y", ClockAst::when_false("t"))
+        // current, sampled by the alternating state t
+        .define(
+            "r",
+            Expr::var("y").default(Expr::var("r").pre(false)),
+        )
+        .define("x", Expr::var("r").when(Expr::var("t")))
+        .constraint(
+            ClockAst::of("r"),
+            ClockAst::of("x").or(ClockAst::of("y")),
+        )
+        .hide(["s", "t", "r"])
+        .input("y")
+        .output("x")
+        .build()
+        .expect("buffer is well-formed")
+}
+
+/// The `producer` of Section 5.1: increments `u` when `a` is true and `x`
+/// otherwise.
+///
+/// ```text
+/// (u, x) = producer(a) =def= ( ^u = [a] | u := 1 + (u $ init 0)
+///                            | ^x = [not a] | x := 1 + (x $ init 0) )
+/// ```
+pub fn producer() -> ProcessDef {
+    ProcessBuilder::new("producer")
+        .constraint_eq("u", ClockAst::when_true("a"))
+        .define("u", Expr::cst(1).add(Expr::var("u").pre(0)))
+        .constraint_eq("x", ClockAst::when_false("a"))
+        .define("x", Expr::cst(1).add(Expr::var("x").pre(0)))
+        .input("a")
+        .outputs(["u", "x"])
+        .build()
+        .expect("producer is well-formed")
+}
+
+/// The `consumer` of Section 5.1: adds the value of `x` to the count `v`
+/// when `b` is true and `1` otherwise.
+///
+/// ```text
+/// v = consumer(b, x) =def= ( ^v = ^b | ^x = [b]
+///                          | v := (v $ init 0) + (x default 1) )
+/// ```
+pub fn consumer() -> ProcessDef {
+    ProcessBuilder::new("consumer")
+        .synchro("v", "b")
+        .constraint_eq("x", ClockAst::when_true("b"))
+        .define(
+            "v",
+            Expr::var("v")
+                .pre(0)
+                .add(Expr::var("x").default(Expr::cst(1))),
+        )
+        .inputs(["b", "x"])
+        .output("v")
+        .build()
+        .expect("consumer is well-formed")
+}
+
+/// The `main` process of Section 5.1: the composition of the producer and
+/// the consumer, with the shared signal `x` hidden.
+///
+/// Both components are endochronous; their composition is weakly
+/// endochronous but not endochronous — its clock hierarchy has two roots,
+/// related by the clock constraint `[not a] = [b]` on the shared signal.
+pub fn producer_consumer() -> ProcessDef {
+    ProcessBuilder::new("main")
+        .include(&producer())
+        .include(&consumer())
+        .hide(["x"])
+        .inputs(["a", "b"])
+        .outputs(["u", "v"])
+        .build()
+        .expect("main is well-formed")
+}
+
+/// The composition `filter | merge` of Section 1, whose output `d` mixes the
+/// filtered signal with an independent input and is therefore no longer
+/// endochronous.
+pub fn filter_merge() -> ProcessDef {
+    // The filter's local delay is renamed so that it cannot be captured by
+    // the merge's input `z`.
+    let filter = filter().instantiate("f", &[("y", "y"), ("x", "x")]);
+    let merge = merge().instantiate("m", &[("c", "c"), ("y", "x"), ("z", "z"), ("d", "d")]);
+    ProcessBuilder::new("filter_merge")
+        .include(&filter)
+        .include(&merge)
+        .inputs(["y", "c", "z"])
+        .outputs(["x", "d"])
+        .build()
+        .expect("filter_merge is well-formed")
+}
+
+/// The LTTA `writer` of Section 4.2: accepts an input `xw` (present when the
+/// writer's activation clock `cw` is true) and produces the value `yw`
+/// together with an alternating flag `bw`.
+///
+/// ```text
+/// (yw, bw) = writer(xw, cw) =def= ( ^xw = ^bw = [cw] | yw := xw
+///                                 | bw := not (bw $ init true) )
+/// ```
+pub fn ltta_writer() -> ProcessDef {
+    ProcessBuilder::new("writer")
+        .constraint_eq("xw", ClockAst::when_true("cw"))
+        .synchro("bw", "xw")
+        .synchro("yw", "xw")
+        .define("yw", Expr::var("xw"))
+        .define("bw", Expr::var("pbw").not())
+        .define("pbw", Expr::var("bw").pre(true))
+        .hide(["pbw"])
+        .inputs(["xw", "cw"])
+        .outputs(["yw", "bw"])
+        .build()
+        .expect("writer is well-formed")
+}
+
+/// The LTTA `reader` of Section 4.2: loads `yr` and `br` from the bus (at
+/// the instants where its activation clock `cr` is true) and extracts `xr`
+/// whenever the flag `br` has changed — an alternating-bit protocol.
+///
+/// ```text
+/// xr = reader(yr, br, cr) =def= ( xr := yr when filter(br) | ^yr = [cr] )
+/// ```
+pub fn ltta_reader() -> ProcessDef {
+    ProcessBuilder::new("reader")
+        .define(
+            "fr",
+            Expr::cst(true).when(Expr::var("br").ne(Expr::var("zr"))),
+        )
+        .define("zr", Expr::var("br").pre(true))
+        .define("xr", Expr::var("yr").when(Expr::var("fr")))
+        .constraint_eq("yr", ClockAst::when_true("cr"))
+        .synchro("br", "yr")
+        .hide(["fr", "zr"])
+        .inputs(["yr", "br", "cr"])
+        .output("xr")
+        .build()
+        .expect("reader is well-formed")
+}
+
+/// A one-place buffer over a *pair* of signals `(y, b)`, used twice to model
+/// the LTTA bus (the writer's output buffer and the reader's input buffer).
+///
+/// It alternates between reading the pair `(y, b)` and emitting the pair
+/// `(yo, bo)`, exactly like [`buffer`] but keeping the value and its flag
+/// synchronized.
+pub fn buffer_pair() -> ProcessDef {
+    ProcessBuilder::new("buffer_pair")
+        .define("s", Expr::var("t").pre(true))
+        .define("t", Expr::var("s").not())
+        .constraint_eq("yo", ClockAst::when_true("t"))
+        .constraint_eq("y", ClockAst::when_false("t"))
+        .synchro("b", "y")
+        .synchro("bo", "yo")
+        .define(
+            "ry",
+            Expr::var("y").default(Expr::var("ry").pre(false)),
+        )
+        .define("yo", Expr::var("ry").when(Expr::var("t")))
+        .constraint(
+            ClockAst::of("ry"),
+            ClockAst::of("yo").or(ClockAst::of("y")),
+        )
+        .define(
+            "rb",
+            Expr::var("b").default(Expr::var("rb").pre(true)),
+        )
+        .define("bo", Expr::var("rb").when(Expr::var("t")))
+        .constraint(
+            ClockAst::of("rb"),
+            ClockAst::of("bo").or(ClockAst::of("b")),
+        )
+        .hide(["s", "t", "ry", "rb"])
+        .inputs(["y", "b"])
+        .outputs(["yo", "bo"])
+        .build()
+        .expect("buffer_pair is well-formed")
+}
+
+/// The LTTA `bus` of Section 4.2: two pair-buffers in series, forwarding the
+/// writer's `(yw, bw)` towards the reader's `(yr, br)`.
+///
+/// The bus activation clock `cb` of the paper is not used because the
+/// buffers are paced by their own local clocks, exactly as noted in the
+/// paper.
+pub fn ltta_bus() -> ProcessDef {
+    let stage1 = buffer_pair().instantiate(
+        "bus1",
+        &[("y", "yw"), ("b", "bw"), ("yo", "ym"), ("bo", "bm")],
+    );
+    let stage2 = buffer_pair().instantiate(
+        "bus2",
+        &[("y", "ym"), ("b", "bm"), ("yo", "yr"), ("bo", "br")],
+    );
+    ProcessBuilder::new("bus")
+        .include(&stage1)
+        .include(&stage2)
+        .hide(["ym", "bm"])
+        .inputs(["yw", "bw"])
+        .outputs(["yr", "br"])
+        .build()
+        .expect("bus is well-formed")
+}
+
+/// The complete LTTA of Section 4.2: `xr = reader(bus(writer(xw, cw)), cr)`.
+///
+/// The hierarchy of this process has several roots (one per device clock):
+/// it is *not* endochronous, but each component is, and the paper's static
+/// criterion shows their composition is isochronous.
+pub fn ltta() -> ProcessDef {
+    ProcessBuilder::new("ltta")
+        .include(&ltta_writer())
+        .include(&ltta_bus())
+        .include(&ltta_reader())
+        .hide(["yw", "bw", "yr", "br"])
+        .inputs(["xw", "cw", "cr"])
+        .output("xr")
+        .build()
+        .expect("ltta is well-formed")
+}
+
+/// The controller specification of Section 5.2.
+///
+/// The controller accepts the inputs `a` and `b` of the producer/consumer
+/// pair and computes the rendez-vous flags `ra`, `rb` and `r` used to
+/// suspend one side until the clock constraint `[not a] = [b]` on the shared
+/// variable can be satisfied.  The copies `c` and `d` fed to the producer
+/// and consumer are exposed as outputs.  The operational suspension logic
+/// (reading `a`/`b` only when allowed) is produced by the code generator's
+/// controller synthesis, mirroring the C code of the paper.
+pub fn controller() -> ProcessDef {
+    ProcessBuilder::new("controller")
+        .define(
+            "ra",
+            Expr::var("a").not().default(Expr::var("ra").pre(false)),
+        )
+        .define(
+            "rb",
+            Expr::var("b").default(Expr::var("rb").pre(false)),
+        )
+        .define("r", Expr::var("ra").and(Expr::var("rb")))
+        .define("c", Expr::var("a"))
+        .define("d", Expr::var("b"))
+        .hide(["ra", "rb", "r"])
+        .inputs(["a", "b"])
+        .outputs(["c", "d"])
+        .build()
+        .expect("controller is well-formed")
+}
+
+/// Every paper process, for data-driven tests and benchmarks.
+pub fn all_paper_processes() -> Vec<ProcessDef> {
+    vec![
+        filter(),
+        merge(),
+        flip(),
+        current(),
+        buffer(),
+        producer(),
+        consumer(),
+        producer_consumer(),
+        filter_merge(),
+        ltta_writer(),
+        ltta_reader(),
+        buffer_pair(),
+        ltta_bus(),
+        ltta(),
+        controller(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_process_normalizes() {
+        for def in all_paper_processes() {
+            let kernel = def.normalize().unwrap_or_else(|e| {
+                panic!("process {} fails to normalize: {e}", def.name)
+            });
+            assert!(
+                !kernel.equations().is_empty() || !kernel.constraints().is_empty(),
+                "process {} is empty",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn filter_interface_matches_the_paper() {
+        let k = filter().normalize().unwrap();
+        assert!(k.is_input("y"));
+        assert!(k.is_output("x"));
+        assert_eq!(k.inputs().count(), 1);
+        assert_eq!(k.outputs().count(), 1);
+    }
+
+    #[test]
+    fn buffer_has_the_paper_interface_and_state() {
+        let k = buffer().normalize().unwrap();
+        assert!(k.is_input("y"));
+        assert!(k.is_output("x"));
+        // Two delays: the alternating state s and the memory r.
+        assert_eq!(k.registers().len(), 2);
+    }
+
+    #[test]
+    fn producer_consumer_shares_x_internally() {
+        let k = producer_consumer().normalize().unwrap();
+        assert!(k.is_input("a"));
+        assert!(k.is_input("b"));
+        assert!(k.is_output("u"));
+        assert!(k.is_output("v"));
+        assert!(!k.is_input("x") && !k.is_output("x"));
+        assert!(k.locals().any(|n| n.as_str() == "x"));
+    }
+
+    #[test]
+    fn ltta_exposes_only_the_device_interfaces() {
+        let k = ltta().normalize().unwrap();
+        let inputs: Vec<&str> = k.inputs().map(|n| n.as_str()).collect();
+        assert_eq!(inputs, vec!["cr", "cw", "xw"]);
+        let outputs: Vec<&str> = k.outputs().map(|n| n.as_str()).collect();
+        assert_eq!(outputs, vec!["xr"]);
+    }
+
+    #[test]
+    fn bus_instances_do_not_collide() {
+        let k = ltta_bus().normalize().unwrap();
+        // The two buffer_pair instances each contribute two delays for their
+        // memories plus one for the alternating state.
+        assert_eq!(k.registers().len(), 6);
+    }
+
+    #[test]
+    fn boolean_signals_are_detected_in_the_buffer() {
+        let k = buffer().normalize().unwrap();
+        let booleans = k.boolean_signals();
+        assert!(booleans.contains("s"));
+        assert!(booleans.contains("t"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Free and defined signal analysis on the process AST.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Process;
+use crate::Name;
+
+/// The signals defined (appearing on the left-hand side of an equation) in a
+/// process, *including* those defined inside restrictions.
+pub fn defined_signals(p: &Process) -> BTreeSet<Name> {
+    let mut out = BTreeSet::new();
+    collect_defined(p, &mut out);
+    out
+}
+
+fn collect_defined(p: &Process, out: &mut BTreeSet<Name>) {
+    match p {
+        Process::Define { target, .. } => {
+            out.insert(target.clone());
+        }
+        Process::Constraint { .. } => {}
+        Process::Compose(parts) => {
+            for q in parts {
+                collect_defined(q, out);
+            }
+        }
+        Process::Hide { body, .. } => collect_defined(body, out),
+    }
+}
+
+/// The signals mentioned anywhere in a process (left- or right-hand sides,
+/// clock constraints), except those whose scope is restricted.
+pub fn visible_signals(p: &Process) -> BTreeSet<Name> {
+    let mut out = BTreeSet::new();
+    collect_visible(p, &mut out);
+    out
+}
+
+fn collect_visible(p: &Process, out: &mut BTreeSet<Name>) {
+    match p {
+        Process::Define { target, rhs } => {
+            out.insert(target.clone());
+            let mut vars = Vec::new();
+            rhs.free_vars(&mut vars);
+            out.extend(vars);
+        }
+        Process::Constraint { left, right } => {
+            let mut vars = Vec::new();
+            left.free_vars(&mut vars);
+            right.free_vars(&mut vars);
+            out.extend(vars);
+        }
+        Process::Compose(parts) => {
+            for q in parts {
+                collect_visible(q, out);
+            }
+        }
+        Process::Hide { body, locals } => {
+            let mut inner = BTreeSet::new();
+            collect_visible(body, &mut inner);
+            for l in locals {
+                inner.remove(l);
+            }
+            out.extend(inner);
+        }
+    }
+}
+
+/// The *free* signals of a process: visible signals that are never defined.
+/// A free signal is an input of the process (Section 2 of the paper: a free
+/// signal is an output iff it occurs on the left hand-side of an equation,
+/// otherwise it is an input).
+pub fn free_signals(p: &Process) -> BTreeSet<Name> {
+    let visible = visible_signals(p);
+    let defined = defined_signals(p);
+    visible.difference(&defined).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ClockAst, Expr};
+
+    fn filter_body() -> Process {
+        Process::Hide {
+            body: Box::new(Process::Compose(vec![
+                Process::Define {
+                    target: Name::from("x"),
+                    rhs: Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
+                },
+                Process::Define {
+                    target: Name::from("z"),
+                    rhs: Expr::var("y").pre(true),
+                },
+            ])),
+            locals: vec![Name::from("z")],
+        }
+    }
+
+    #[test]
+    fn defined_signals_include_restricted_ones() {
+        let d = defined_signals(&filter_body());
+        assert!(d.contains("x"));
+        assert!(d.contains("z"));
+    }
+
+    #[test]
+    fn visible_signals_exclude_restricted_ones() {
+        let v = visible_signals(&filter_body());
+        assert!(v.contains("x"));
+        assert!(v.contains("y"));
+        assert!(!v.contains("z"));
+    }
+
+    #[test]
+    fn free_signals_are_the_inputs() {
+        let f = free_signals(&filter_body());
+        assert_eq!(f.into_iter().collect::<Vec<_>>(), vec![Name::from("y")]);
+    }
+
+    #[test]
+    fn constraints_contribute_visible_signals() {
+        let p = Process::Constraint {
+            left: ClockAst::of("x"),
+            right: ClockAst::when_true("t"),
+        };
+        let v = visible_signals(&p);
+        assert!(v.contains("x"));
+        assert!(v.contains("t"));
+        assert!(defined_signals(&p).is_empty());
+        assert_eq!(free_signals(&p).len(), 2);
+    }
+}

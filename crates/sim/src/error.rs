@@ -1,0 +1,73 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use signal_lang::Name;
+
+/// An error raised while executing a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A clock constraint was violated by the driven instant (e.g. an input
+    /// was forced present at an instant where its clock is false).
+    ClockConstraintViolation {
+        /// Human-readable description of the violated constraint.
+        constraint: String,
+    },
+    /// Two sources disagree on the presence or value of a signal.
+    Contradiction {
+        /// The signal with contradictory requirements.
+        signal: Name,
+    },
+    /// The instant could not be resolved: the presence of a signal remained
+    /// unknown after propagation, meaning the caller must drive it
+    /// explicitly.
+    Unresolved {
+        /// The signal whose presence could not be decided.
+        signal: Name,
+    },
+    /// A value-level evaluation error (e.g. division by zero).
+    Evaluation {
+        /// Description of the fault.
+        message: String,
+    },
+    /// An unknown signal name was driven.
+    UnknownSignal(Name),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ClockConstraintViolation { constraint } => {
+                write!(f, "clock constraint violated: {constraint}")
+            }
+            SimError::Contradiction { signal } => {
+                write!(f, "contradictory presence or value for signal {signal}")
+            }
+            SimError::Unresolved { signal } => {
+                write!(f, "presence of signal {signal} could not be resolved")
+            }
+            SimError::Evaluation { message } => write!(f, "evaluation error: {message}"),
+            SimError::UnknownSignal(n) => write!(f, "unknown signal {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::Contradiction {
+            signal: Name::from("x"),
+        };
+        assert!(e.to_string().contains('x'));
+        let e = SimError::ClockConstraintViolation {
+            constraint: "^x = [t]".into(),
+        };
+        assert!(e.to_string().contains("^x = [t]"));
+        assert!(SimError::UnknownSignal(Name::from("q")).to_string().contains('q'));
+    }
+}

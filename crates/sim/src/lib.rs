@@ -1,0 +1,43 @@
+//! Execution substrate for Signal processes.
+//!
+//! The crate provides the runtime machinery the paper's examples need:
+//!
+//! * a **synchronous interpreter** ([`Simulator`]) that executes a kernel
+//!   process reaction by reaction, solving presence and values of every
+//!   signal from the driven inputs and the clock constraints;
+//! * **trace recording** into the behaviors of the polychronous model of
+//!   computation ([`trace`]), so that executions can be compared with
+//!   clock- and flow-equivalence;
+//! * an **asynchronous network simulator** ([`AsyncNetwork`]) in which each
+//!   component runs at its own pace and communicates through unbounded
+//!   FIFOs, as a network with arbitrary latency would — the observable
+//!   flows of the synchronous and asynchronous executions are what the
+//!   isochrony property (Definition 3 of the paper) compares.
+//!
+//! # Example
+//!
+//! ```
+//! use sim::{Drive, Simulator};
+//! use signal_lang::stdlib;
+//!
+//! let mut filter = Simulator::new(&stdlib::filter().normalize()?);
+//! let r1 = filter.step(&[("y", Drive::Present(true.into()))])?;
+//! // The first value (true) equals the initial delay value: no change event.
+//! assert!(!r1.is_present("x"));
+//! let r2 = filter.step(&[("y", Drive::Present(false.into()))])?;
+//! assert!(r2.is_present("x"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_net;
+pub mod error;
+pub mod simulator;
+pub mod trace;
+
+pub use async_net::{AsyncNetwork, ComponentId, StepOutcome};
+pub use error::SimError;
+pub use simulator::{Drive, Simulator};
+pub use trace::TraceRecorder;

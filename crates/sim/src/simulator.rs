@@ -1,0 +1,804 @@
+//! The synchronous reaction-by-reaction interpreter.
+//!
+//! Each call to [`Simulator::step`] executes one instant of the process: the
+//! caller *drives* a subset of the signals (typically the inputs and the
+//! activation clocks) and the interpreter solves the presence and the value
+//! of every other signal by propagating the kernel equations and the clock
+//! constraints to a fixed point.  Signals whose presence cannot be derived
+//! are absent — silence is always a legal reaction — and the completed
+//! instant is validated against every constraint before the delay registers
+//! are committed, so that an ill-driven instant is rejected instead of
+//! silently corrupting the state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use moc::{Reaction, Tag};
+use signal_lang::{Atom, ClockAst, KernelEq, KernelProcess, Name, PrimOp, Value};
+
+use crate::error::SimError;
+
+/// How the caller drives one signal for one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// The signal is present and carries this value.
+    Present(Value),
+    /// The signal is present; its value is computed by the process (used for
+    /// activation clocks and state signals).
+    Tick,
+    /// The signal is absent at this instant.
+    Absent,
+    /// The signal is available with this value, but only becomes present if
+    /// the process requires it (demand-driven input, as a blocking read
+    /// would provide).
+    Available(Value),
+}
+
+/// Presence and value knowledge about one signal during resolution.
+#[derive(Debug, Clone, Copy, Default)]
+struct Knowledge {
+    presence: Option<bool>,
+    value: Option<Value>,
+}
+
+/// The synchronous interpreter of a kernel process.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    kernel: KernelProcess,
+    registers: BTreeMap<Name, Value>,
+    activation: Vec<Name>,
+    instant: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with every delay register set to its declared
+    /// initial value.
+    pub fn new(kernel: &KernelProcess) -> Self {
+        let registers = kernel
+            .registers()
+            .into_iter()
+            .map(|(out, _, init)| (out, init))
+            .collect();
+        Simulator {
+            kernel: kernel.clone(),
+            registers,
+            activation: Vec::new(),
+            instant: 0,
+        }
+    }
+
+    /// Creates a simulator that additionally forces the given signals to be
+    /// present (`Drive::Tick`) at every step — the idiom for processes paced
+    /// by an internal state clock, such as the paper's one-place buffer.
+    pub fn with_activation<I, N>(kernel: &KernelProcess, activation: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        let mut sim = Simulator::new(kernel);
+        sim.activation = activation.into_iter().map(Into::into).collect();
+        sim
+    }
+
+    /// The process being executed.
+    pub fn kernel(&self) -> &KernelProcess {
+        &self.kernel
+    }
+
+    /// The current contents of the delay registers.
+    pub fn registers(&self) -> &BTreeMap<Name, Value> {
+        &self.registers
+    }
+
+    /// The number of instants executed so far.
+    pub fn instants(&self) -> u64 {
+        self.instant
+    }
+
+    /// Executes one instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the driven instant contradicts the clock
+    /// constraints or the equations of the process; in that case the state
+    /// of the simulator is unchanged, so the caller may retry with a
+    /// different drive (this is how the asynchronous network models a
+    /// blocking read).
+    pub fn step(&mut self, drives: &[(&str, Drive)]) -> Result<Reaction, SimError> {
+        let signals: BTreeSet<Name> = self.kernel.signal_set();
+        let mut know: BTreeMap<Name, Knowledge> = signals
+            .iter()
+            .map(|n| (n.clone(), Knowledge::default()))
+            .collect();
+        let mut available: BTreeMap<Name, Value> = BTreeMap::new();
+
+        for name in &self.activation {
+            if !signals.contains(name) {
+                return Err(SimError::UnknownSignal(name.clone()));
+            }
+            know.get_mut(name).expect("declared").presence = Some(true);
+        }
+        for (name, drive) in drives {
+            let name = Name::from(*name);
+            let Some(k) = know.get_mut(&name) else {
+                return Err(SimError::UnknownSignal(name));
+            };
+            match drive {
+                Drive::Present(v) => {
+                    k.presence = Some(true);
+                    k.value = Some(*v);
+                }
+                Drive::Tick => k.presence = Some(true),
+                Drive::Absent => k.presence = Some(false),
+                Drive::Available(v) => {
+                    available.insert(name, *v);
+                }
+            }
+        }
+
+        // Fixed-point propagation.
+        let max_rounds = 4 * (self.kernel.equations().len() + self.kernel.constraints().len() + 4);
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for eq in self.kernel.equations() {
+                changed |= self.propagate_equation(eq, &mut know, &available)?;
+            }
+            for (l, r) in self.kernel.constraints() {
+                changed |= self.propagate_constraint(l, r, &mut know, &available)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Unknown presence resolves to absence (silence is always allowed).
+        for k in know.values_mut() {
+            if k.presence.is_none() {
+                k.presence = Some(false);
+            }
+        }
+
+        // One more propagation pass to compute values that become derivable
+        // once absences are settled, then validate the completed instant.
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for eq in self.kernel.equations() {
+                changed |= self.propagate_equation(eq, &mut know, &available)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.validate(&know)?;
+
+        // Commit the registers and build the reaction.
+        for (out, arg, _) in self.kernel.registers() {
+            let arg_know = &know[&arg];
+            if arg_know.presence == Some(true) {
+                if let Some(v) = arg_know.value {
+                    self.registers.insert(out.clone(), v);
+                }
+            }
+        }
+        let mut reaction = Reaction::empty_on(signals.iter().cloned());
+        let mut any = false;
+        for (name, k) in &know {
+            if k.presence == Some(true) {
+                let value = k.value.ok_or_else(|| SimError::Unresolved {
+                    signal: name.clone(),
+                })?;
+                reaction.insert(name.clone(), value);
+                any = true;
+            }
+        }
+        if any {
+            reaction.set_tag(Tag::new(self.instant));
+        }
+        self.instant += 1;
+        Ok(reaction)
+    }
+
+    /// Convenience: runs one instant with every *input* of the process made
+    /// available with the provided value (demand-driven), plus the explicit
+    /// drives.
+    pub fn step_with_inputs(
+        &mut self,
+        inputs: &[(&str, Value)],
+    ) -> Result<Reaction, SimError> {
+        let drives: Vec<(&str, Drive)> = inputs
+            .iter()
+            .map(|(n, v)| (*n, Drive::Available(*v)))
+            .collect();
+        self.step(&drives)
+    }
+
+    // ---- propagation ------------------------------------------------------
+
+    fn set_presence(
+        know: &mut BTreeMap<Name, Knowledge>,
+        name: &Name,
+        presence: bool,
+        available: &BTreeMap<Name, Value>,
+    ) -> Result<bool, SimError> {
+        let k = know.get_mut(name).expect("declared signal");
+        match k.presence {
+            Some(p) if p == presence => Ok(false),
+            Some(_) => Err(SimError::Contradiction {
+                signal: name.clone(),
+            }),
+            None => {
+                k.presence = Some(presence);
+                if presence {
+                    if let (None, Some(v)) = (k.value, available.get(name)) {
+                        k.value = Some(*v);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    fn set_value(
+        know: &mut BTreeMap<Name, Knowledge>,
+        name: &Name,
+        value: Value,
+    ) -> Result<bool, SimError> {
+        let k = know.get_mut(name).expect("declared signal");
+        match k.value {
+            Some(v) if v == value => Ok(false),
+            Some(_) => Err(SimError::Contradiction {
+                signal: name.clone(),
+            }),
+            None => {
+                k.value = Some(value);
+                Ok(true)
+            }
+        }
+    }
+
+    fn atom_presence(know: &BTreeMap<Name, Knowledge>, atom: &Atom) -> Option<bool> {
+        match atom {
+            Atom::Const(_) => Some(true),
+            Atom::Var(n) => know[n].presence,
+        }
+    }
+
+    fn atom_value(know: &BTreeMap<Name, Knowledge>, atom: &Atom) -> Option<Value> {
+        match atom {
+            Atom::Const(v) => Some(*v),
+            Atom::Var(n) => know[n].value,
+        }
+    }
+
+    fn propagate_equation(
+        &self,
+        eq: &KernelEq,
+        know: &mut BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+    ) -> Result<bool, SimError> {
+        let mut changed = false;
+        match eq {
+            KernelEq::Func { out, op, args } => {
+                // All variable operands and the output are synchronous.
+                let mut group: Vec<&Name> = vec![out];
+                for a in args {
+                    if let Atom::Var(n) = a {
+                        group.push(n);
+                    }
+                }
+                let known: Option<bool> = group.iter().find_map(|n| know[*n].presence);
+                if let Some(p) = known {
+                    for n in &group {
+                        changed |= Self::set_presence(know, n, p, available)?;
+                    }
+                }
+                if know[out].presence == Some(true) {
+                    let vals: Option<Vec<Value>> =
+                        args.iter().map(|a| Self::atom_value(know, a)).collect();
+                    if let Some(vals) = vals {
+                        let v = eval_op(*op, &vals)?;
+                        changed |= Self::set_value(know, out, v)?;
+                    }
+                }
+            }
+            KernelEq::Delay { out, arg, .. } => {
+                let known = know[out].presence.or(know[arg].presence);
+                if let Some(p) = known {
+                    changed |= Self::set_presence(know, out, p, available)?;
+                    changed |= Self::set_presence(know, arg, p, available)?;
+                }
+                if know[out].presence == Some(true) {
+                    let reg = self.registers[out];
+                    changed |= Self::set_value(know, out, reg)?;
+                }
+            }
+            KernelEq::When { out, arg, cond } => {
+                let cond_presence = know[cond].presence;
+                let cond_value = know[cond].value;
+                let cond_true = match (cond_presence, cond_value) {
+                    (Some(false), _) => Some(false),
+                    (Some(true), Some(v)) => Some(v.is_true()),
+                    _ => None,
+                };
+                match cond_true {
+                    Some(false) => {
+                        changed |= Self::set_presence(know, out, false, available)?;
+                    }
+                    Some(true) => match arg {
+                        Atom::Const(v) => {
+                            changed |= Self::set_presence(know, out, true, available)?;
+                            changed |= Self::set_value(know, out, *v)?;
+                        }
+                        Atom::Var(y) => {
+                            if let Some(p) = know[y].presence.or(know[out].presence) {
+                                changed |= Self::set_presence(know, out, p, available)?;
+                                changed |= Self::set_presence(know, y, p, available)?;
+                            }
+                            if know[out].presence == Some(true) {
+                                if let Some(v) = know[y].value {
+                                    changed |= Self::set_value(know, out, v)?;
+                                }
+                            }
+                        }
+                    },
+                    None => {}
+                }
+                // Backward: if the output is present, the condition is
+                // present and true, and a variable operand is present.
+                if know[out].presence == Some(true) {
+                    changed |= Self::set_presence(know, cond, true, available)?;
+                    changed |= Self::set_value(know, cond, Value::Bool(true))?;
+                    if let Atom::Var(y) = arg {
+                        changed |= Self::set_presence(know, y, true, available)?;
+                    }
+                }
+            }
+            KernelEq::Default { out, left, right } => {
+                let lp = Self::atom_presence(know, left);
+                let rp = Self::atom_presence(know, right);
+                // Forward presence.
+                match (left, lp) {
+                    (Atom::Var(_), Some(true)) => {
+                        changed |= Self::set_presence(know, out, true, available)?;
+                        if let Some(v) = Self::atom_value(know, left) {
+                            changed |= Self::set_value(know, out, v)?;
+                        }
+                    }
+                    (Atom::Var(_), Some(false)) => {
+                        if let Atom::Var(z) = right {
+                            if let Some(p) = know[z].presence {
+                                changed |= Self::set_presence(know, out, p, available)?;
+                                if p {
+                                    if let Some(v) = know[z].value {
+                                        changed |= Self::set_value(know, out, v)?;
+                                    }
+                                }
+                            }
+                            // If out is known present and left absent, the
+                            // alternative must be present.
+                            if know[out].presence == Some(true) {
+                                changed |= Self::set_presence(know, z, true, available)?;
+                                if let Some(v) = know[z].value {
+                                    changed |= Self::set_value(know, out, v)?;
+                                }
+                            }
+                        } else if know[out].presence == Some(true) {
+                            if let Some(v) = Self::atom_value(know, right) {
+                                changed |= Self::set_value(know, out, v)?;
+                            }
+                        }
+                    }
+                    (Atom::Const(v), _) => {
+                        // A constant priority operand: the output carries it
+                        // whenever present.
+                        if know[out].presence == Some(true) {
+                            changed |= Self::set_value(know, out, *v)?;
+                        }
+                    }
+                    (Atom::Var(_), None) => {}
+                }
+                // Backward presence: out absent => both variable operands
+                // absent; out present with both operands variables and
+                // right absent => left present.
+                if know[out].presence == Some(false) {
+                    if let Atom::Var(y) = left {
+                        changed |= Self::set_presence(know, y, false, available)?;
+                    }
+                    if let Atom::Var(z) = right {
+                        changed |= Self::set_presence(know, z, false, available)?;
+                    }
+                }
+                if know[out].presence == Some(true) && rp == Some(false) {
+                    if let Atom::Var(y) = left {
+                        changed |= Self::set_presence(know, y, true, available)?;
+                        if let Some(v) = know[y].value {
+                            changed |= Self::set_value(know, out, v)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    fn propagate_constraint(
+        &self,
+        left: &ClockAst,
+        right: &ClockAst,
+        know: &mut BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+    ) -> Result<bool, SimError> {
+        let lv = eval_clock(left, know);
+        let rv = eval_clock(right, know);
+        let mut changed = false;
+        match (lv, rv) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(SimError::ClockConstraintViolation {
+                    constraint: format!("{left} ^= {right}"),
+                });
+            }
+            (Some(v), None) => changed |= force_clock(right, v, know, available)?,
+            (None, Some(v)) => changed |= force_clock(left, v, know, available)?,
+            _ => {}
+        }
+        Ok(changed)
+    }
+
+    /// Validates the completed instant: every clock constraint must hold and
+    /// every equation must be presence-consistent.
+    fn validate(&self, know: &BTreeMap<Name, Knowledge>) -> Result<(), SimError> {
+        for (l, r) in self.kernel.constraints() {
+            let lv = eval_clock(l, know);
+            let rv = eval_clock(r, know);
+            if lv.is_some() && rv.is_some() && lv != rv {
+                return Err(SimError::ClockConstraintViolation {
+                    constraint: format!("{l} ^= {r}"),
+                });
+            }
+        }
+        for eq in self.kernel.equations() {
+            let out = eq.defined();
+            let out_present = know[out].presence == Some(true);
+            let consistent = match eq {
+                KernelEq::Func { args, .. } => {
+                    let vars_present: Vec<bool> = args
+                        .iter()
+                        .filter_map(|a| a.as_var())
+                        .map(|n| know[n].presence == Some(true))
+                        .collect();
+                    vars_present.iter().all(|p| *p == out_present)
+                }
+                KernelEq::Delay { arg, .. } => (know[arg].presence == Some(true)) == out_present,
+                KernelEq::When { arg, cond, .. } => {
+                    let cond_on = know[cond].presence == Some(true)
+                        && know[cond].value.map(Value::is_true).unwrap_or(false);
+                    let arg_on = match arg {
+                        Atom::Const(_) => true,
+                        Atom::Var(y) => know[y].presence == Some(true),
+                    };
+                    out_present == (cond_on && arg_on)
+                }
+                KernelEq::Default { left, right, .. } => {
+                    let left_on = match left {
+                        Atom::Const(_) => true,
+                        Atom::Var(y) => know[y].presence == Some(true),
+                    };
+                    let right_on = match right {
+                        Atom::Const(_) => out_present,
+                        Atom::Var(z) => know[z].presence == Some(true),
+                    };
+                    out_present == (left_on || right_on)
+                        || (out_present && (left_on || right_on))
+                }
+            };
+            if !consistent {
+                return Err(SimError::ClockConstraintViolation {
+                    constraint: format!("{eq}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Three-valued evaluation of a clock expression under partial knowledge.
+fn eval_clock(clock: &ClockAst, know: &BTreeMap<Name, Knowledge>) -> Option<bool> {
+    match clock {
+        ClockAst::Zero => Some(false),
+        ClockAst::Of(n) => know.get(n).and_then(|k| k.presence),
+        ClockAst::WhenTrue(n) => sample(know, n, true),
+        ClockAst::WhenFalse(n) => sample(know, n, false),
+        ClockAst::And(a, b) => kleene_and(eval_clock(a, know), eval_clock(b, know)),
+        ClockAst::Or(a, b) => kleene_or(eval_clock(a, know), eval_clock(b, know)),
+        ClockAst::Diff(a, b) => kleene_and(
+            eval_clock(a, know),
+            eval_clock(b, know).map(|v| !v),
+        ),
+    }
+}
+
+fn sample(know: &BTreeMap<Name, Knowledge>, n: &Name, polarity: bool) -> Option<bool> {
+    let k = know.get(n)?;
+    match k.presence {
+        Some(false) => Some(false),
+        Some(true) => k.value.map(|v| v.is_true() == polarity),
+        None => None,
+    }
+}
+
+fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Best-effort forcing of a clock expression to a truth value.
+fn force_clock(
+    clock: &ClockAst,
+    target: bool,
+    know: &mut BTreeMap<Name, Knowledge>,
+    available: &BTreeMap<Name, Value>,
+) -> Result<bool, SimError> {
+    let mut changed = false;
+    match clock {
+        ClockAst::Zero => {
+            if target {
+                return Err(SimError::ClockConstraintViolation {
+                    constraint: "^0 forced present".into(),
+                });
+            }
+        }
+        ClockAst::Of(n) => {
+            changed |= Simulator::set_presence(know, n, target, available)?;
+        }
+        ClockAst::WhenTrue(n) | ClockAst::WhenFalse(n) => {
+            let polarity = matches!(clock, ClockAst::WhenTrue(_));
+            if target {
+                changed |= Simulator::set_presence(know, n, true, available)?;
+                changed |= Simulator::set_value(know, n, Value::Bool(polarity))?;
+            } else {
+                // Not (present ∧ value=polarity): only conclusive when one
+                // half is already known.
+                let k = know[n];
+                if k.presence == Some(true) {
+                    changed |= Simulator::set_value(know, n, Value::Bool(!polarity))?;
+                } else if k.value.map(|v| v.is_true() == polarity).unwrap_or(false) {
+                    changed |= Simulator::set_presence(know, n, false, available)?;
+                }
+            }
+        }
+        ClockAst::And(a, b) => {
+            if target {
+                changed |= force_clock(a, true, know, available)?;
+                changed |= force_clock(b, true, know, available)?;
+            } else {
+                // ¬(a ∧ b): conclusive only if one side is known true.
+                if eval_clock(a, know) == Some(true) {
+                    changed |= force_clock(b, false, know, available)?;
+                } else if eval_clock(b, know) == Some(true) {
+                    changed |= force_clock(a, false, know, available)?;
+                }
+            }
+        }
+        ClockAst::Or(a, b) => {
+            if !target {
+                changed |= force_clock(a, false, know, available)?;
+                changed |= force_clock(b, false, know, available)?;
+            } else if eval_clock(a, know) == Some(false) {
+                changed |= force_clock(b, true, know, available)?;
+            } else if eval_clock(b, know) == Some(false) {
+                changed |= force_clock(a, true, know, available)?;
+            }
+        }
+        ClockAst::Diff(a, b) => {
+            if target {
+                changed |= force_clock(a, true, know, available)?;
+                changed |= force_clock(b, false, know, available)?;
+            } else if eval_clock(a, know) == Some(true) {
+                changed |= force_clock(b, true, know, available)?;
+            } else if eval_clock(b, know) == Some(false) {
+                changed |= force_clock(a, false, know, available)?;
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Evaluates a primitive operator on concrete values.
+fn eval_op(op: PrimOp, args: &[Value]) -> Result<Value, SimError> {
+    let int = |v: &Value| {
+        v.as_int().ok_or_else(|| SimError::Evaluation {
+            message: format!("expected an integer, found {v}"),
+        })
+    };
+    let boolean = |v: &Value| {
+        v.as_bool().ok_or_else(|| SimError::Evaluation {
+            message: format!("expected a boolean, found {v}"),
+        })
+    };
+    let value = match (op, args) {
+        (PrimOp::Id, [a]) => *a,
+        (PrimOp::Not, [a]) => Value::Bool(!boolean(a)?),
+        (PrimOp::Neg, [a]) => Value::Int(-int(a)?),
+        (PrimOp::And, [a, b]) => Value::Bool(boolean(a)? && boolean(b)?),
+        (PrimOp::Or, [a, b]) => Value::Bool(boolean(a)? || boolean(b)?),
+        (PrimOp::Xor, [a, b]) => Value::Bool(boolean(a)? ^ boolean(b)?),
+        (PrimOp::Add, [a, b]) => Value::Int(int(a)?.wrapping_add(int(b)?)),
+        (PrimOp::Sub, [a, b]) => Value::Int(int(a)?.wrapping_sub(int(b)?)),
+        (PrimOp::Mul, [a, b]) => Value::Int(int(a)?.wrapping_mul(int(b)?)),
+        (PrimOp::Div, [a, b]) => {
+            let d = int(b)?;
+            if d == 0 {
+                return Err(SimError::Evaluation {
+                    message: "division by zero".into(),
+                });
+            }
+            Value::Int(int(a)? / d)
+        }
+        (PrimOp::Eq, [a, b]) => Value::Bool(a == b),
+        (PrimOp::Ne, [a, b]) => Value::Bool(a != b),
+        (PrimOp::Lt, [a, b]) => Value::Bool(int(a)? < int(b)?),
+        (PrimOp::Le, [a, b]) => Value::Bool(int(a)? <= int(b)?),
+        (PrimOp::Gt, [a, b]) => Value::Bool(int(a)? > int(b)?),
+        (PrimOp::Ge, [a, b]) => Value::Bool(int(a)? >= int(b)?),
+        _ => {
+            return Err(SimError::Evaluation {
+                message: format!("operator {op} applied to {} operands", args.len()),
+            })
+        }
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::stdlib;
+
+    fn bool_drive(v: bool) -> Drive {
+        Drive::Present(Value::Bool(v))
+    }
+
+    #[test]
+    fn filter_reproduces_the_paper_trace() {
+        // y: 1 0 0 1 1 0  =>  x at positions 2, 4, 6 (value changes).
+        let kernel = stdlib::filter().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let inputs = [true, false, false, true, true, false];
+        let mut xs = Vec::new();
+        for v in inputs {
+            let r = sim.step(&[("y", bool_drive(v))]).expect("steps");
+            xs.push(r.is_present("x"));
+        }
+        assert_eq!(xs, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn buffer_alternates_between_reading_and_writing() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let mut sim = Simulator::with_activation(&kernel, ["t"]);
+        let mut written = Vec::new();
+        let mut read = Vec::new();
+        for i in 0..8 {
+            let r = sim
+                .step(&[("y", Drive::Available(Value::Int(i)))])
+                .expect("steps");
+            if r.is_present("x") {
+                written.push(r.value("x").unwrap());
+            }
+            if r.is_present("y") {
+                read.push(r.value("y").unwrap());
+            }
+            // x and y are mutually exclusive.
+            assert!(!(r.is_present("x") && r.is_present("y")));
+        }
+        // The buffer starts by emitting (t is initially true since s starts
+        // at true and t = not s... the first instant emits or reads depending
+        // on the initial state), then alternates strictly.
+        assert_eq!(written.len() + read.len(), 8);
+        assert_eq!(written.len(), 4);
+        assert_eq!(read.len(), 4);
+        // Every written value was read one activation earlier.
+        for (w, r) in written.iter().zip(read.iter()) {
+            assert_eq!(w, r);
+        }
+    }
+
+    #[test]
+    fn producer_counts_separately_on_each_branch() {
+        let kernel = stdlib::producer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        // a = true, true, false, true, false
+        let expected_u = [1, 2, 2, 3, 3];
+        let expected_x = [0, 0, 1, 1, 2];
+        let mut u = 0;
+        let mut x = 0;
+        for (i, a) in [true, true, false, true, false].into_iter().enumerate() {
+            let r = sim.step(&[("a", bool_drive(a))]).expect("steps");
+            if let Some(v) = r.value("u") {
+                u = v.as_int().unwrap();
+            }
+            if let Some(v) = r.value("x") {
+                x = v.as_int().unwrap();
+            }
+            assert_eq!(u, expected_u[i], "u at instant {i}");
+            assert_eq!(x, expected_x[i], "x at instant {i}");
+        }
+    }
+
+    #[test]
+    fn consumer_accumulates_x_or_one() {
+        let kernel = stdlib::consumer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        // b=true with x=5: v=5 ; b=false: v=6 ; b=true with x=2: v=8.
+        let r = sim
+            .step(&[("b", bool_drive(true)), ("x", Drive::Present(Value::Int(5)))])
+            .expect("step 1");
+        assert_eq!(r.value("v"), Some(Value::Int(5)));
+        let r = sim
+            .step(&[("b", bool_drive(false)), ("x", Drive::Absent)])
+            .expect("step 2");
+        assert_eq!(r.value("v"), Some(Value::Int(6)));
+        let r = sim
+            .step(&[("b", bool_drive(true)), ("x", Drive::Present(Value::Int(2)))])
+            .expect("step 3");
+        assert_eq!(r.value("v"), Some(Value::Int(8)));
+    }
+
+    #[test]
+    fn violating_a_clock_constraint_is_an_error_and_preserves_state() {
+        let kernel = stdlib::consumer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        // x must be present iff b is true; drive x while b is false.
+        let err = sim
+            .step(&[("b", bool_drive(false)), ("x", Drive::Present(Value::Int(1)))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ClockConstraintViolation { .. } | SimError::Contradiction { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_signals_are_rejected() {
+        let kernel = stdlib::filter().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        assert!(matches!(
+            sim.step(&[("nope", Drive::Tick)]),
+            Err(SimError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn silence_is_always_a_legal_reaction() {
+        for def in [stdlib::filter(), stdlib::producer(), stdlib::consumer()] {
+            let kernel = def.normalize().unwrap();
+            let mut sim = Simulator::new(&kernel);
+            let r = sim.step(&[]).expect("silent step");
+            assert!(r.is_silent());
+        }
+    }
+
+    #[test]
+    fn eval_op_covers_arithmetic_and_logic() {
+        assert_eq!(
+            eval_op(PrimOp::Add, &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_op(PrimOp::Ne, &[Value::Bool(true), Value::Bool(false)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_op(PrimOp::Div, &[Value::Int(1), Value::Int(0)]).is_err());
+        assert!(eval_op(PrimOp::And, &[Value::Int(1), Value::Bool(true)]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Recording executions as behaviors of the polychronous model.
+
+use moc::{Behavior, Reaction, Tag, TraceSet};
+
+/// Accumulates the reactions of an execution into a [`Behavior`], so that
+/// executions can be compared with the clock- and flow-equivalences of the
+/// model of computation.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    behavior: Behavior,
+    next_tag: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder over the given signal names.
+    pub fn new<I, N>(signals: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<moc::Name>,
+    {
+        TraceRecorder {
+            behavior: Behavior::empty_on(signals),
+            next_tag: 0,
+        }
+    }
+
+    /// Records one reaction.  Silent reactions advance logical time but add
+    /// no event.
+    pub fn record(&mut self, reaction: &Reaction) {
+        let tag = Tag::new(self.next_tag);
+        self.next_tag += 1;
+        for (name, value) in reaction.events() {
+            if self.behavior.contains(name.as_str()) {
+                self.behavior.insert_event(name.clone(), tag, value);
+            }
+        }
+    }
+
+    /// The behavior recorded so far.
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// Consumes the recorder and returns the behavior.
+    pub fn into_behavior(self) -> Behavior {
+        self.behavior
+    }
+
+    /// Wraps the recorded behavior into a singleton trace set (useful to
+    /// compare flows with [`TraceSet::same_flows_as`]).
+    pub fn into_trace_set(self) -> TraceSet {
+        let domain: Vec<moc::Name> = self.behavior.domain_set().into_iter().collect();
+        TraceSet::from_behaviors(domain, vec![self.behavior])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc::Value;
+
+    #[test]
+    fn records_only_declared_signals() {
+        let mut rec = TraceRecorder::new(["x"]);
+        let mut r = Reaction::empty_on(["x", "y"]);
+        r.set_tag(Tag::new(0));
+        r.insert("x", Value::from(1));
+        r.insert("y", Value::from(2));
+        rec.record(&r);
+        let b = rec.behavior();
+        assert_eq!(b.stream("x").unwrap().len(), 1);
+        assert!(!b.contains("y"));
+    }
+
+    #[test]
+    fn silent_reactions_advance_time_without_events() {
+        let mut rec = TraceRecorder::new(["x"]);
+        let silent = Reaction::empty_on(["x"]);
+        rec.record(&silent);
+        let mut r = Reaction::empty_on(["x"]);
+        r.set_tag(Tag::new(7));
+        r.insert("x", Value::from(true));
+        rec.record(&r);
+        let b = rec.into_behavior();
+        // The event is recorded at the recorder's own tag (1), not the
+        // reaction's.
+        assert_eq!(
+            b.stream("x").unwrap().tags().collect::<Vec<_>>(),
+            vec![Tag::new(1)]
+        );
+    }
+
+    #[test]
+    fn into_trace_set_wraps_the_behavior() {
+        let mut rec = TraceRecorder::new(["x"]);
+        let mut r = Reaction::empty_on(["x"]);
+        r.set_tag(Tag::new(0));
+        r.insert("x", Value::from(3));
+        rec.record(&r);
+        let set = rec.into_trace_set();
+        assert_eq!(set.len(), 1);
+        assert!(set.domain_set().contains("x"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the clock-hierarchy figures of the paper.
+//!
+//! Section 3 draws the buffer's three clock classes as a tree, Section 4
+//! draws the single-root hierarchies of `filter` and the buffer, the
+//! two-root forest of `producer | consumer` (Section 5.1) and the four-tree
+//! forest of the LTTA (Section 4.2).  This example prints each hierarchy in
+//! the indented text form and as Graphviz DOT (pipe it into `dot -Tpng` to
+//! get the actual figures).
+//!
+//! Run with `cargo run --example hierarchy_figures`.
+
+use polychrony::clocks::{dot, ClockAnalysis};
+use polychrony::signal_lang::stdlib;
+use polychrony::signal_lang::ProcessDef;
+
+fn show(def: &ProcessDef) {
+    let kernel = def.normalize().expect("paper processes normalize");
+    let analysis = ClockAnalysis::analyze(&kernel);
+    println!("== {} ==", def.name);
+    println!("{}", analysis.summary());
+    println!();
+    println!("{}", analysis.hierarchy().render());
+    println!("{}", dot::hierarchy_dot(analysis.hierarchy(), &def.name));
+    println!("{}", dot::scheduling_dot(analysis.scheduling_graph(), &def.name));
+}
+
+fn main() {
+    // Section 1 / Section 4: the endochronous components.
+    show(&stdlib::filter());
+    show(&stdlib::buffer());
+    // Section 5.1: two roots — weakly hierarchic but not endochronous.
+    show(&stdlib::producer_consumer());
+    // Section 4.2: the four-device LTTA.
+    show(&stdlib::ltta());
+}

@@ -1,0 +1,69 @@
+//! How the static weak-hierarchy criterion scales with design size.
+//!
+//! The paper's motivation (Section 1 and Section 7) is that checking weak
+//! endochrony by state-space exploration is exponential in the number of
+//! composed components, while the static criterion — per-component
+//! endochrony plus well-clockedness and acyclicity of the composition — is
+//! cheap.  This example prints both costs side by side on growing chains of
+//! producer/consumer pairs; benchmark E10 measures the same series with
+//! Criterion.
+//!
+//! Run with `cargo run --release --example scaling`.
+
+use std::time::Instant;
+
+use polychrony::analysis::WeakEndochronyReport;
+use polychrony::clocks::ClockAnalysis;
+use polychrony::isochron::design::{chain_as_single_process, chain_of_pairs};
+use polychrony::isochron::Design;
+
+fn main() {
+    println!("static weak-hierarchy criterion (Definition 12)");
+    println!("{:>6} {:>10} {:>14} {:>8}", "pairs", "signals", "check time", "roots");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let components = chain_of_pairs(n);
+        let start = Instant::now();
+        let design = Design::compose(format!("chain{n}"), components).expect("chain builds");
+        let weakly_hierarchic = design.is_weakly_hierarchic();
+        let elapsed = start.elapsed();
+        assert!(weakly_hierarchic);
+        let signals = design.composition().signals().count();
+        println!(
+            "{n:>6} {signals:>10} {elapsed:>14.2?} {:>8}",
+            design.verdict().roots
+        );
+    }
+
+    println!();
+    println!("single-process clock analysis of the same chains");
+    println!("{:>6} {:>10} {:>14}", "pairs", "signals", "analysis");
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let kernel = chain_as_single_process(n)
+            .expect("chain builds")
+            .normalize()
+            .expect("normalizes");
+        let start = Instant::now();
+        let analysis = ClockAnalysis::analyze(&kernel);
+        let elapsed = start.elapsed();
+        assert!(analysis.is_compilable());
+        println!("{n:>6} {:>10} {elapsed:>14.2?}", kernel.signals().count());
+    }
+
+    println!();
+    println!("explicit weak-endochrony exploration (the costly alternative)");
+    println!("{:>6} {:>10} {:>14} {:>10}", "pairs", "states", "check time", "verdict");
+    for n in [1usize, 2, 3] {
+        let kernel = chain_as_single_process(n)
+            .expect("chain builds")
+            .normalize()
+            .expect("normalizes");
+        let start = Instant::now();
+        let report = WeakEndochronyReport::check(&kernel, 500_000);
+        let elapsed = start.elapsed();
+        println!(
+            "{n:>6} {:>10} {elapsed:>14.2?} {:>10}",
+            report.state_count(),
+            report.is_weakly_endochronous()
+        );
+    }
+}

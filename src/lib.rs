@@ -1,0 +1,15 @@
+//! Facade crate for the reproduction of *Compositional design of isochronous
+//! systems* (Talpin, Ouy, Besnard, Le Guernic — DATE 2008).
+//!
+//! Re-exports every workspace crate under a single roof so that examples and
+//! integration tests can use one dependency.
+
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use clocks;
+pub use codegen;
+pub use isochron;
+pub use moc;
+pub use signal_lang;
+pub use sim;

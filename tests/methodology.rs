@@ -1,0 +1,83 @@
+//! Integration tests of the compositional methodology: the static
+//! weak-hierarchy criterion agrees with the (costly) weak-endochrony model
+//! checking, and Theorem 1's isochrony conclusion is observable on
+//! executions.
+
+use polychrony::analysis::{RootInvariants, WeakEndochronyReport};
+use polychrony::isochron::{design::chain_of_pairs, isochrony, library, Design};
+
+/// The static criterion and the model checker agree on the paper's designs.
+#[test]
+fn static_criterion_agrees_with_model_checking() {
+    for design in [
+        library::producer_consumer_design().unwrap(),
+        library::filter_merge_design().unwrap(),
+        library::buffer_design().unwrap(),
+    ] {
+        let static_verdict = design.verdict().weakly_hierarchic;
+        let report = WeakEndochronyReport::check(design.composition(), 20_000);
+        assert!(
+            !static_verdict || report.is_weakly_endochronous(),
+            "{}: static criterion accepted but model checking found: {report}",
+            design.name()
+        );
+    }
+}
+
+/// The root invariants of Section 4.1 hold for the weakly hierarchic
+/// designs with several roots.
+#[test]
+fn root_invariants_hold_for_weakly_hierarchic_designs() {
+    for design in [
+        library::producer_consumer_design().unwrap(),
+        library::filter_merge_design().unwrap(),
+    ] {
+        let invariants = RootInvariants::check(design.composition(), 20_000);
+        assert!(invariants.all_hold(), "{}:\n{invariants}", design.name());
+    }
+}
+
+/// Theorem 1 observed: the synchronous and asynchronous executions of the
+/// producer/consumer design produce the same flows.
+#[test]
+fn theorem_1_isochrony_is_observable() {
+    let design = library::producer_consumer_design().unwrap();
+    assert!(design.verdict().isochronous);
+    let a = [true, false, false, true, false, true, true, false];
+    let b = [false, true, true, false, true, false, false, true];
+    for seed in [2u64, 99, 2024] {
+        let obs = isochrony::observe_producer_consumer(&design, &a, &b, seed);
+        assert!(obs.flows_match(), "mismatch: {:?}", obs.mismatches());
+    }
+}
+
+/// Incremental composition (the paper's `main2`): adding components one by
+/// one keeps the criterion checkable and satisfied.
+#[test]
+fn incremental_composition_scales() {
+    for n in [1usize, 2, 4] {
+        let design = Design::compose(format!("chain{n}"), chain_of_pairs(n)).unwrap();
+        let v = design.verdict();
+        assert!(v.weakly_hierarchic, "chain of {n} pairs:\n{v}");
+        assert_eq!(v.roots, 2 * n);
+        assert!(!v.endochronous || n == 0);
+    }
+}
+
+/// Every component of every paper design generates executable code whose C
+/// emission is syntactically balanced.
+#[test]
+fn every_component_generates_code() {
+    for design in [
+        library::producer_consumer_design().unwrap(),
+        library::filter_merge_design().unwrap(),
+        library::ltta_design().unwrap(),
+        library::buffer_design().unwrap(),
+    ] {
+        for component in design.components() {
+            let c = component.emit_c();
+            assert!(c.contains(&format!("bool {}_iterate()", component.name())));
+            assert_eq!(c.matches('{').count(), c.matches('}').count());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the core invariants: the equivalences of the
+//! polychronous model of computation, the clock algebra and the generated
+//! code against the reference interpreter.
+
+use polychrony::clocks::{bdd::Bdd, bdd::Var, ClockAnalysis};
+use polychrony::codegen::{seq, SequentialRuntime};
+use polychrony::moc::{Behavior, Stream, Tag, Value};
+use polychrony::signal_lang::stdlib;
+use polychrony::sim::{Drive, Simulator};
+use proptest::prelude::*;
+
+/// Builds a behavior over x/y from a boolean flow, with x present at the
+/// change points — the filter's specification.
+fn filter_behavior(flow: &[bool], stride: u64) -> Behavior {
+    let mut behavior = Behavior::empty_on(["x", "y"]);
+    let mut previous = true;
+    for (i, v) in flow.iter().enumerate() {
+        let tag = Tag::new(i as u64 * stride);
+        behavior.insert_event("y", tag, Value::Bool(*v));
+        if *v != previous {
+            behavior.insert_event("x", tag, Value::Bool(true));
+        }
+        previous = *v;
+    }
+    behavior
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clock equivalence is invariant under uniform re-timing, and implies
+    /// flow equivalence.
+    #[test]
+    fn clock_equivalence_is_retiming_invariant(flow in prop::collection::vec(any::<bool>(), 1..20),
+                                               stride in 1u64..5) {
+        let a = filter_behavior(&flow, 1);
+        let b = filter_behavior(&flow, stride);
+        prop_assert!(a.clock_equivalent(&b));
+        prop_assert!(a.flow_equivalent(&b));
+    }
+
+    /// Restriction and complement partition a behavior.
+    #[test]
+    fn restriction_partitions_behaviors(flow in prop::collection::vec(any::<bool>(), 1..20)) {
+        let b = filter_behavior(&flow, 1);
+        let on_x = b.restrict(["x"]);
+        let off_x = b.hide(["x"]);
+        prop_assert_eq!(on_x.union(&off_x), b);
+    }
+
+    /// Streams built from values keep their flow.
+    #[test]
+    fn stream_flows_roundtrip(values in prop::collection::vec(-100i64..100, 0..30)) {
+        let s = Stream::from_values(Tag::ZERO, values.clone());
+        prop_assert_eq!(s.flow(), values.into_iter().map(Value::from).collect::<Vec<_>>());
+    }
+
+    /// The BDD package satisfies basic Boolean algebra laws on random
+    /// three-variable formulas.
+    #[test]
+    fn bdd_laws(assignments in prop::collection::vec(any::<(bool, bool, bool)>(), 1..8)) {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(Var(0));
+        let y = bdd.var(Var(1));
+        let z = bdd.var(Var(2));
+        // Build a DNF from the sampled assignments.
+        let mut f = bdd.zero();
+        for (a, b, c) in &assignments {
+            let la = if *a { x } else { bdd.not(x) };
+            let lb = if *b { y } else { bdd.not(y) };
+            let lc = if *c { z } else { bdd.not(z) };
+            let t1 = bdd.and(la, lb);
+            let term = bdd.and(t1, lc);
+            f = bdd.or(f, term);
+        }
+        // Double negation and excluded middle.
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert!(bdd.equivalent(f, nnf));
+        let total = bdd.or(f, nf);
+        prop_assert!(bdd.is_true(total));
+        // Evaluation agrees with membership in the DNF.
+        for (a, b, c) in assignments {
+            let holds = bdd.eval(f, |v| match v.0 { 0 => a, 1 => b, _ => c });
+            prop_assert!(holds);
+        }
+    }
+
+    /// The generated code of the filter agrees with the reference
+    /// interpreter on arbitrary boolean input flows.
+    #[test]
+    fn generated_filter_matches_the_interpreter(flow in prop::collection::vec(any::<bool>(), 1..40)) {
+        let kernel = stdlib::filter().normalize().unwrap();
+        // Reference interpreter.
+        let mut sim = Simulator::new(&kernel);
+        let mut expected = Vec::new();
+        for v in &flow {
+            let r = sim.step(&[("y", Drive::Present(Value::Bool(*v)))]).unwrap();
+            if let Some(x) = r.value("x") {
+                expected.push(x);
+            }
+        }
+        // Generated step program.
+        let program = seq::generate(&ClockAnalysis::analyze(&kernel));
+        let mut rt = SequentialRuntime::new(program);
+        rt.feed("y", flow.clone());
+        rt.run(flow.len() + 1);
+        prop_assert_eq!(rt.output("x"), expected.as_slice());
+    }
+
+    /// The generated code of the producer agrees with the interpreter on
+    /// arbitrary activation flows.
+    #[test]
+    fn generated_producer_matches_the_interpreter(flow in prop::collection::vec(any::<bool>(), 1..40)) {
+        let kernel = stdlib::producer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let mut expected_u = Vec::new();
+        let mut expected_x = Vec::new();
+        for v in &flow {
+            let r = sim.step(&[("a", Drive::Present(Value::Bool(*v)))]).unwrap();
+            if let Some(u) = r.value("u") {
+                expected_u.push(u);
+            }
+            if let Some(x) = r.value("x") {
+                expected_x.push(x);
+            }
+        }
+        let program = seq::generate(&ClockAnalysis::analyze(&kernel));
+        let mut rt = SequentialRuntime::new(program);
+        rt.feed("a", flow.clone());
+        rt.run(flow.len() + 1);
+        prop_assert_eq!(rt.output("u"), expected_u.as_slice());
+        prop_assert_eq!(rt.output("x"), expected_x.as_slice());
+    }
+}
