@@ -4,11 +4,17 @@
 //! caller *drives* a subset of the signals (typically the inputs and the
 //! activation clocks) and the interpreter solves the presence and the value
 //! of every other signal by propagating the kernel equations and the clock
-//! constraints to a fixed point.  Signals whose presence cannot be derived
-//! are absent — silence is always a legal reaction — and the completed
-//! instant is validated against every constraint before the delay registers
-//! are committed, so that an ill-driven instant is rejected instead of
-//! silently corrupting the state.
+//! constraints to a fixed point.  For every autonomous state clock (delay
+//! register) the drives leave undetermined, the interpreter then tries a
+//! tick, keeping only the ticks that extend to a complete valid instant —
+//! this is how self-paced processes such as the one-place buffer advance,
+//! alone or composed with input-driven components whose signals are
+//! already present.  Signals whose presence still cannot be derived are
+//! absent — the silent reaction remains legal whenever no consistent
+//! non-silent one exists, and an empty drive is silent outright — and the
+//! completed instant is validated against every constraint before the delay
+//! registers are committed, so that an ill-driven instant is rejected
+//! instead of silently corrupting the state.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -111,11 +117,15 @@ impl Simulator {
             .collect();
         let mut available: BTreeMap<Name, Value> = BTreeMap::new();
 
+        // Inputs the environment actually offered a token for this instant;
+        // a speculative tick may consume these and nothing else.
+        let mut provided: BTreeSet<Name> = BTreeSet::new();
         for name in &self.activation {
             if !signals.contains(name) {
                 return Err(SimError::UnknownSignal(name.clone()));
             }
             know.get_mut(name).expect("declared").presence = Some(true);
+            provided.insert(name.clone());
         }
         for (name, drive) in drives {
             let name = Name::from(*name);
@@ -126,72 +136,134 @@ impl Simulator {
                 Drive::Present(v) => {
                     k.presence = Some(true);
                     k.value = Some(*v);
+                    provided.insert(name);
                 }
-                Drive::Tick => k.presence = Some(true),
+                Drive::Tick => {
+                    k.presence = Some(true);
+                    provided.insert(name);
+                }
                 Drive::Absent => k.presence = Some(false),
                 Drive::Available(v) => {
-                    available.insert(name, *v);
+                    available.insert(name.clone(), *v);
+                    provided.insert(name);
                 }
             }
         }
 
         // Fixed-point propagation.
         let max_rounds = 4 * (self.kernel.equations().len() + self.kernel.constraints().len() + 4);
-        for _ in 0..max_rounds {
-            let mut changed = false;
-            for eq in self.kernel.equations() {
-                changed |= self.propagate_equation(eq, &mut know, &available)?;
-            }
-            for (l, r) in self.kernel.constraints() {
-                changed |= self.propagate_constraint(l, r, &mut know, &available)?;
-            }
-            if !changed {
-                break;
-            }
-        }
+        let registers = self.kernel.registers();
+        self.propagate_to_fixpoint(&mut know, &available, max_rounds)?;
 
-        // Unknown presence resolves to absence (silence is always allowed).
-        for k in know.values_mut() {
-            if k.presence.is_none() {
-                k.presence = Some(false);
-            }
-        }
-
-        // One more propagation pass to compute values that become derivable
-        // once absences are settled, then validate the completed instant.
-        for _ in 0..max_rounds {
-            let mut changed = false;
-            for eq in self.kernel.equations() {
-                changed |= self.propagate_equation(eq, &mut know, &available)?;
-            }
-            if !changed {
-                break;
-            }
-        }
-        self.validate(&know)?;
-
-        // Commit the registers and build the reaction.
-        for (out, arg, _) in self.kernel.registers() {
-            let arg_know = &know[&arg];
-            if arg_know.presence == Some(true) {
-                if let Some(v) = arg_know.value {
-                    self.registers.insert(out.clone(), v);
+        // The caller drove an instant, but some autonomous state clocks
+        // (delay registers whose presence is still undetermined) were not
+        // decided by the drives: try to tick each of them, so that
+        // self-paced processes like the one-place buffer advance instead of
+        // degenerating to absence — also when they are composed with
+        // input-driven components whose signals are already present.  Each
+        // register is tried separately and a tick is accepted only when the
+        // tick set so far still extends to a *complete* valid instant —
+        // independent state clocks may be in incompatible phases, and one
+        // inconsistent register must not spoil the others' legal reactions.
+        // When no tick is accepted the instant falls back to the un-ticked
+        // resolution (for an otherwise-silent drive, the always-legal silent
+        // reaction).  An empty drive list is silent outright.
+        let mut completed: Option<BTreeMap<Name, Knowledge>> = None;
+        let any_undetermined_register = registers
+            .iter()
+            .any(|(out, _, _)| know[out].presence.is_none());
+        if !drives.is_empty() && any_undetermined_register {
+            // `accepted` is the growing tick set before completion (so later
+            // registers can still tick); `completed` tracks the completed
+            // instant of the last accepted set.  The scan repeats until no
+            // further tick is accepted, so a register whose tick only
+            // becomes consistent once a partner clock has ticked is
+            // retried.  (Mutually exclusive ticks remain first-wins in
+            // `registers()` order — the greedy choice is deterministic but
+            // not order-free.)
+            let mut accepted = know.clone();
+            loop {
+                let mut progressed = false;
+                for (out, _, _) in &registers {
+                    if accepted[out].presence.is_some() {
+                        continue;
+                    }
+                    let mut trial = accepted.clone();
+                    Self::set_presence(&mut trial, out, true, &available)
+                        .expect("the register's presence was undetermined");
+                    if self
+                        .propagate_to_fixpoint(&mut trial, &available, max_rounds)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    // Ticks are speculative: any failure to extend the tick
+                    // set to a complete valid instant — an inconsistent
+                    // phase or a runtime fault on the ticked path — means
+                    // the tick is not taken, never that the step fails.
+                    // Faults surface when the faulting instant is actually
+                    // driven.
+                    let Ok(done) = self.complete_instant(trial.clone(), &available, max_rounds)
+                    else {
+                        continue;
+                    };
+                    // A tick whose instant consumes an input token the
+                    // environment did not offer models a blocked read.  The
+                    // presence check is not enough: forcing a sampled clock
+                    // like `[a]` fabricates both the presence and the value
+                    // of `a`, so the trial is checked against the drives
+                    // themselves — except for inputs the *base* resolution
+                    // already made present (backward propagation from the
+                    // caller's own drives), which the no-tick fallback
+                    // would contain just the same.
+                    let phantom_input = self.kernel.inputs().any(|n| {
+                        done[n].presence == Some(true)
+                            && !provided.contains(n)
+                            && know[n].presence != Some(true)
+                    });
+                    if !phantom_input {
+                        accepted = trial;
+                        completed = Some(done);
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
                 }
             }
         }
+        let know = match completed {
+            Some(k) => k,
+            None => self.complete_instant(know, &available, max_rounds)?,
+        };
+
+        // Build the reaction before committing anything, so that a failed
+        // instant leaves the simulator state untouched and the caller may
+        // retry with a different drive.
         let mut reaction = Reaction::empty_on(signals.iter().cloned());
         let mut any = false;
         for (name, k) in &know {
             if k.presence == Some(true) {
-                let value = k.value.ok_or_else(|| SimError::Unresolved {
-                    signal: name.clone(),
-                })?;
+                let value = k
+                    .value
+                    .expect("complete_instant guarantees present signals carry values");
                 reaction.insert(name.clone(), value);
                 any = true;
             }
         }
         if any {
             reaction.set_tag(Tag::new(self.instant));
+        }
+
+        // Commit the registers and the instant counter.
+        for (out, arg, _) in registers {
+            let arg_know = &know[&arg];
+            if arg_know.presence == Some(true) {
+                let v = arg_know
+                    .value
+                    .expect("complete_instant guarantees present signals carry values");
+                self.registers.insert(out, v);
+            }
         }
         self.instant += 1;
         Ok(reaction)
@@ -212,6 +284,84 @@ impl Simulator {
     }
 
     // ---- propagation ------------------------------------------------------
+
+    /// Completes a partially-resolved instant: unknown presence resolves to
+    /// absence, one more equation pass computes values that become derivable
+    /// once absences are settled, and the completed instant is checked —
+    /// every constraint must hold and every present signal must carry a
+    /// value.  Errors leave the simulator untouched (the knowledge map is
+    /// consumed, not the state).
+    fn complete_instant(
+        &self,
+        mut know: BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+        max_rounds: usize,
+    ) -> Result<BTreeMap<Name, Knowledge>, SimError> {
+        for k in know.values_mut() {
+            if k.presence.is_none() {
+                k.presence = Some(false);
+            }
+        }
+        // Equations only: with every presence settled, the constraints can
+        // derive nothing more and are instead checked by `validate`.
+        self.propagate_equations_to_fixpoint(&mut know, available, max_rounds)?;
+        self.validate(&know)?;
+        for (name, k) in &know {
+            if k.presence == Some(true) && k.value.is_none() {
+                return Err(SimError::Unresolved {
+                    signal: name.clone(),
+                });
+            }
+        }
+        Ok(know)
+    }
+
+    /// Propagates equations and constraints until no new fact is derived.
+    fn propagate_to_fixpoint(
+        &self,
+        know: &mut BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+        max_rounds: usize,
+    ) -> Result<(), SimError> {
+        for _ in 0..max_rounds {
+            let mut changed = self.propagate_equations_once(know, available)?;
+            for (l, r) in self.kernel.constraints() {
+                changed |= self.propagate_constraint(l, r, know, available)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Propagates the equations alone until no new fact is derived.
+    fn propagate_equations_to_fixpoint(
+        &self,
+        know: &mut BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+        max_rounds: usize,
+    ) -> Result<(), SimError> {
+        for _ in 0..max_rounds {
+            if !self.propagate_equations_once(know, available)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One pass over every equation; reports whether anything was derived.
+    fn propagate_equations_once(
+        &self,
+        know: &mut BTreeMap<Name, Knowledge>,
+        available: &BTreeMap<Name, Value>,
+    ) -> Result<bool, SimError> {
+        let mut changed = false;
+        for eq in self.kernel.equations() {
+            changed |= self.propagate_equation(eq, know, available)?;
+        }
+        Ok(changed)
+    }
 
     fn set_presence(
         know: &mut BTreeMap<Name, Knowledge>,
@@ -766,6 +916,209 @@ mod tests {
             err,
             SimError::ClockConstraintViolation { .. } | SimError::Contradiction { .. }
         ));
+    }
+
+    #[test]
+    fn self_paced_state_clocks_tick_on_explicitly_driven_instants() {
+        // Regression: the buffer's state clock s/t is autonomous — no input
+        // forces it.  Driving an instant with y explicitly absent must still
+        // advance the state and emit x at a writing instant, instead of
+        // degenerating to the silent reaction; and a failed (ill-driven)
+        // step must leave the state untouched so that this recovery works.
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        // Reading instant: y is consumed.
+        let r = sim
+            .step(&[("y", Drive::Present(Value::Bool(true)))])
+            .expect("reading instant");
+        assert!(r.is_present("y"));
+        assert!(!r.is_present("x"));
+        // Writing instant, ill-driven: y forced present is a clock violation.
+        sim.step(&[("y", Drive::Present(Value::Bool(false)))])
+            .expect_err("y forced present at a writing instant");
+        // Writing instant, correctly driven: y absent, x carries the value.
+        let r = sim.step(&[("y", Drive::Absent)]).expect("writing instant");
+        assert!(r.is_present("x"), "state clock ticks and x is emitted");
+        assert_eq!(r.value("x"), Some(Value::Bool(true)));
+        // The empty drive list still yields the silent reaction.
+        let r = sim.step(&[]).expect("silence stays legal");
+        assert!(r.is_silent());
+    }
+
+    #[test]
+    fn inconsistent_ticks_fall_back_to_the_silent_reaction() {
+        // Regression: at a *reading* instant (the buffer's initial state)
+        // driving y absent admits no consistent tick — ticking the state
+        // clock would demand y present.  The instant must degrade to the
+        // always-legal silent reaction, not to an error.
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let r = sim
+            .step(&[("y", Drive::Absent)])
+            .expect("silence is legal when no tick is consistent");
+        assert!(r.is_silent());
+        // The state did not advance: the buffer still reads y first.
+        let r = sim
+            .step(&[("y", Drive::Present(Value::Bool(true)))])
+            .expect("reading instant");
+        assert!(r.is_present("y"));
+    }
+
+    #[test]
+    fn self_paced_components_tick_alongside_driven_ones() {
+        // Regression: presence elsewhere in a composed kernel must not
+        // suppress the autonomous tick of an unrelated component.  Here a
+        // buffer (self-paced) is composed with a stateless input-driven
+        // adder; at the buffer's writing instant the adder's input is
+        // present, and the buffer must still emit x.
+        let def = signal_lang::ProcessBuilder::new("mixed")
+            .include(&stdlib::buffer())
+            .define("w", signal_lang::Expr::var("p").add(signal_lang::Expr::cst(1)))
+            .input("p")
+            .output("w")
+            .build()
+            .unwrap();
+        let kernel = def.normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        // Reading instant: the buffer consumes y while the adder runs.
+        let r = sim
+            .step(&[
+                ("y", Drive::Present(Value::Bool(true))),
+                ("p", Drive::Present(Value::Int(1))),
+            ])
+            .expect("reading instant");
+        assert!(r.is_present("y"));
+        assert_eq!(r.value("w"), Some(Value::Int(2)));
+        // Writing instant: p present must not stop the buffer's state clock.
+        let r = sim
+            .step(&[("y", Drive::Absent), ("p", Drive::Present(Value::Int(2)))])
+            .expect("writing instant");
+        assert_eq!(r.value("w"), Some(Value::Int(3)));
+        assert_eq!(r.value("x"), Some(Value::Bool(true)), "x emitted: {r:?}");
+    }
+
+    #[test]
+    fn uncompletable_ticks_fall_back_to_silence_in_composed_kernels() {
+        // Regression: in the LTTA bus the tick trial can be fixpoint-
+        // consistent yet fail validation once the remaining unknowns
+        // resolve to absence.  Such a tick must be dropped in favour of the
+        // silent reaction, not surface as a ClockConstraintViolation.
+        let kernel = stdlib::ltta_bus().normalize().unwrap();
+        let inputs: Vec<String> = kernel.inputs().map(|n| n.to_string()).collect();
+        let mut sim = Simulator::new(&kernel);
+        let drives: Vec<(&str, Drive)> =
+            inputs.iter().map(|n| (n.as_str(), Drive::Absent)).collect();
+        let r = sim
+            .step(&drives)
+            .expect("all-absent drives stay a legal instant");
+        assert!(r.is_silent());
+    }
+
+    #[test]
+    fn speculative_ticks_cannot_fabricate_undriven_inputs() {
+        // Regression: in the producer/consumer pair, driving only b must
+        // not let the producer's register ticks invent the undriven input
+        // a — forcing the sampled clock [a] would fabricate both a's
+        // presence and its value.  Only the consumer's own accumulator may
+        // advance (b = false means v := 1 + previous).
+        let kernel = stdlib::producer_consumer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let r = sim
+            .step(&[("b", Drive::Present(Value::Bool(false)))])
+            .expect("a legal instant for the consumer half");
+        assert!(!r.is_present("a"), "undriven input a fabricated: {r:?}");
+        assert!(!r.is_present("u"), "u runs on [a], which did not tick");
+        assert_eq!(r.value("v"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn inputs_forced_by_the_base_drives_do_not_veto_ticks() {
+        // Regression: an input made present by backward propagation from
+        // the caller's own drives (here c, forced by driving the `when`
+        // output o) is not a phantom — the no-tick fallback would contain
+        // it just the same, so it must not veto the buffer's state tick.
+        let def = signal_lang::ProcessBuilder::new("mixed2")
+            .include(&stdlib::buffer())
+            .define(
+                "o",
+                signal_lang::Expr::var("k").when(signal_lang::Expr::var("c")),
+            )
+            .inputs(["k", "c"])
+            .output("o")
+            .build()
+            .unwrap();
+        let kernel = def.normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let drives = |y: Drive| {
+            [
+                ("y", y),
+                ("k", Drive::Present(Value::Int(7))),
+                ("o", Drive::Tick),
+            ]
+        };
+        // Reading instant: o is computed while the buffer consumes y.
+        let r = sim
+            .step(&drives(Drive::Present(Value::Bool(true))))
+            .expect("reading instant");
+        assert_eq!(r.value("o"), Some(Value::Int(7)));
+        assert!(r.is_present("y"));
+        // Writing instant: c present-but-unprovided must not stall x.
+        let r = sim
+            .step(&drives(Drive::Absent))
+            .expect("writing instant");
+        assert_eq!(r.value("o"), Some(Value::Int(7)));
+        assert_eq!(r.value("x"), Some(Value::Bool(true)), "x stalled: {r:?}");
+    }
+
+    #[test]
+    fn failed_steps_do_not_commit_the_delay_registers() {
+        // Regression: a step that fails late (present signal without a
+        // value) must not have flipped the state registers, otherwise the
+        // documented retry contract is broken and the simulator wedges.
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let registers_before = sim.registers().clone();
+        // y ticked without a value: the instant resolves but y's value is
+        // unresolvable, which must be an error...
+        let err = sim.step(&[("y", Drive::Tick)]).expect_err("y has no value");
+        assert!(matches!(err, SimError::Unresolved { .. }), "got {err}");
+        // ...that left the delay registers exactly as they were...
+        assert_eq!(
+            sim.registers(),
+            &registers_before,
+            "a failed step must not commit the registers"
+        );
+        // ...so the buffer still reads, and the successful step advances.
+        let r = sim
+            .step(&[("y", Drive::Present(Value::Bool(true)))])
+            .expect("the reading instant still works after the failure");
+        assert!(r.is_present("y"));
+        assert_ne!(
+            sim.registers(),
+            &registers_before,
+            "the successful step advances the state"
+        );
+    }
+
+    #[test]
+    fn independent_state_clocks_are_not_forced_into_lockstep() {
+        // Regression: the chained buffer pair has two autonomous flip
+        // states in opposite phases.  Ticking every register at once would
+        // contradict itself and make the composed kernel permanently
+        // unsteppable; per-register ticking must keep it executable.
+        let kernel = stdlib::buffer_pair().normalize().unwrap();
+        let mut sim = Simulator::new(&kernel);
+        let mut progressed = false;
+        for i in 0..8 {
+            let r = sim
+                .step(&[
+                    ("y", Drive::Available(Value::Int(i))),
+                    ("b", Drive::Available(Value::Bool(true))),
+                ])
+                .expect("the composed kernel stays steppable");
+            progressed |= !r.is_silent();
+        }
+        assert!(progressed, "the buffer pair makes progress");
     }
 
     #[test]

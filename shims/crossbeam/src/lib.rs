@@ -1,0 +1,111 @@
+//! Offline stand-in for `crossbeam`, backed by `std::sync::mpsc`.
+//!
+//! Only the surface this workspace uses is provided: `channel::bounded`
+//! with blocking `send`/`recv` — the one-place rendez-vous of the
+//! concurrent code-generation scheme.
+
+/// Multi-producer single-consumer channels (the subset of
+/// `crossbeam-channel` this workspace relies on).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is accepted, or errors if all receivers
+        /// are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives, or errors once all senders are
+        /// gone and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a channel with an internal buffer of `cap` messages; `send`
+    /// blocks while the buffer is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// Creates a channel with an unbounded buffer; `send` never blocks.
+    pub fn unbounded<T>() -> (UnboundedSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (UnboundedSender(tx), Receiver(rx))
+    }
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct UnboundedSender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            UnboundedSender(self.0.clone())
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Sends without blocking, or errors if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trips() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_errors_after_sender_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only the surface this workspace uses is provided: [`Mutex`] whose
+//! `lock` returns the guard directly (no `Result`), recovering from
+//! poisoning like `parking_lot` (which has no poisoning at all).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion primitive with `parking_lot`'s panic-free `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// Unlike `std`, a panic in another thread while holding the lock does
+    /// not poison it — the guard is returned regardless, matching
+    /// `parking_lot` semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn survives_poisoning() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

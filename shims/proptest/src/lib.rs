@@ -1,0 +1,291 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), integer-range and
+//! boolean strategies, `prop::collection::vec`, and the `prop_assert*`
+//! macros.  Generation is deterministic (a fixed-seed SplitMix64 stream per
+//! test), so failures are reproducible; there is no shrinking — the first
+//! failing case is reported as-is by the panic message.
+
+/// Deterministic test-case source.
+pub mod test_runner {
+    /// Runner configuration: the number of generated cases per test.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many cases each property is instantiated with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 stream used to instantiate strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A deterministic generator: every run of a test sees the same
+        /// case sequence.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5eed_0f_0a11_ca5e ^ 0xa076_1d64_78bd_642f,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The `any::<T>()` strategy: uniform over the whole type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// Types with a canonical "uniform over everything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing vectors of values drawn from an element
+    /// strategy, with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.start < self.len.end {
+                Strategy::generate(&self.len, rng)
+            } else {
+                self.len.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)`: vectors whose length lies in the range.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; failure panics with the
+/// (optional) formatted message, failing the generated test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that instantiates the strategies `config.cases`
+/// times and runs the body on each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let run = || $body;
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {}/{} failed in `{}`",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -5i64..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        /// Vec strategies honour their length range.
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(any::<bool>(), 1..20)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 20, "len {}", v.len());
+        }
+
+        /// Tuple `any` composes.
+        #[test]
+        fn tuples_compose(t in prop::collection::vec(any::<(bool, bool, bool)>(), 1..4)) {
+            prop_assert!(!t.is_empty());
+        }
+    }
+}
