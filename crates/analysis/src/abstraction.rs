@@ -66,7 +66,8 @@ impl ReactionLabel {
         }
         let mut out = self.clone();
         out.present.extend(other.present.iter().cloned());
-        out.values.extend(other.values.iter().map(|(k, v)| (k.clone(), *v)));
+        out.values
+            .extend(other.values.iter().map(|(k, v)| (k.clone(), *v)));
         Some(out)
     }
 
@@ -89,7 +90,7 @@ impl ReactionLabel {
         let names: Vec<Name> = self.present.iter().cloned().collect();
         let n = names.len();
         let mut out = Vec::new();
-        if n < 2 || n > 12 {
+        if !(2..=12).contains(&n) {
             return out;
         }
         for mask in 1..((1u32 << n) - 1) {
@@ -183,7 +184,11 @@ impl PresenceAbstraction {
             control.insert(arg.clone());
         }
         let mut atoms = Vec::new();
-        for (l, r) in relations.equalities.iter().chain(relations.inclusions.iter()) {
+        for (l, r) in relations
+            .equalities
+            .iter()
+            .chain(relations.inclusions.iter())
+        {
             l.atoms(&mut atoms);
             r.atoms(&mut atoms);
         }
@@ -335,7 +340,10 @@ impl PresenceAbstraction {
                     .map(|(k, v)| (k.clone(), *v))
                     .collect(),
             );
-            let key = (label.clone(), next.iter().map(|(k, v)| (k.clone(), *v)).collect());
+            let key = (
+                label.clone(),
+                next.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            );
             if seen.insert(key) {
                 out.push((label, next));
             }
@@ -398,7 +406,9 @@ mod tests {
         // buffer can only read y.
         let non_silent: Vec<_> = reactions.iter().filter(|(l, _)| !l.is_silent()).collect();
         assert!(!non_silent.is_empty());
-        assert!(non_silent.iter().all(|(l, _)| l.is_present("y") && !l.is_present("x")));
+        assert!(non_silent
+            .iter()
+            .all(|(l, _)| l.is_present("y") && !l.is_present("x")));
         // After reading, the successor state allows emitting x.
         let (_, next) = non_silent[0];
         let mut abs2 = PresenceAbstraction::new(&kernel);
@@ -416,9 +426,13 @@ mod tests {
         let reactions = abs.reactions(&s0);
         let has = |pred: &dyn Fn(&ReactionLabel) -> bool| reactions.iter().any(|(l, _)| pred(l));
         // a alone (a=true keeps x absent so no rendez-vous with b is needed).
-        assert!(has(&|l| l.is_present("a") && !l.is_present("b") && l.value("a") == Some(true)));
+        assert!(has(&|l| l.is_present("a")
+            && !l.is_present("b")
+            && l.value("a") == Some(true)));
         // b alone (b=false).
-        assert!(has(&|l| l.is_present("b") && !l.is_present("a") && l.value("b") == Some(false)));
+        assert!(has(&|l| l.is_present("b")
+            && !l.is_present("a")
+            && l.value("b") == Some(false)));
         // Both together (the rendez-vous on the shared x: a=false, b=true).
         assert!(has(&|l| l.is_present("a")
             && l.is_present("b")

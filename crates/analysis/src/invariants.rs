@@ -141,9 +141,15 @@ impl fmt::Display for RootInvariants {
 pub fn order_independent(lts: &Lts, x: &Name, y: &Name) -> InvariantReport {
     let mut violations = Vec::new();
     for state in lts.states() {
-        let x_alone = lts.has_transition(state, |l| l.is_present(x.as_str()) && !l.is_present(y.as_str()));
-        let y_alone = lts.has_transition(state, |l| l.is_present(y.as_str()) && !l.is_present(x.as_str()));
-        let both = lts.has_transition(state, |l| l.is_present(x.as_str()) && l.is_present(y.as_str()));
+        let x_alone = lts.has_transition(state, |l| {
+            l.is_present(x.as_str()) && !l.is_present(y.as_str())
+        });
+        let y_alone = lts.has_transition(state, |l| {
+            l.is_present(y.as_str()) && !l.is_present(x.as_str())
+        });
+        let both = lts.has_transition(state, |l| {
+            l.is_present(x.as_str()) && l.is_present(y.as_str())
+        });
         if x_alone && y_alone && !both {
             violations.push(format!(
                 "state {state}: {x} and {y} can each occur alone but never together"
@@ -164,7 +170,7 @@ pub fn state_independent(lts: &Lts, x: &Name, y: &Name) -> InvariantReport {
     let mut violations = Vec::new();
     for state in lts.states() {
         for (label, next) in lts.transitions_from(state) {
-            if !(label.is_present(x.as_str()) && !label.is_present(y.as_str())) {
+            if !label.is_present(x.as_str()) || label.is_present(y.as_str()) {
                 continue;
             }
             let y_next = lts.has_transition(*next, |l| {

@@ -28,10 +28,7 @@ impl Lts {
     }
 
     /// Explores an already-built abstraction.
-    pub fn explore_abstraction(
-        abstraction: &mut PresenceAbstraction,
-        max_states: usize,
-    ) -> Self {
+    pub fn explore_abstraction(abstraction: &mut PresenceAbstraction, max_states: usize) -> Self {
         let mut states: Vec<ControlState> = Vec::new();
         let mut index: BTreeMap<ControlState, StateId> = BTreeMap::new();
         let mut transitions: Vec<Vec<(ReactionLabel, StateId)>> = Vec::new();
@@ -104,11 +101,7 @@ impl Lts {
 
     /// Returns `true` when `id` has an outgoing transition whose label
     /// matches the predicate.
-    pub fn has_transition(
-        &self,
-        id: StateId,
-        predicate: impl Fn(&ReactionLabel) -> bool,
-    ) -> bool {
+    pub fn has_transition(&self, id: StateId, predicate: impl Fn(&ReactionLabel) -> bool) -> bool {
         self.transitions[id].iter().any(|(l, _)| predicate(l))
     }
 

@@ -152,11 +152,8 @@ impl WeakEndochronyReport {
                 if u1.is_silent() || u2.is_silent() || u1 == u2 {
                     continue;
                 }
-                let common: BTreeSet<Name> = u1
-                    .present()
-                    .intersection(u2.present())
-                    .cloned()
-                    .collect();
+                let common: BTreeSet<Name> =
+                    u1.present().intersection(u2.present()).cloned().collect();
                 if common.is_empty() {
                     continue;
                 }
@@ -175,10 +172,8 @@ impl WeakEndochronyReport {
                     continue;
                 }
                 let r = u1.restrict(&common);
-                let rest1: BTreeSet<Name> =
-                    u1.present().difference(&common).cloned().collect();
-                let rest2: BTreeSet<Name> =
-                    u2.present().difference(&common).cloned().collect();
+                let rest1: BTreeSet<Name> = u1.present().difference(&common).cloned().collect();
+                let rest2: BTreeSet<Name> = u2.present().difference(&common).cloned().collect();
                 let s = u1.restrict(&rest1);
                 let t = u2.restrict(&rest2);
                 let mids = lts.successors_by(state, |l| *l == r);
@@ -340,10 +335,7 @@ mod tests {
         let def = ProcessBuilder::new("exclusive")
             .define("u", Expr::var("y").add(Expr::cst(1)))
             .define("v", Expr::var("z").add(Expr::cst(1)))
-            .constraint(
-                ClockAst::of("y").and(ClockAst::of("z")),
-                ClockAst::Zero,
-            )
+            .constraint(ClockAst::of("y").and(ClockAst::of("z")), ClockAst::Zero)
             .build()
             .unwrap();
         let kernel = def.normalize().unwrap();

@@ -33,21 +33,17 @@ fn bench(c: &mut Criterion) {
     // its cost grows with the product of the component state spaces, which
     // is precisely the paper's argument for the static criterion.
     for n in [1usize, 2] {
-        group.bench_with_input(
-            BenchmarkId::new("model_checking", n),
-            &n,
-            |bencher, &n| {
-                let process = chain_as_single_process(n)
-                    .expect("chain builds")
-                    .normalize()
-                    .expect("normalizes");
-                bencher.iter(|| {
-                    let report = WeakEndochronyReport::check(&process, 100_000);
-                    assert!(report.is_weakly_endochronous());
-                    report.state_count() + report.transition_count()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("model_checking", n), &n, |bencher, &n| {
+            let process = chain_as_single_process(n)
+                .expect("chain builds")
+                .normalize()
+                .expect("normalizes");
+            bencher.iter(|| {
+                let report = WeakEndochronyReport::check(&process, 100_000);
+                assert!(report.is_weakly_endochronous());
+                report.state_count() + report.transition_count()
+            })
+        });
     }
     group.finish();
 }

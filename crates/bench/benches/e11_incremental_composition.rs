@@ -15,12 +15,10 @@ fn bench(c: &mut Criterion) {
     // Extend the producer/consumer design with an extra consumer, as in
     // Section 5.2.
     group.bench_function("extend_main_with_consumer2", |b| {
-        let base = Design::compose("main", [stdlib::producer(), stdlib::consumer()])
-            .expect("base design");
-        let extra = stdlib::consumer().instantiate(
-            "consumer2",
-            &[("b", "c"), ("x", "v"), ("v", "w")],
-        );
+        let base =
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("base design");
+        let extra =
+            stdlib::consumer().instantiate("consumer2", &[("b", "c"), ("x", "v"), ("v", "w")]);
         b.iter(|| {
             let extended = base.extend(extra.clone()).expect("extends");
             assert!(extended.verdict().weakly_hierarchic);

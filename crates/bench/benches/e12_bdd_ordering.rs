@@ -23,8 +23,7 @@ fn bench(c: &mut Criterion) {
         let relations = inference::infer(&kernel);
         group.bench_with_input(BenchmarkId::new("grouped", n), &n, |bencher, _| {
             bencher.iter(|| {
-                let algebra =
-                    ClockAlgebra::with_order(&kernel, &relations, VariableOrder::Grouped);
+                let algebra = ClockAlgebra::with_order(&kernel, &relations, VariableOrder::Grouped);
                 algebra.bdd_node_count()
             })
         });

@@ -1,0 +1,49 @@
+//! E13 — GALS deployment throughput: reactions/sec of a deployed buffer
+//! pipeline at 1, 2, 4 and 8 components and channel capacities 1, 16 and
+//! 256.  The scaling story of the multi-threaded runtime: deeper pipelines
+//! add threads, wider channels trade memory for fewer blocking hand-offs.
+
+use bench::boolean_flow;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isochron::library;
+use signal_lang::Value;
+
+const STREAM_LEN: usize = 256;
+
+fn bench(c: &mut Criterion) {
+    let stream: Vec<Value> = boolean_flow(STREAM_LEN, 0xE13)
+        .into_iter()
+        .map(Value::Bool)
+        .collect();
+    let mut group = c.benchmark_group("e13_gals_throughput");
+    group.sample_size(10);
+    for components in [1usize, 2, 4, 8] {
+        let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
+        assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+        for capacity in [1usize, 16, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{components}"), capacity),
+                &capacity,
+                |bencher, &capacity| {
+                    bencher.iter(|| {
+                        let mut deployment = design.deploy().expect("the pipeline is verified");
+                        deployment.set_capacity(capacity);
+                        deployment.feed("p0", stream.iter().copied());
+                        let outcome = deployment.run().expect("the deployment runs");
+                        outcome.stats().total_reactions()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

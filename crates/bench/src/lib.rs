@@ -15,7 +15,9 @@ pub fn boolean_flow(len: usize, seed: u64) -> Vec<bool> {
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) & 1 == 1
         })
         .collect()

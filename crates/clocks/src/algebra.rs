@@ -272,10 +272,9 @@ impl ClockAlgebra {
             return None;
         }
         // All variable operands must be boolean for the fact to make sense.
-        let operands_boolean = eq
-            .reads()
-            .iter()
-            .all(|n| booleans.contains(n) || matches!(eq, KernelEq::When { cond, .. } if cond == n));
+        let operands_boolean = eq.reads().iter().all(|n| {
+            booleans.contains(n) || matches!(eq, KernelEq::When { cond, .. } if cond == n)
+        });
         if !operands_boolean {
             return None;
         }
@@ -289,8 +288,7 @@ impl ClockAlgebra {
         };
         let rhs = match eq {
             KernelEq::Func { op, args, .. } => {
-                let vals: Option<Vec<NodeRef>> =
-                    args.iter().map(|a| self.atom_value(a)).collect();
+                let vals: Option<Vec<NodeRef>> = args.iter().map(|a| self.atom_value(a)).collect();
                 let vals = vals?;
                 match (op, vals.as_slice()) {
                     (PrimOp::Id, [a]) => Some(*a),
@@ -364,9 +362,9 @@ fn variable_order(process: &KernelProcess) -> Vec<Name> {
     let mut index: BTreeMap<Name, usize> = BTreeMap::new();
     let mut parent: Vec<usize> = Vec::new();
     let touch = |name: &Name,
-                     first: &mut Vec<Name>,
-                     index: &mut BTreeMap<Name, usize>,
-                     parent: &mut Vec<usize>|
+                 first: &mut Vec<Name>,
+                 index: &mut BTreeMap<Name, usize>,
+                 parent: &mut Vec<usize>|
      -> usize {
         if let Some(&i) = index.get(name) {
             return i;
@@ -441,9 +439,7 @@ mod tests {
         assert!(algebra.clocks_equal(&ClockExpr::tick("x"), &ClockExpr::on_true("t")));
         assert!(algebra.clocks_equal(&ClockExpr::tick("y"), &ClockExpr::on_false("t")));
         // And x and y are never simultaneously present.
-        assert!(algebra.clock_is_null(
-            &ClockExpr::tick("x").and(ClockExpr::tick("y"))
-        ));
+        assert!(algebra.clock_is_null(&ClockExpr::tick("x").and(ClockExpr::tick("y"))));
     }
 
     #[test]
@@ -464,7 +460,7 @@ mod tests {
 
     #[test]
     fn inconsistent_constraints_are_detected() {
-        use signal_lang::{ClockAst, ProcessBuilder, Expr};
+        use signal_lang::{ClockAst, Expr, ProcessBuilder};
         // x is constrained to be both always present with y and never.
         let def = ProcessBuilder::new("broken")
             .define("x", Expr::var("y"))
@@ -511,11 +507,19 @@ mod tests {
         for i in 0..4 {
             let producer = stdlib::producer().instantiate(
                 &format!("p{i}"),
-                &[("a", &format!("a{i}") as &str), ("u", &format!("u{i}")), ("x", &format!("x{i}"))],
+                &[
+                    ("a", &format!("a{i}") as &str),
+                    ("u", &format!("u{i}")),
+                    ("x", &format!("x{i}")),
+                ],
             );
             let consumer = stdlib::consumer().instantiate(
                 &format!("c{i}"),
-                &[("b", &format!("b{i}") as &str), ("x", &format!("x{i}")), ("v", &format!("v{i}"))],
+                &[
+                    ("b", &format!("b{i}") as &str),
+                    ("x", &format!("x{i}")),
+                    ("v", &format!("v{i}")),
+                ],
             );
             builder = builder.include(&producer).include(&consumer);
         }

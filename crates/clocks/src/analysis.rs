@@ -183,12 +183,26 @@ mod tests {
             stdlib::buffer_pair(),
         ] {
             let a = analyze(&def);
-            assert!(a.is_endochronous(), "{} should be endochronous: {}", def.name, a.summary());
+            assert!(
+                a.is_endochronous(),
+                "{} should be endochronous: {}",
+                def.name,
+                a.summary()
+            );
         }
         // Compositions that are compilable but not endochronous.
-        for def in [stdlib::producer_consumer(), stdlib::filter_merge(), stdlib::ltta()] {
+        for def in [
+            stdlib::producer_consumer(),
+            stdlib::filter_merge(),
+            stdlib::ltta(),
+        ] {
             let a = analyze(&def);
-            assert!(a.is_compilable(), "{} should be compilable: {}", def.name, a.summary());
+            assert!(
+                a.is_compilable(),
+                "{} should be compilable: {}",
+                def.name,
+                a.summary()
+            );
             assert!(
                 !a.is_endochronous(),
                 "{} should not be endochronous: {}",
@@ -203,8 +217,10 @@ mod tests {
         let a = analyze(&stdlib::producer_consumer());
         let partitions = a.root_partitions();
         assert_eq!(partitions.len(), 2);
-        let all: std::collections::BTreeSet<_> =
-            partitions.iter().flat_map(|(_, s)| s.iter().cloned()).collect();
+        let all: std::collections::BTreeSet<_> = partitions
+            .iter()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect();
         assert!(all.contains("a"));
         assert!(all.contains("b"));
         assert!(all.contains("u"));

@@ -492,14 +492,8 @@ mod tests {
         let y = bdd.var(Var(1));
         let nx = bdd.not(x);
         let f = bdd.or(nx, y); // x ⇒ y
-        assert!(bdd.eval(f, |v| match v.0 {
-            0 => false,
-            _ => false,
-        }));
-        assert!(!bdd.eval(f, |v| match v.0 {
-            0 => true,
-            _ => false,
-        }));
+        assert!(bdd.eval(f, |_| false));
+        assert!(!bdd.eval(f, |v| v.0 == 0));
         assert!(bdd.eval(f, |_| true));
     }
 

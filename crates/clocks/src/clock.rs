@@ -213,9 +213,6 @@ mod tests {
     fn conversion_from_the_front_end_ast() {
         let ast = ClockAst::of("r").diff(ClockAst::when_false("t"));
         let e = ClockExpr::from_ast(&ast);
-        assert_eq!(
-            e,
-            ClockExpr::tick("r").diff(ClockExpr::on_false("t"))
-        );
+        assert_eq!(e, ClockExpr::tick("r").diff(ClockExpr::on_false("t")));
     }
 }

@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn unrelated_difference_has_no_disjunctive_form() {
-        use signal_lang::{ProcessBuilder, Expr};
+        use signal_lang::{Expr, ProcessBuilder};
         // x = y default z with y and z completely unrelated: the guard
         // ^z \ ^y cannot be computed from any boolean value.
         let def = ProcessBuilder::new("loose")

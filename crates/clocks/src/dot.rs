@@ -126,8 +126,14 @@ mod tests {
         // The root class gathers the master clocks and dominates the classes
         // of the two sampled signals x and y.
         assert!(dot.contains("^r ~ ^s ~ ^t"), "{dot}");
-        assert!(dot.contains("[t] ~ ^x") || dot.contains("^x ~ [t]"), "{dot}");
-        assert!(dot.contains("[not t] ~ ^y") || dot.contains("^y ~ [not t]"), "{dot}");
+        assert!(
+            dot.contains("[t] ~ ^x") || dot.contains("^x ~ [t]"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains("[not t] ~ ^y") || dot.contains("^y ~ [not t]"),
+            "{dot}"
+        );
         assert!(dot.matches(" -> ").count() >= 2, "{dot}");
         assert!(dot.trim_end().ends_with('}'));
     }

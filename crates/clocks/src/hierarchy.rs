@@ -99,8 +99,7 @@ impl ClockHierarchy {
                     // process (the paper's `z = y when y` example), which
                     // Definition 6 flags as ill-formed.  Null classes (the
                     // signal can never be present) are ignored.
-                    if process.is_input(name.as_str()) && !hierarchy.null_classes.contains(&tick)
-                    {
+                    if process.is_input(name.as_str()) && !hierarchy.null_classes.contains(&tick) {
                         hierarchy
                             .ill_formed
                             .push(format!("^{name} is equivalent to {sample}"));
@@ -229,8 +228,7 @@ impl ClockHierarchy {
         (0..self.classes.len())
             .filter(|&c| !self.null_classes.contains(&c))
             .filter(|&c| {
-                (0..self.classes.len())
-                    .all(|other| other == c || !self.dominates_star(other, c))
+                (0..self.classes.len()).all(|other| other == c || !self.dominates_star(other, c))
             })
             .collect()
     }
@@ -321,7 +319,11 @@ fn binary_definitions(relations: &TimingRelations) -> Vec<(Clock, Clock, Clock)>
     out
 }
 
-fn collect_binary(atom_side: &ClockExpr, expr_side: &ClockExpr, out: &mut Vec<(Clock, Clock, Clock)>) {
+fn collect_binary(
+    atom_side: &ClockExpr,
+    expr_side: &ClockExpr,
+    out: &mut Vec<(Clock, Clock, Clock)>,
+) {
     let Some(lhs) = atom_side.as_atom() else {
         return;
     };
@@ -381,10 +383,7 @@ mod tests {
         assert!(h.is_well_formed());
         // The root class contains the input clock ^y.
         let root = h.roots()[0];
-        assert!(h
-            .class_members(root)
-            .iter()
-            .any(|c| *c == Clock::tick("y")));
+        assert!(h.class_members(root).iter().any(|c| *c == Clock::tick("y")));
     }
 
     #[test]
@@ -414,7 +413,7 @@ mod tests {
 
     #[test]
     fn ill_formed_hierarchy_is_detected() {
-        use signal_lang::{ProcessBuilder, Expr};
+        use signal_lang::{Expr, ProcessBuilder};
         // x = y and z | z = y when y : ^z ~ [y] forces ^y ~ [y].
         let def = ProcessBuilder::new("ill")
             .define("x", Expr::var("y").and(Expr::var("z")))

@@ -87,10 +87,7 @@ fn infer_equation(eq: &KernelEq, relations: &mut TimingRelations) {
         KernelEq::Func { out, args, .. } => {
             for arg in args {
                 if let Atom::Var(y) = arg {
-                    relations.equate(
-                        ClockExpr::tick(out.clone()),
-                        ClockExpr::tick(y.clone()),
-                    );
+                    relations.equate(ClockExpr::tick(out.clone()), ClockExpr::tick(y.clone()));
                     relations.schedule(
                         SchedNode::Signal(y.clone()),
                         SchedNode::Signal(out.clone()),
@@ -149,7 +146,10 @@ mod tests {
         let kernel = stdlib::current().normalize().unwrap();
         let relations = infer(&kernel);
         let diffs = relations.diff_occurrences();
-        assert!(!diffs.is_empty(), "r = y default (r $ init false) has a guarded alternative");
+        assert!(
+            !diffs.is_empty(),
+            "r = y default (r $ init false) has a guarded alternative"
+        );
     }
 
     #[test]

@@ -111,7 +111,8 @@ impl SchedulingGraph {
             let from_below = operand_class
                 .map(|k| k != target_class && hierarchy.dominates_star(target_class, k))
                 .unwrap_or(false);
-            let same_class = operand_class == Some(target_class) && matches!(operand, Clock::Tick(_));
+            let same_class =
+                operand_class == Some(target_class) && matches!(operand, Clock::Tick(_));
             if from_below || same_class {
                 continue;
             }
@@ -223,7 +224,10 @@ impl SchedulingGraph {
             if indices[start] != usize::MAX {
                 continue;
             }
-            let mut call_stack = vec![Frame { node: start, edge: 0 }];
+            let mut call_stack = vec![Frame {
+                node: start,
+                edge: 0,
+            }];
             indices[start] = index_counter;
             lowlink[start] = index_counter;
             index_counter += 1;
@@ -261,7 +265,9 @@ impl SchedulingGraph {
                             }
                         }
                         let has_self_loop = component.len() == 1
-                            && self.edges[component[0]].iter().any(|(t, _)| *t == component[0]);
+                            && self.edges[component[0]]
+                                .iter()
+                                .any(|(t, _)| *t == component[0]);
                         if component.len() > 1 || has_self_loop {
                             components.push(component);
                         }
@@ -357,9 +363,7 @@ mod tests {
     use crate::inference;
     use signal_lang::{stdlib, Name};
 
-    fn graph_and_algebra(
-        def: &signal_lang::ProcessDef,
-    ) -> (SchedulingGraph, ClockAlgebra) {
+    fn graph_and_algebra(def: &signal_lang::ProcessDef) -> (SchedulingGraph, ClockAlgebra) {
         let kernel = def.normalize().unwrap();
         let relations = inference::infer(&kernel);
         let mut algebra = ClockAlgebra::new(&kernel, &relations);

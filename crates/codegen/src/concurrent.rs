@@ -1,17 +1,18 @@
 //! Concurrent code generation scheme (Section 5).
 //!
 //! The producer and the consumer are compiled separately and run on their
-//! own threads; the rendez-vous on the shared variable is implemented with a
-//! synchronization primitive.  The paper protects a shared variable with a
-//! pair of pthread barriers; here the exchange uses a bounded channel, which
-//! realizes the same one-place rendez-vous (the producer blocks until the
-//! consumer has taken the previous value and vice versa) without the
-//! deadlock pitfalls of mis-matched barrier counts.
+//! own threads; the rendez-vous on the shared variable is implemented with
+//! a synchronization primitive.  The paper protects a shared variable with
+//! a pair of pthread barriers; here the pair is deployed on the general
+//! multi-threaded GALS engine (`gals_rt`) with the channel capacity set to
+//! **one**: a one-place bounded channel realizes the same rendez-vous (the
+//! producer blocks until the consumer has taken the previous value and vice
+//! versa) without the deadlock pitfalls of mis-matched barrier counts, and
+//! the same engine scales the scheme to arbitrary component counts and
+//! buffer depths.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use gals_rt::Deployment;
 use signal_lang::Value;
-use std::sync::Arc;
 
 use crate::ir::StepProgram;
 use crate::runtime::SequentialRuntime;
@@ -33,7 +34,8 @@ pub struct ConcurrentOutcome {
 
 /// Runs the producer and consumer step programs concurrently, the producer
 /// paced by `a_values` and the consumer by `b_values`, exchanging the shared
-/// signal through a one-place rendez-vous.
+/// signal through a one-place rendez-vous — the `capacity = 1` special case
+/// of a [`gals_rt::Deployment`].
 ///
 /// The streams must be *compatible*: the number of `false` values in
 /// `a_values` should not be smaller than the number of `true` values in
@@ -46,73 +48,22 @@ pub fn run_producer_consumer(
     a_values: &[bool],
     b_values: &[bool],
 ) -> ConcurrentOutcome {
-    let (tx, rx) = channel::bounded::<Value>(1);
-    let shared_log = Arc::new(Mutex::new(Vec::new()));
-
-    let a_values = a_values.to_vec();
-    let b_values = b_values.to_vec();
-    let shared_log_producer = Arc::clone(&shared_log);
-
-    let mut outcome = ConcurrentOutcome {
-        u: Vec::new(),
-        shared: Vec::new(),
-        v: Vec::new(),
-        producer_steps: 0,
-        consumer_steps: 0,
-    };
-
-    std::thread::scope(|scope| {
-        let producer_handle = scope.spawn(move || {
-            let mut rt = SequentialRuntime::new(producer);
-            let mut sent = 0usize;
-            for a in a_values {
-                rt.feed("a", [Value::Bool(a)]);
-                let before = rt.output("x").len();
-                if rt.step().is_err() {
-                    break;
-                }
-                let x = rt.output("x");
-                if x.len() > before {
-                    let value = x[before];
-                    shared_log_producer.lock().push(value);
-                    // Rendez-vous: blocks until the consumer takes it.
-                    if tx.send(value).is_err() {
-                        break;
-                    }
-                    sent += 1;
-                }
-            }
-            drop(tx);
-            (rt.output("u").to_vec(), rt.steps(), sent)
-        });
-
-        let consumer_handle = scope.spawn(move || {
-            let mut rt = SequentialRuntime::new(consumer);
-            for b in b_values {
-                if b {
-                    // Rendez-vous: blocks until the producer delivers x.
-                    match rx.recv() {
-                        Ok(x) => rt.feed("x", [x]),
-                        Err(_) => break,
-                    }
-                }
-                rt.feed("b", [Value::Bool(b)]);
-                if rt.step().is_err() {
-                    break;
-                }
-            }
-            (rt.output("v").to_vec(), rt.steps())
-        });
-
-        let (u, producer_steps, _) = producer_handle.join().expect("producer thread");
-        let (v, consumer_steps) = consumer_handle.join().expect("consumer thread");
-        outcome.u = u;
-        outcome.v = v;
-        outcome.producer_steps = producer_steps;
-        outcome.consumer_steps = consumer_steps;
-    });
-    outcome.shared = shared_log.lock().clone();
-    outcome
+    let mut deployment = Deployment::new();
+    deployment.set_capacity(1);
+    deployment.add_machine(Box::new(SequentialRuntime::new(producer)));
+    deployment.add_machine(Box::new(SequentialRuntime::new(consumer)));
+    deployment.feed("a", a_values.iter().copied());
+    deployment.feed("b", b_values.iter().copied());
+    let outcome = deployment
+        .run()
+        .expect("the producer/consumer pair is a well-formed deployment");
+    ConcurrentOutcome {
+        u: outcome.flow("u").to_vec(),
+        shared: outcome.flow("x").to_vec(),
+        v: outcome.flow("v").to_vec(),
+        producer_steps: outcome.stats().components[0].reactions,
+        consumer_steps: outcome.stats().components[1].reactions,
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +117,26 @@ mod tests {
         let outcome = run_producer_consumer(p, c, &a, &b);
         assert_eq!(outcome.shared.len(), 1);
         assert_eq!(outcome.v.len(), 1);
+    }
+
+    #[test]
+    fn wider_buffers_preserve_the_flows_of_the_rendez_vous() {
+        // The rendez-vous is the capacity-1 special case: re-running the
+        // same streams through the general engine with a deeper buffer must
+        // produce identical flows (only the interleaving changes).
+        let a = [true, false, true, false, true, false];
+        let b = [false, true, false, true, false, true];
+        let (p, c) = programs();
+        let narrow = run_producer_consumer(p.clone(), c.clone(), &a, &b);
+        let mut deployment = Deployment::new();
+        deployment.set_capacity(64);
+        deployment.add_machine(Box::new(SequentialRuntime::new(p)));
+        deployment.add_machine(Box::new(SequentialRuntime::new(c)));
+        deployment.feed("a", a.iter().copied());
+        deployment.feed("b", b.iter().copied());
+        let wide = deployment.run().expect("runs");
+        assert_eq!(narrow.u, wide.flow("u").to_vec());
+        assert_eq!(narrow.shared, wide.flow("x").to_vec());
+        assert_eq!(narrow.v, wide.flow("v").to_vec());
     }
 }

@@ -46,11 +46,7 @@ impl Controller {
     /// Decides whether each side should read a fresh input this iteration
     /// (`(C_a, C_b)` in the paper's listing).
     pub fn decide(&self) -> (bool, bool) {
-        let c_a = if self.pre_r {
-            true
-        } else {
-            !self.pre_ra
-        };
+        let c_a = if self.pre_r { true } else { !self.pre_ra };
         let c_b = if self.pre_r { true } else { !self.pre_rb };
         (c_a, c_b)
     }
@@ -243,14 +239,28 @@ pub fn emit_controlled_main_c(link: &SharedLink, left_name: &str, right_name: &s
     let _ = writeln!(out, "  if (pre_r) C_{a} = true;");
     let _ = writeln!(out, "  else if (pre_ra) C_{a} = false;");
     let _ = writeln!(out, "  else C_{a} = true;");
-    let _ = writeln!(out, "  if (C_{a}) {{ if (!r_main_{a}(&{a})) return false; }}");
-    let _ = writeln!(out, "  if (C_{a}) ra = {}{a}; else ra = pre_ra;", if link.left_rendezvous { "" } else { "!" });
+    let _ = writeln!(
+        out,
+        "  if (C_{a}) {{ if (!r_main_{a}(&{a})) return false; }}"
+    );
+    let _ = writeln!(
+        out,
+        "  if (C_{a}) ra = {}{a}; else ra = pre_ra;",
+        if link.left_rendezvous { "" } else { "!" }
+    );
     let _ = writeln!(out, "  /* {b} = scheduler({b}, rb, r) */");
     let _ = writeln!(out, "  if (pre_r) C_{b} = true;");
     let _ = writeln!(out, "  else if (pre_rb) C_{b} = false;");
     let _ = writeln!(out, "  else C_{b} = true;");
-    let _ = writeln!(out, "  if (C_{b}) {{ if (!r_main_{b}(&{b})) return false; }}");
-    let _ = writeln!(out, "  if (C_{b}) rb = {}{b}; else rb = pre_rb;", if link.right_rendezvous { "" } else { "!" });
+    let _ = writeln!(
+        out,
+        "  if (C_{b}) {{ if (!r_main_{b}(&{b})) return false; }}"
+    );
+    let _ = writeln!(
+        out,
+        "  if (C_{b}) rb = {}{b}; else rb = pre_rb;",
+        if link.right_rendezvous { "" } else { "!" }
+    );
     let _ = writeln!(out, "  r = ra && rb;");
     let _ = writeln!(out, "  C_c = (C_{a} && !ra) || r;");
     let _ = writeln!(out, "  C_d = (C_{b} && !rb) || r;");
@@ -343,11 +353,7 @@ mod tests {
 
     #[test]
     fn emitted_controller_text_mirrors_the_paper() {
-        let text = emit_controlled_main_c(
-            &SharedLink::producer_consumer(),
-            "producer",
-            "consumer",
-        );
+        let text = emit_controlled_main_c(&SharedLink::producer_consumer(), "producer", "consumer");
         assert!(text.contains("if (pre_r) C_a = true;"));
         assert!(text.contains("ra = !a"));
         assert!(text.contains("rb = b"));

@@ -19,7 +19,12 @@ pub fn emit_c(program: &StepProgram) -> String {
     let _ = writeln!(out, "#include <stdbool.h>");
     let _ = writeln!(out);
     for (register, init) in &program.registers {
-        let _ = writeln!(out, "static {} {register} = {};", c_type(init), c_value(init));
+        let _ = writeln!(
+            out,
+            "static {} {register} = {};",
+            c_type(init),
+            c_value(init)
+        );
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "bool {name}_iterate() {{");

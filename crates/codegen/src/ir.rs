@@ -131,14 +131,31 @@ impl fmt::Display for StepProgram {
     }
 }
 
+impl ClockCode {
+    /// Intersection helper.
+    pub fn and(self, other: ClockCode) -> ClockCode {
+        ClockCode::And(Box::new(self), Box::new(other))
+    }
+
+    /// Union helper.
+    pub fn or(self, other: ClockCode) -> ClockCode {
+        ClockCode::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Difference helper.
+    pub fn diff(self, other: ClockCode) -> ClockCode {
+        ClockCode::Diff(Box::new(self), Box::new(other))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn clock_code_display_is_c_like() {
-        let code = ClockCode::SampleTrue(Name::from("t"))
-            .or(ClockCode::SampleFalse(Name::from("t")));
+        let code =
+            ClockCode::SampleTrue(Name::from("t")).or(ClockCode::SampleFalse(Name::from("t")));
         assert_eq!(code.to_string(), "(t || !t)");
         assert_eq!(ClockCode::Always.to_string(), "true");
         assert_eq!(ClockCode::SameAs(Name::from("x")).to_string(), "C_x");
@@ -161,22 +178,5 @@ mod tests {
         assert_eq!(p.len(), 1);
         assert!(!p.is_empty());
         assert!(p.to_string().contains("C_x := t"));
-    }
-}
-
-impl ClockCode {
-    /// Intersection helper.
-    pub fn and(self, other: ClockCode) -> ClockCode {
-        ClockCode::And(Box::new(self), Box::new(other))
-    }
-
-    /// Union helper.
-    pub fn or(self, other: ClockCode) -> ClockCode {
-        ClockCode::Or(Box::new(self), Box::new(other))
-    }
-
-    /// Difference helper.
-    pub fn diff(self, other: ClockCode) -> ClockCode {
-        ClockCode::Diff(Box::new(self), Box::new(other))
     }
 }

@@ -231,6 +231,39 @@ impl SequentialRuntime {
     }
 }
 
+/// Generated step programs deploy directly on the multi-threaded GALS
+/// runtime: a blocked step maps [`RuntimeError::InputExhausted`] to the
+/// engine's blocking read, and the output vectors are the produced flows.
+impl gals_rt::StepMachine for SequentialRuntime {
+    fn machine_name(&self) -> &str {
+        &self.program.name
+    }
+
+    fn input_signals(&self) -> Vec<Name> {
+        self.program.inputs.clone()
+    }
+
+    fn output_signals(&self) -> Vec<Name> {
+        self.program.outputs.clone()
+    }
+
+    fn feed_value(&mut self, signal: &str, value: Value) {
+        self.feed(signal, [value]);
+    }
+
+    fn try_step(&mut self) -> Result<(), gals_rt::StepFault> {
+        match self.step() {
+            Ok(_) => Ok(()),
+            Err(RuntimeError::InputExhausted(signal)) => Err(gals_rt::StepFault::NeedInput(signal)),
+            Err(other) => Err(gals_rt::StepFault::Fault(other.to_string())),
+        }
+    }
+
+    fn produced(&self, signal: &str) -> &[Value] {
+        self.output(signal)
+    }
+}
+
 fn eval_clock(
     code: &ClockCode,
     presence: &BTreeMap<Name, bool>,
@@ -247,12 +280,8 @@ fn eval_clock(
             presence.get(n).copied().unwrap_or(false)
                 && values.get(n).map(|v| v.is_false()).unwrap_or(false)
         }
-        ClockCode::And(a, b) => {
-            eval_clock(a, presence, values) && eval_clock(b, presence, values)
-        }
-        ClockCode::Or(a, b) => {
-            eval_clock(a, presence, values) || eval_clock(b, presence, values)
-        }
+        ClockCode::And(a, b) => eval_clock(a, presence, values) && eval_clock(b, presence, values),
+        ClockCode::Or(a, b) => eval_clock(a, presence, values) || eval_clock(b, presence, values),
         ClockCode::Diff(a, b) => {
             eval_clock(a, presence, values) && !eval_clock(b, presence, values)
         }
@@ -340,7 +369,10 @@ mod tests {
         let mut rt = runtime_of(&stdlib::producer());
         rt.feed("a", [true, true, false, true, false]);
         rt.run(100);
-        assert_eq!(rt.output("u"), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            rt.output("u"),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
         assert_eq!(rt.output("x"), &[Value::Int(1), Value::Int(2)]);
     }
 

@@ -211,15 +211,15 @@ fn combine(
                 Clock::False(w) => Some(ClockCode::SampleFalse(w.clone())),
             }
         }
-        ClockExpr::And(a, b) => Some(
-            combine(a, hierarchy, target)?.and(combine(b, hierarchy, target)?),
-        ),
-        ClockExpr::Or(a, b) => Some(
-            combine(a, hierarchy, target)?.or(combine(b, hierarchy, target)?),
-        ),
-        ClockExpr::Diff(a, b) => Some(
-            combine(a, hierarchy, target)?.diff(combine(b, hierarchy, target)?),
-        ),
+        ClockExpr::And(a, b) => {
+            Some(combine(a, hierarchy, target)?.and(combine(b, hierarchy, target)?))
+        }
+        ClockExpr::Or(a, b) => {
+            Some(combine(a, hierarchy, target)?.or(combine(b, hierarchy, target)?))
+        }
+        ClockExpr::Diff(a, b) => {
+            Some(combine(a, hierarchy, target)?.diff(combine(b, hierarchy, target)?))
+        }
     }
 }
 

@@ -2,9 +2,10 @@
 
 use std::fmt;
 
-use clocks::ClockAnalysis;
-use codegen::{SequentialRuntime, StepProgram};
-use signal_lang::{KernelProcess, ProcessBuilder, ProcessDef, SignalError};
+use clocks::{Clock, ClockAnalysis};
+use codegen::{ClockCode, SequentialRuntime, StepProgram};
+use gals_rt::{Deployment, ReferenceComponent};
+use signal_lang::{KernelProcess, Name, ProcessBuilder, ProcessDef, SignalError};
 
 use crate::verdict::Verdict;
 
@@ -15,6 +16,9 @@ pub enum DesignError {
     Signal(SignalError),
     /// The design has no component.
     Empty,
+    /// Deployment was requested on a design that fails the static
+    /// weak-hierarchy criterion.
+    NotVerified(String),
 }
 
 impl fmt::Display for DesignError {
@@ -22,6 +26,12 @@ impl fmt::Display for DesignError {
         match self {
             DesignError::Signal(e) => write!(f, "{e}"),
             DesignError::Empty => write!(f, "a design needs at least one component"),
+            DesignError::NotVerified(name) => write!(
+                f,
+                "design {name} fails the static weak-hierarchy criterion; \
+                 only verified designs deploy (use deploy_unchecked to observe \
+                 the divergence)"
+            ),
         }
     }
 }
@@ -92,6 +102,44 @@ impl Component {
     /// A ready-to-run sequential runtime executing the generated code.
     pub fn runtime(&self) -> SequentialRuntime {
         SequentialRuntime::new(self.step_program())
+    }
+
+    /// Activation signals for the synchronous reference interpreter: one
+    /// representative per *autonomous* root of the clock hierarchy — a root
+    /// class containing no input signal, whose tick is paced by nothing but
+    /// the component itself (the alternating state of the one-place buffer
+    /// is the canonical case).
+    pub fn activation(&self) -> Vec<Name> {
+        let hierarchy = self.analysis.hierarchy();
+        let mut activation = Vec::new();
+        for class in hierarchy.roots() {
+            let mut ticks: Vec<Name> = hierarchy
+                .class_members(class)
+                .iter()
+                .filter_map(|clock| match clock {
+                    Clock::Tick(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            if ticks.iter().any(|n| self.kernel.is_input(n.as_str())) {
+                continue; // the environment paces this root
+            }
+            ticks.sort();
+            if let Some(representative) = ticks.into_iter().next() {
+                activation.push(representative);
+            }
+        }
+        activation
+    }
+
+    /// The synchronous reference of the component, as registered on a
+    /// deployment for the dynamic isochrony conformance check.
+    pub fn reference(&self) -> ReferenceComponent {
+        ReferenceComponent {
+            name: self.name().to_string(),
+            kernel: self.kernel.clone(),
+            activation: self.activation(),
+        }
     }
 }
 
@@ -223,10 +271,7 @@ impl Design {
         Verdict {
             name: self.name.clone(),
             component_count: self.components.len(),
-            components_endochronous: self
-                .components
-                .iter()
-                .all(Component::is_endochronous),
+            components_endochronous: self.components.iter().all(Component::is_endochronous),
             well_clocked: analysis.is_well_clocked(),
             acyclic: analysis.is_acyclic(),
             compilable: analysis.is_compilable(),
@@ -238,6 +283,48 @@ impl Design {
             isochronous: weakly_hierarchic,
             roots: analysis.roots().len(),
         }
+    }
+
+    /// Assembles the multi-threaded GALS deployment of the design —
+    /// Theorem 1 operationalized: each component's generated step program
+    /// runs on its own OS thread, connected by bounded channels derived
+    /// from the shared signals, and the synchronous reference of every
+    /// component is registered so the outcome can check dynamic isochrony
+    /// conformance ([`gals_rt::DeploymentOutcome::check_conformance`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion: nothing guarantees the flows of an
+    /// unverified deployment, so it must be requested explicitly with
+    /// [`deploy_unchecked`](Design::deploy_unchecked).
+    pub fn deploy(&self) -> Result<Deployment, DesignError> {
+        if !self.is_weakly_hierarchic() {
+            return Err(DesignError::NotVerified(self.name.clone()));
+        }
+        Ok(self.deploy_unchecked())
+    }
+
+    /// Assembles the deployment without checking the static criterion —
+    /// for experiments that *want* to observe a non-isochronous design
+    /// diverge (the conformance checker reports the divergence instead of
+    /// silently accepting it).
+    pub fn deploy_unchecked(&self) -> Deployment {
+        let mut deployment = Deployment::new();
+        for component in &self.components {
+            let program = component.step_program();
+            // Inputs present at every activation of the step function pace
+            // their component: the synchronous reference must present them
+            // at every attempted reaction too.
+            for input in &program.inputs {
+                if matches!(program.clock_of(input.as_str()), Some(ClockCode::Always)) {
+                    deployment.mark_paced(input.clone());
+                }
+            }
+            deployment.add_reference(component.reference());
+            deployment.add_machine(Box::new(SequentialRuntime::new(program)));
+        }
+        deployment
     }
 
     /// Composes this design with another component, re-checking the static
@@ -357,13 +444,15 @@ mod tests {
             Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
         // Add a second consumer reading the first consumer's output v
         // through a renamed instance (the paper's main2).
-        let extra = stdlib::consumer().instantiate(
-            "consumer2",
-            &[("b", "c"), ("x", "v"), ("v", "w")],
-        );
+        let extra =
+            stdlib::consumer().instantiate("consumer2", &[("b", "c"), ("x", "v"), ("v", "w")]);
         let extended = design.extend(extra).expect("extends");
         assert_eq!(extended.components().len(), 3);
-        assert!(extended.verdict().weakly_hierarchic, "{}", extended.verdict());
+        assert!(
+            extended.verdict().weakly_hierarchic,
+            "{}",
+            extended.verdict()
+        );
     }
 
     #[test]
@@ -395,6 +484,56 @@ mod tests {
         assert_eq!(design.components().len(), 6);
         assert!(design.is_weakly_hierarchic());
         assert_eq!(design.verdict().roots, 6);
+    }
+
+    #[test]
+    fn a_verified_design_deploys_on_threads_and_conforms() {
+        let design =
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
+        let mut deployment = design.deploy().expect("the design is verified");
+        deployment.set_capacity(4);
+        deployment.feed("a", [true, false, true, false, true]);
+        deployment.feed("b", [false, true, false, true, false]);
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().components.len(), 2);
+        assert_eq!(
+            outcome
+                .flow("v")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3, 5, 6]
+        );
+        let report = outcome.check_conformance().expect("reference registered");
+        assert!(report.is_isochronous(), "{report}");
+    }
+
+    #[test]
+    fn unverified_designs_are_refused_deployment() {
+        use signal_lang::{Expr, ProcessBuilder};
+        let loose = ProcessBuilder::new("loose")
+            .define("d", Expr::var("y").default(Expr::var("z")))
+            .build()
+            .unwrap();
+        let design = Design::compose("bad", [loose, stdlib::filter()]).expect("builds");
+        assert!(matches!(
+            design.deploy(),
+            Err(DesignError::NotVerified(ref n)) if n == "bad"
+        ));
+        // The unchecked path still assembles a deployment for divergence
+        // experiments.
+        assert_eq!(design.deploy_unchecked().machine_count(), 2);
+    }
+
+    #[test]
+    fn activation_finds_autonomous_roots_only() {
+        // The buffer is paced by its own alternating state: one autonomous
+        // root, activated through one of its state signals.
+        let buffer = Component::new(stdlib::buffer()).expect("builds");
+        assert_eq!(buffer.activation().len(), 1);
+        // The producer is paced by its input a: no autonomous root.
+        let producer = Component::new(stdlib::producer()).expect("builds");
+        assert!(producer.activation().is_empty());
     }
 
     #[test]

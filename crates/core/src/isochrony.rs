@@ -9,13 +9,14 @@
 use std::collections::BTreeMap;
 
 use moc::Value;
-use sim::{AsyncNetwork, Drive, Simulator};
 use signal_lang::Name;
+use sim::{AsyncNetwork, Drive, FlowComparison, Simulator};
 
 use crate::design::Design;
 
-/// The flows observed on the outputs of an execution.
-pub type Flows = BTreeMap<Name, Vec<Value>>;
+/// The flows observed on the outputs of an execution (re-exported from
+/// [`sim::flows`], where the comparison logic lives).
+pub type Flows = sim::Flows;
 
 /// The result of comparing the synchronous and asynchronous executions of a
 /// design on the same input flows.
@@ -28,26 +29,20 @@ pub struct IsochronyObservation {
 }
 
 impl IsochronyObservation {
+    /// The signal-per-signal comparison of the two executions.
+    pub fn comparison(&self) -> FlowComparison {
+        FlowComparison::compare(&self.synchronous, &self.asynchronous)
+    }
+
     /// Returns `true` when both executions produced the same flows on every
     /// compared signal (flow-equivalence of the observable behaviours).
     pub fn flows_match(&self) -> bool {
-        self.synchronous == self.asynchronous
+        self.comparison().flows_match()
     }
 
     /// The signals whose flows differ.
     pub fn mismatches(&self) -> Vec<Name> {
-        let mut out = Vec::new();
-        for (name, flow) in &self.synchronous {
-            if self.asynchronous.get(name) != Some(flow) {
-                out.push(name.clone());
-            }
-        }
-        for name in self.asynchronous.keys() {
-            if !self.synchronous.contains_key(name) && !out.contains(name) {
-                out.push(name.clone());
-            }
-        }
-        out
+        self.comparison().mismatching_signals()
     }
 }
 
@@ -58,7 +53,12 @@ impl IsochronyObservation {
 /// The synchronous side runs the composition instant by instant; the
 /// asynchronous side runs each component at its own pace in an
 /// [`AsyncNetwork`] with the interleaving selected by `seed`.
-pub fn observe_producer_consumer(design: &Design, a: &[bool], b: &[bool], seed: u64) -> IsochronyObservation {
+pub fn observe_producer_consumer(
+    design: &Design,
+    a: &[bool],
+    b: &[bool],
+    seed: u64,
+) -> IsochronyObservation {
     // Synchronous reference: the composition stepped with both inputs
     // present at each instant.
     let mut synchronous: Flows = BTreeMap::new();
@@ -131,8 +131,7 @@ mod tests {
             synchronous: BTreeMap::new(),
             asynchronous: BTreeMap::new(),
         };
-        obs.synchronous
-            .insert(Name::from("u"), vec![Value::Int(1)]);
+        obs.synchronous.insert(Name::from("u"), vec![Value::Int(1)]);
         assert!(!obs.flows_match());
         assert_eq!(obs.mismatches(), vec![Name::from("u")]);
     }

@@ -6,6 +6,8 @@
 
 pub use signal_lang::stdlib::*;
 
+use signal_lang::ProcessDef;
+
 use crate::design::{Design, DesignError};
 
 /// The producer/consumer design of Section 5 (two endochronous components,
@@ -40,6 +42,28 @@ pub fn ltta_design() -> Result<Design, DesignError> {
 /// The one-place buffer of Section 3 as a single-component design.
 pub fn buffer_design() -> Result<Design, DesignError> {
     Design::new(buffer())
+}
+
+/// A chain of `n` one-place buffers: stage `i` reads `p{i}` and writes
+/// `p{i+1}` — the canonical GALS pipeline workload of the deployment
+/// example, the conformance tests and benchmark E13.
+pub fn buffer_pipeline(n: usize) -> Vec<ProcessDef> {
+    (0..n)
+        .map(|i| {
+            buffer().instantiate(
+                &format!("stage{i}"),
+                &[
+                    ("y", &format!("p{i}") as &str),
+                    ("x", &format!("p{}", i + 1)),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The `n`-stage buffer pipeline composed into a design named `pipe{n}`.
+pub fn buffer_pipeline_design(n: usize) -> Result<Design, DesignError> {
+    Design::compose(format!("pipe{n}"), buffer_pipeline(n))
 }
 
 #[cfg(test)]

@@ -40,8 +40,16 @@ impl Verdict {
 
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "design {} ({} components)", self.name, self.component_count)?;
-        writeln!(f, "  components endochronous : {}", self.components_endochronous)?;
+        writeln!(
+            f,
+            "design {} ({} components)",
+            self.name, self.component_count
+        )?;
+        writeln!(
+            f,
+            "  components endochronous : {}",
+            self.components_endochronous
+        )?;
         writeln!(f, "  well-clocked             : {}", self.well_clocked)?;
         writeln!(f, "  acyclic                  : {}", self.acyclic)?;
         writeln!(f, "  compilable               : {}", self.compilable)?;

@@ -1,0 +1,458 @@
+//! The deployment builder and runner.
+//!
+//! A [`Deployment`] assembles separately compiled [`StepMachine`]s, derives
+//! the channel topology from their interfaces (an output of one machine
+//! feeding the homonymous input of others becomes a bounded FIFO channel),
+//! preloads the environment streams, and runs every machine on its own OS
+//! thread until the streams are drained — the concurrent execution scheme
+//! of Section 5 of the paper generalized from one producer/consumer pair to
+//! arbitrary component counts.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use signal_lang::{Name, Value};
+use sim::Flows;
+
+use crate::conformance::{
+    replay_reference, ConformanceError, ConformanceReport, ReferenceComponent,
+};
+use crate::machine::StepMachine;
+use crate::stats::DeploymentStats;
+use crate::worker::Worker;
+
+/// Default per-component step budget: a safety net against components that
+/// can react forever without consuming any finite stream.
+pub const DEFAULT_MAX_STEPS: u64 = 1_000_000;
+
+/// An error raised while assembling or launching a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The deployment has no machine.
+    Empty,
+    /// Two machines declare the same output signal; a signal must have a
+    /// single producer for the channel topology to be well-defined.
+    DuplicateProducer(Name),
+    /// A fed signal is produced by a machine: only environment inputs (read
+    /// by some machine, produced by none) can be fed.
+    FedInternalSignal(Name),
+    /// A fed signal is not an input of any machine.
+    UnknownFeed(Name),
+    /// The channel topology contains a communication cycle: with bounded
+    /// blocking channels, a cycle can deadlock every worker on it, so the
+    /// run is refused unless cycles are explicitly allowed.
+    CyclicTopology,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Empty => write!(f, "a deployment needs at least one machine"),
+            DeployError::DuplicateProducer(n) => {
+                write!(f, "signal {n} is produced by more than one machine")
+            }
+            DeployError::FedInternalSignal(n) => {
+                write!(f, "signal {n} is produced by a machine and cannot be fed")
+            }
+            DeployError::UnknownFeed(n) => {
+                write!(f, "fed signal {n} is not an input of any machine")
+            }
+            DeployError::CyclicTopology => write!(
+                f,
+                "the channel topology is cyclic and bounded blocking channels \
+                 may deadlock on it (allow_cycles forces the run)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// One bounded point-to-point channel of the derived topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// The shared signal carried by the channel.
+    pub signal: Name,
+    /// Index of the producing machine.
+    pub producer: usize,
+    /// Index of the consuming machine.
+    pub consumer: usize,
+}
+
+/// The static shape of a deployment, derived from the machine interfaces.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// The point-to-point channels (one per shared signal and consumer).
+    pub channels: Vec<ChannelSpec>,
+    /// The environment inputs: consumed by some machine, produced by none.
+    pub environment: Vec<Name>,
+}
+
+impl Topology {
+    /// Returns `true` when the channel graph (machines as nodes, channels
+    /// as edges) contains a cycle — a shape on which bounded blocking
+    /// channels can deadlock.
+    pub fn has_cycle(&self) -> bool {
+        let mut successors: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut indegree: BTreeMap<usize, usize> = BTreeMap::new();
+        for spec in &self.channels {
+            indegree.entry(spec.producer).or_default();
+            if successors
+                .entry(spec.producer)
+                .or_default()
+                .insert(spec.consumer)
+            {
+                *indegree.entry(spec.consumer).or_default() += 1;
+            }
+        }
+        // Kahn's algorithm: a cycle leaves nodes with nonzero in-degree.
+        let mut ready: Vec<usize> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(node) = ready.pop() {
+            visited += 1;
+            for &next in successors.get(&node).into_iter().flatten() {
+                let d = indegree.get_mut(&next).expect("edge target registered");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(next);
+                }
+            }
+        }
+        visited < indegree.len()
+    }
+}
+
+/// A multi-threaded GALS deployment under construction.
+pub struct Deployment {
+    machines: Vec<Box<dyn StepMachine>>,
+    reference: Vec<ReferenceComponent>,
+    paced: BTreeSet<Name>,
+    feeds: BTreeMap<Name, Vec<Value>>,
+    capacity: usize,
+    max_steps: u64,
+    allow_cycles: bool,
+}
+
+impl Deployment {
+    /// Creates an empty deployment with channel capacity 1 (the one-place
+    /// rendez-vous of the paper's concurrent scheme) and the default step
+    /// budget.
+    pub fn new() -> Self {
+        Deployment {
+            machines: Vec::new(),
+            reference: Vec::new(),
+            paced: BTreeSet::new(),
+            feeds: BTreeMap::new(),
+            capacity: 1,
+            max_steps: DEFAULT_MAX_STEPS,
+            allow_cycles: false,
+        }
+    }
+
+    /// Allows running a deployment whose channel topology contains a
+    /// communication cycle.  With bounded blocking channels a cycle can
+    /// deadlock (every worker on it waiting for another), so cycles are
+    /// refused by default; a cycle primed by initial register values can
+    /// still make progress, which this switch permits — at the caller's
+    /// risk.
+    pub fn set_allow_cycles(&mut self, allow: bool) -> &mut Self {
+        self.allow_cycles = allow;
+        self
+    }
+
+    /// Sets the capacity of every bounded channel (at least 1).
+    pub fn set_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The configured channel capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets the per-component step budget.
+    pub fn set_max_steps(&mut self, max_steps: u64) -> &mut Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Adds a machine; returns its index in the deployment.
+    pub fn add_machine(&mut self, machine: Box<dyn StepMachine>) -> usize {
+        self.machines.push(machine);
+        self.machines.len() - 1
+    }
+
+    /// The number of machines added so far.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Registers the synchronous reference of one component, enabling the
+    /// dynamic isochrony conformance check on the outcome.
+    pub fn add_reference(&mut self, reference: ReferenceComponent) -> &mut Self {
+        self.reference.push(reference);
+        self
+    }
+
+    /// Marks an environment input as *pacing* its consumer: the synchronous
+    /// reference presents it at every attempted reaction (the idiom for
+    /// inputs read at every activation, like the producer's `a`).
+    pub fn mark_paced(&mut self, signal: impl Into<Name>) -> &mut Self {
+        self.paced.insert(signal.into());
+        self
+    }
+
+    /// Feeds an environment input with a finite stream of values.
+    pub fn feed<I, V>(&mut self, signal: impl Into<Name>, values: I) -> &mut Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.feeds
+            .entry(signal.into())
+            .or_default()
+            .extend(values.into_iter().map(Into::into));
+        self
+    }
+
+    /// Derives the channel topology from the machine interfaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::DuplicateProducer`] when two machines declare
+    /// the same output signal.
+    pub fn topology(&self) -> Result<Topology, DeployError> {
+        let mut producer_of: BTreeMap<Name, usize> = BTreeMap::new();
+        for (i, machine) in self.machines.iter().enumerate() {
+            for output in machine.output_signals() {
+                if producer_of.insert(output.clone(), i).is_some() {
+                    return Err(DeployError::DuplicateProducer(output));
+                }
+            }
+        }
+        let mut topology = Topology::default();
+        let mut environment: BTreeSet<Name> = BTreeSet::new();
+        for (j, machine) in self.machines.iter().enumerate() {
+            for input in machine.input_signals() {
+                match producer_of.get(&input) {
+                    Some(&i) if i != j => topology.channels.push(ChannelSpec {
+                        signal: input,
+                        producer: i,
+                        consumer: j,
+                    }),
+                    Some(_) => {} // self-loop: resolved inside the machine
+                    None => {
+                        environment.insert(input);
+                    }
+                }
+            }
+        }
+        topology.environment = environment.into_iter().collect();
+        Ok(topology)
+    }
+
+    /// Launches one OS thread per machine, connected by bounded channels,
+    /// and blocks until every worker finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when the deployment is empty, the topology
+    /// is ill-formed or cyclic, or a feed does not name an environment
+    /// input.
+    pub fn run(mut self) -> Result<DeploymentOutcome, DeployError> {
+        if self.machines.is_empty() {
+            return Err(DeployError::Empty);
+        }
+        let topology = self.topology()?;
+        if !self.allow_cycles && topology.has_cycle() {
+            return Err(DeployError::CyclicTopology);
+        }
+
+        // Validate the feeds against the derived environment.
+        let inputs: BTreeSet<Name> = self
+            .machines
+            .iter()
+            .flat_map(|m| m.input_signals())
+            .collect();
+        let environment: BTreeSet<Name> = topology.environment.iter().cloned().collect();
+        for signal in self.feeds.keys() {
+            if !inputs.contains(signal) {
+                return Err(DeployError::UnknownFeed(signal.clone()));
+            }
+            if !environment.contains(signal) {
+                return Err(DeployError::FedInternalSignal(signal.clone()));
+            }
+        }
+
+        // Wire the bounded channels.
+        let n = self.machines.len();
+        let mut sources: Vec<BTreeMap<Name, Receiver<Value>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        let mut sinks: Vec<BTreeMap<Name, Vec<Sender<Value>>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        for spec in &topology.channels {
+            let (tx, rx) = channel::bounded::<Value>(self.capacity);
+            sinks[spec.producer]
+                .entry(spec.signal.clone())
+                .or_default()
+                .push(tx);
+            sources[spec.consumer].insert(spec.signal.clone(), rx);
+        }
+
+        // Preload the environment streams into their consumers.
+        for (j, machine) in self.machines.iter_mut().enumerate() {
+            for input in machine.input_signals() {
+                if sources[j].contains_key(&input) {
+                    continue;
+                }
+                if let Some(values) = self.feeds.get(&input) {
+                    for value in values {
+                        machine.feed_value(input.as_str(), *value);
+                    }
+                }
+            }
+        }
+
+        // One worker per machine, one OS thread per worker.
+        let max_steps = self.max_steps;
+        let mut workers: Vec<Worker> = Vec::with_capacity(n);
+        let mut sources = sources.into_iter();
+        let mut sinks = sinks.into_iter();
+        for machine in self.machines {
+            workers.push(Worker {
+                machine,
+                sources: sources.next().expect("one source map per machine"),
+                sinks: sinks.next().expect("one sink map per machine"),
+                max_steps,
+            });
+        }
+        let started = Instant::now();
+        let reports: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|worker| scope.spawn(move || worker.run()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+
+        let mut flows: Flows = Flows::new();
+        let mut components = Vec::with_capacity(reports.len());
+        for report in reports {
+            flows.extend(report.flows);
+            components.push(report.stats);
+        }
+        Ok(DeploymentOutcome {
+            flows,
+            stats: DeploymentStats {
+                components,
+                channels: topology.channels.len(),
+                capacity: self.capacity,
+                elapsed,
+            },
+            feeds: self.feeds,
+            reference: self.reference,
+            paced: self.paced,
+        })
+    }
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Deployment::new()
+    }
+}
+
+impl fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deployment")
+            .field("machines", &self.machines.len())
+            .field("capacity", &self.capacity)
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+/// The result of a finished deployment run: the produced flows, the
+/// execution counters and everything needed to replay the run against the
+/// synchronous reference.
+#[derive(Debug, Clone)]
+pub struct DeploymentOutcome {
+    flows: Flows,
+    stats: DeploymentStats,
+    feeds: BTreeMap<Name, Vec<Value>>,
+    reference: Vec<ReferenceComponent>,
+    paced: BTreeSet<Name>,
+}
+
+impl DeploymentOutcome {
+    /// The flow produced on an output signal (empty for unknown signals).
+    pub fn flow(&self, signal: &str) -> &[Value] {
+        self.flows
+            .get(signal)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Every produced flow, keyed by output signal.
+    pub fn flows(&self) -> &Flows {
+        &self.flows
+    }
+
+    /// The execution counters of the run.
+    pub fn stats(&self) -> &DeploymentStats {
+        &self.stats
+    }
+
+    /// The environment streams the run consumed (as fed).
+    pub fn feeds(&self) -> &BTreeMap<Name, Vec<Value>> {
+        &self.feeds
+    }
+
+    /// Replays the same environment streams through the synchronous
+    /// reference interpreter of every component and compares the flows —
+    /// the dynamic counterpart of Theorem 1 (isochrony): the multi-threaded
+    /// bounded-FIFO execution must observe exactly the flows of the
+    /// synchronous semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConformanceError::NoReference`] when the deployment was
+    /// assembled without reference components (e.g. directly from step
+    /// programs rather than from a `Design`).
+    pub fn check_conformance(&self) -> Result<ConformanceReport, ConformanceError> {
+        let budget = self.replay_budget();
+        self.check_conformance_with(budget)
+    }
+
+    /// Like [`check_conformance`](Self::check_conformance) with an explicit
+    /// replay turn budget.
+    pub fn check_conformance_with(
+        &self,
+        max_turns: usize,
+    ) -> Result<ConformanceReport, ConformanceError> {
+        if self.reference.is_empty() {
+            return Err(ConformanceError::NoReference);
+        }
+        let reference = replay_reference(&self.reference, &self.feeds, &self.paced, max_turns);
+        Ok(ConformanceReport::compare(&reference, &self.flows))
+    }
+
+    /// A generous default turn budget for the reference replay, scaled to
+    /// the volume of the environment streams.
+    fn replay_budget(&self) -> usize {
+        let tokens: usize = self.feeds.values().map(Vec::len).sum();
+        let components = self.reference.len().max(1);
+        (tokens + 16) * 16 * components
+    }
+}

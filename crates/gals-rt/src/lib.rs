@@ -1,0 +1,328 @@
+//! `gals-rt` — a multi-threaded GALS deployment runtime for verified
+//! designs.
+//!
+//! The paper's central claim (Theorem 1) is that a design passing the
+//! static weak-hierarchy check can be compiled **separately per component
+//! and executed asynchronously** with no loss of synchronous semantics.
+//! This crate is the execution half of that claim at production shape:
+//!
+//! * a [`Deployment`] builder that assembles separately compiled
+//!   components ([`StepMachine`]s), derives the channel topology from
+//!   their interfaces, and runs **each component on its own OS thread**;
+//! * **bounded** FIFO channels with blocking-read/blocking-write
+//!   backpressure — the finite-buffer refinement of the paper's
+//!   unbounded-FIFO asynchronous model (`^` [`sim::AsyncNetwork`]);
+//! * per-component counters (reactions, blocked reads, tokens) aggregated
+//!   into a [`DeploymentStats`] report;
+//! * a dynamic **isochrony conformance checker**
+//!   ([`DeploymentOutcome::check_conformance`]) that replays the same
+//!   environment streams through the synchronous reference interpreter and
+//!   asserts flow equality — Theorem 1 as an executable end-to-end test at
+//!   arbitrary component counts.
+//!
+//! The crate is machine-agnostic: `codegen::SequentialRuntime` implements
+//! [`StepMachine`] (so generated step programs deploy directly), and
+//! `isochron::Design::deploy` assembles a ready-to-run deployment from a
+//! verified design, reference kernels and activations included.
+//!
+//! # Example
+//!
+//! Deploying two hand-rolled machines (a counter and a doubler) on two
+//! threads, connected by a bounded channel:
+//!
+//! ```
+//! use gals_rt::{Deployment, StepFault, StepMachine};
+//! use signal_lang::{Name, Value};
+//!
+//! struct Count { ticks: Vec<Value>, out: Vec<Value> }
+//! impl StepMachine for Count {
+//!     fn machine_name(&self) -> &str { "count" }
+//!     fn input_signals(&self) -> Vec<Name> { vec![Name::from("tick")] }
+//!     fn output_signals(&self) -> Vec<Name> { vec![Name::from("n")] }
+//!     fn feed_value(&mut self, _signal: &str, value: Value) { self.ticks.push(value); }
+//!     fn try_step(&mut self) -> Result<(), StepFault> {
+//!         if self.ticks.is_empty() {
+//!             return Err(StepFault::NeedInput(Name::from("tick")));
+//!         }
+//!         self.ticks.remove(0);
+//!         self.out.push(Value::Int(self.out.len() as i64 + 1));
+//!         Ok(())
+//!     }
+//!     fn produced(&self, _signal: &str) -> &[Value] { &self.out }
+//! }
+//!
+//! struct Double { queue: Vec<Value>, out: Vec<Value> }
+//! impl StepMachine for Double {
+//!     fn machine_name(&self) -> &str { "double" }
+//!     fn input_signals(&self) -> Vec<Name> { vec![Name::from("n")] }
+//!     fn output_signals(&self) -> Vec<Name> { vec![Name::from("d")] }
+//!     fn feed_value(&mut self, _signal: &str, value: Value) { self.queue.push(value); }
+//!     fn try_step(&mut self) -> Result<(), StepFault> {
+//!         if self.queue.is_empty() {
+//!             return Err(StepFault::NeedInput(Name::from("n")));
+//!         }
+//!         let n = self.queue.remove(0).as_int().unwrap();
+//!         self.out.push(Value::Int(2 * n));
+//!         Ok(())
+//!     }
+//!     fn produced(&self, _signal: &str) -> &[Value] { &self.out }
+//! }
+//!
+//! let mut deployment = Deployment::new();
+//! deployment.add_machine(Box::new(Count { ticks: vec![], out: vec![] }));
+//! deployment.add_machine(Box::new(Double { queue: vec![], out: vec![] }));
+//! deployment.feed("tick", [true, true, true]);
+//! let outcome = deployment.run()?;
+//! assert_eq!(outcome.flow("d"), &[Value::Int(2), Value::Int(4), Value::Int(6)]);
+//! assert_eq!(outcome.stats().total_reactions(), 6);
+//! # Ok::<(), gals_rt::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod deploy;
+pub mod machine;
+pub mod stats;
+mod worker;
+
+pub use conformance::{ConformanceError, ConformanceReport, ReferenceComponent};
+pub use deploy::{
+    ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
+};
+pub use machine::{StepFault, StepMachine};
+pub use stats::{ComponentStats, DeploymentStats, StopReason};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_lang::{Name, Value};
+
+    /// A machine that consumes one token of `input` per step and emits the
+    /// running sum on `output`.
+    struct Summer {
+        name: String,
+        input: Name,
+        output: Name,
+        queue: Vec<Value>,
+        produced: Vec<Value>,
+        sum: i64,
+    }
+
+    impl Summer {
+        fn new(name: &str, input: &str, output: &str) -> Self {
+            Summer {
+                name: name.into(),
+                input: Name::from(input),
+                output: Name::from(output),
+                queue: Vec::new(),
+                produced: Vec::new(),
+                sum: 0,
+            }
+        }
+    }
+
+    impl StepMachine for Summer {
+        fn machine_name(&self) -> &str {
+            &self.name
+        }
+        fn input_signals(&self) -> Vec<Name> {
+            vec![self.input.clone()]
+        }
+        fn output_signals(&self) -> Vec<Name> {
+            vec![self.output.clone()]
+        }
+        fn feed_value(&mut self, _signal: &str, value: Value) {
+            self.queue.push(value);
+        }
+        fn try_step(&mut self) -> Result<(), StepFault> {
+            if self.queue.is_empty() {
+                return Err(StepFault::NeedInput(self.input.clone()));
+            }
+            let v = self.queue.remove(0).as_int().unwrap_or(0);
+            self.sum += v;
+            self.produced.push(Value::Int(self.sum));
+            Ok(())
+        }
+        fn produced(&self, _signal: &str) -> &[Value] {
+            &self.produced
+        }
+    }
+
+    fn pipeline(n: usize) -> Deployment {
+        let mut deployment = Deployment::new();
+        for i in 0..n {
+            let input = if i == 0 {
+                "s0".to_string()
+            } else {
+                format!("s{i}")
+            };
+            let output = format!("s{}", i + 1);
+            deployment.add_machine(Box::new(Summer::new(&format!("stage{i}"), &input, &output)));
+        }
+        deployment
+    }
+
+    #[test]
+    fn a_pipeline_of_eight_stages_runs_on_eight_threads() {
+        for capacity in [1usize, 4, 64] {
+            let mut deployment = pipeline(8);
+            deployment.set_capacity(capacity);
+            deployment.feed("s0", (1..=32).map(Value::Int));
+            let outcome = deployment.run().expect("runs");
+            // Each stage performed 32 reactions.
+            assert_eq!(outcome.stats().total_reactions(), 8 * 32);
+            assert_eq!(outcome.stats().components.len(), 8);
+            // Prefix sums applied 8 times: the final flow is deterministic
+            // whatever the interleaving and the capacity.
+            let last = outcome.flow("s8");
+            assert_eq!(last.len(), 32);
+            let reference = {
+                let mut values: Vec<i64> = (1..=32).collect();
+                for _ in 0..8 {
+                    let mut sum = 0;
+                    for v in values.iter_mut() {
+                        sum += *v;
+                        *v = sum;
+                    }
+                }
+                values
+            };
+            let got: Vec<i64> = last.iter().map(|v| v.as_int().unwrap()).collect();
+            assert_eq!(got, reference, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn topology_derivation_finds_channels_and_environment() {
+        let deployment = pipeline(3);
+        let topology = deployment.topology().expect("well-formed");
+        assert_eq!(topology.channels.len(), 2);
+        assert_eq!(topology.environment, vec![Name::from("s0")]);
+        assert_eq!(
+            topology.channels[0],
+            ChannelSpec {
+                signal: Name::from("s1"),
+                producer: 0,
+                consumer: 1
+            }
+        );
+        assert!(!topology.has_cycle());
+    }
+
+    #[test]
+    fn cyclic_topologies_are_refused_instead_of_deadlocking() {
+        // a reads q and writes p; b reads p and writes q: with blocking
+        // bounded channels both workers would wait on each other forever,
+        // so the run is refused up front.
+        let mut deployment = Deployment::new();
+        deployment.add_machine(Box::new(Summer::new("a", "q", "p")));
+        deployment.add_machine(Box::new(Summer::new("b", "p", "q")));
+        assert!(deployment.topology().expect("well-formed").has_cycle());
+        assert_eq!(deployment.run().unwrap_err(), DeployError::CyclicTopology);
+    }
+
+    #[test]
+    fn duplicate_producers_are_rejected() {
+        let mut deployment = Deployment::new();
+        deployment.add_machine(Box::new(Summer::new("a", "i", "o")));
+        deployment.add_machine(Box::new(Summer::new("b", "j", "o")));
+        assert_eq!(
+            deployment.topology().unwrap_err(),
+            DeployError::DuplicateProducer(Name::from("o"))
+        );
+        assert!(deployment.run().is_err());
+    }
+
+    #[test]
+    fn feeding_an_internal_or_unknown_signal_is_rejected() {
+        let mut deployment = pipeline(2);
+        deployment.feed("s1", [Value::Int(1)]);
+        assert_eq!(
+            deployment.run().unwrap_err(),
+            DeployError::FedInternalSignal(Name::from("s1"))
+        );
+        let mut deployment = pipeline(2);
+        deployment.feed("nosuch", [Value::Int(1)]);
+        assert_eq!(
+            deployment.run().unwrap_err(),
+            DeployError::UnknownFeed(Name::from("nosuch"))
+        );
+        let empty = Deployment::new();
+        assert_eq!(empty.run().unwrap_err(), DeployError::Empty);
+    }
+
+    #[test]
+    fn stats_record_backpressure_and_stop_reasons() {
+        let mut deployment = pipeline(2);
+        deployment.set_capacity(1);
+        deployment.feed("s0", (1..=8).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        let stats = outcome.stats();
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.channels, 1);
+        // Stage 0 drained its environment stream; stage 1 stopped when the
+        // upstream channel closed.
+        assert_eq!(
+            stats.components[0].stop,
+            StopReason::EnvironmentExhausted(Name::from("s0"))
+        );
+        assert_eq!(
+            stats.components[1].stop,
+            StopReason::UpstreamClosed(Name::from("s1"))
+        );
+        assert_eq!(stats.components[0].tokens_sent, 8);
+        assert_eq!(stats.components[1].tokens_received, 8);
+        // A read only counts as blocked when the buffer was actually empty,
+        // so the counter never exceeds the tokens received (plus the final
+        // wait that observed the close).
+        assert!(stats.components[1].blocked_reads <= stats.components[1].tokens_received + 1);
+    }
+
+    #[test]
+    fn the_step_budget_stops_runaway_machines() {
+        /// A machine that reacts forever without consuming anything.
+        struct Spinner {
+            produced: Vec<Value>,
+        }
+        impl StepMachine for Spinner {
+            fn machine_name(&self) -> &str {
+                "spinner"
+            }
+            fn input_signals(&self) -> Vec<Name> {
+                Vec::new()
+            }
+            fn output_signals(&self) -> Vec<Name> {
+                vec![Name::from("z")]
+            }
+            fn feed_value(&mut self, _signal: &str, _value: Value) {}
+            fn try_step(&mut self) -> Result<(), StepFault> {
+                self.produced.push(Value::Bool(true));
+                Ok(())
+            }
+            fn produced(&self, _signal: &str) -> &[Value] {
+                &self.produced
+            }
+        }
+        let mut deployment = Deployment::new();
+        deployment.set_max_steps(100);
+        deployment.add_machine(Box::new(Spinner {
+            produced: Vec::new(),
+        }));
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().components[0].reactions, 100);
+        assert_eq!(outcome.stats().components[0].stop, StopReason::StepLimit);
+    }
+
+    #[test]
+    fn conformance_without_a_reference_is_an_error() {
+        let mut deployment = pipeline(1);
+        deployment.feed("s0", [Value::Int(1)]);
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(
+            outcome.check_conformance().unwrap_err(),
+            ConformanceError::NoReference
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Execution counters of a deployment run.
+
+use std::fmt;
+use std::time::Duration;
+
+use signal_lang::Name;
+
+/// Why a worker thread stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// An environment input stream ran dry at an instant that required it —
+    /// the normal end of a finite run.
+    EnvironmentExhausted(Name),
+    /// The producer of this channel signal terminated and its FIFO is
+    /// drained, so the pending blocking read can never complete.
+    UpstreamClosed(Name),
+    /// The per-component step budget was reached.
+    StepLimit,
+    /// The machine faulted.
+    Fault(String),
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::EnvironmentExhausted(n) => {
+                write!(f, "environment input {n} exhausted")
+            }
+            StopReason::UpstreamClosed(n) => write!(f, "upstream of {n} closed"),
+            StopReason::StepLimit => write!(f, "step limit reached"),
+            StopReason::Fault(m) => write!(f, "fault: {m}"),
+        }
+    }
+}
+
+/// The counters of one deployed component.
+#[derive(Debug, Clone)]
+pub struct ComponentStats {
+    /// The component name.
+    pub name: String,
+    /// Completed synchronous reactions (steps).
+    pub reactions: u64,
+    /// Blocking reads: steps that had to wait for a channel token.
+    pub blocked_reads: u64,
+    /// Tokens delivered into downstream channels.
+    pub tokens_sent: u64,
+    /// Tokens received from upstream channels.
+    pub tokens_received: u64,
+    /// Why the worker stopped.
+    pub stop: StopReason,
+}
+
+impl fmt::Display for ComponentStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reactions, {} blocked reads, {} sent, {} received ({})",
+            self.name,
+            self.reactions,
+            self.blocked_reads,
+            self.tokens_sent,
+            self.tokens_received,
+            self.stop
+        )
+    }
+}
+
+/// The aggregated report of one deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentStats {
+    /// Per-component counters, in deployment order.
+    pub components: Vec<ComponentStats>,
+    /// Number of bounded channels wired between the components.
+    pub channels: usize,
+    /// Capacity of each channel.
+    pub capacity: usize,
+    /// Wall-clock duration of the run (spawn to last join).
+    pub elapsed: Duration,
+}
+
+impl DeploymentStats {
+    /// Total reactions across every component.
+    pub fn total_reactions(&self) -> u64 {
+        self.components.iter().map(|c| c.reactions).sum()
+    }
+
+    /// Total blocking reads across every component.
+    pub fn total_blocked_reads(&self) -> u64 {
+        self.components.iter().map(|c| c.blocked_reads).sum()
+    }
+
+    /// Total tokens exchanged through the channels.
+    pub fn total_tokens(&self) -> u64 {
+        self.components.iter().map(|c| c.tokens_sent).sum()
+    }
+
+    /// Reactions per second over the whole run (0 when the run was too fast
+    /// to measure).
+    pub fn reactions_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total_reactions() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for DeploymentStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deployment of {} component(s), {} channel(s) of capacity {}: \
+             {} reactions, {} blocked reads, {} tokens in {:?}",
+            self.components.len(),
+            self.channels,
+            self.capacity,
+            self.total_reactions(),
+            self.total_blocked_reads(),
+            self.total_tokens(),
+            self.elapsed
+        )?;
+        for c in &self.components {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_component_counters() {
+        let stats = DeploymentStats {
+            components: vec![
+                ComponentStats {
+                    name: "p".into(),
+                    reactions: 5,
+                    blocked_reads: 1,
+                    tokens_sent: 2,
+                    tokens_received: 0,
+                    stop: StopReason::EnvironmentExhausted(Name::from("a")),
+                },
+                ComponentStats {
+                    name: "c".into(),
+                    reactions: 4,
+                    blocked_reads: 2,
+                    tokens_sent: 0,
+                    tokens_received: 2,
+                    stop: StopReason::UpstreamClosed(Name::from("x")),
+                },
+            ],
+            channels: 1,
+            capacity: 1,
+            elapsed: Duration::from_millis(2),
+        };
+        assert_eq!(stats.total_reactions(), 9);
+        assert_eq!(stats.total_blocked_reads(), 3);
+        assert_eq!(stats.total_tokens(), 2);
+        assert!(stats.reactions_per_second() > 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("environment input a exhausted"));
+        assert!(text.contains("upstream of x closed"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The per-component worker loop.
+//!
+//! One worker owns one [`StepMachine`] and runs it to completion on its own
+//! OS thread: it repeatedly attempts a step, services blocking reads by
+//! receiving from the bounded upstream channels, and publishes every newly
+//! produced output token into the bounded downstream channels (blocking
+//! when a buffer is full — the backpressure that makes the unbounded-FIFO
+//! model of the paper executable in finite memory).
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use signal_lang::{Name, Value};
+use sim::Flows;
+
+use crate::machine::{StepFault, StepMachine};
+use crate::stats::{ComponentStats, StopReason};
+
+/// A worker ready to run on its own thread.
+pub(crate) struct Worker {
+    pub(crate) machine: Box<dyn StepMachine>,
+    /// Upstream bounded channels, one per channel-fed input signal.
+    pub(crate) sources: BTreeMap<Name, Receiver<Value>>,
+    /// Downstream bounded channels: one sender per consumer of each output.
+    pub(crate) sinks: BTreeMap<Name, Vec<Sender<Value>>>,
+    /// Per-component step budget.
+    pub(crate) max_steps: u64,
+}
+
+/// What a finished worker reports back.
+pub(crate) struct WorkerReport {
+    pub(crate) stats: ComponentStats,
+    pub(crate) flows: Flows,
+}
+
+impl Worker {
+    /// Runs the machine until an environment stream is exhausted, an
+    /// upstream channel closes during a blocking read, the step budget is
+    /// spent, or the machine faults.
+    pub(crate) fn run(mut self) -> WorkerReport {
+        let name = self.machine.machine_name().to_string();
+        let outputs = self.machine.output_signals();
+        let mut cursors: BTreeMap<Name, usize> = outputs.iter().map(|o| (o.clone(), 0)).collect();
+        let mut reactions = 0u64;
+        let mut blocked_reads = 0u64;
+        let mut tokens_sent = 0u64;
+        let mut tokens_received = 0u64;
+
+        let stop = loop {
+            if reactions >= self.max_steps {
+                break StopReason::StepLimit;
+            }
+            match self.machine.try_step() {
+                Ok(()) => {
+                    reactions += 1;
+                    // Publish the tokens produced by this step.  A send
+                    // blocks while the consumer's buffer is full; a send to
+                    // a consumer that already terminated fails and removes
+                    // that consumer, the remaining flow still being
+                    // produced (the unbounded reference keeps producing
+                    // too, so the flows stay comparable).
+                    for (signal, senders) in self.sinks.iter_mut() {
+                        let produced = self.machine.produced(signal.as_str());
+                        let cursor = cursors.get_mut(signal).expect("output cursor");
+                        for &value in &produced[*cursor..] {
+                            senders.retain(|tx| tx.send(value).is_ok());
+                            tokens_sent += senders.len() as u64;
+                        }
+                        *cursor = produced.len();
+                    }
+                }
+                Err(StepFault::NeedInput(signal)) => {
+                    if let Some(rx) = self.sources.get(&signal) {
+                        // Read from the upstream channel; the machine state
+                        // is unchanged, so the retried step re-solves the
+                        // same instant with the token available.  Only a
+                        // read that finds the buffer empty and has to wait
+                        // counts as blocked.
+                        let received = match rx.try_recv() {
+                            Ok(value) => Ok(value),
+                            Err(TryRecvError::Disconnected) => {
+                                break StopReason::UpstreamClosed(signal)
+                            }
+                            Err(TryRecvError::Empty) => {
+                                blocked_reads += 1;
+                                rx.recv()
+                            }
+                        };
+                        match received {
+                            Ok(value) => {
+                                self.machine.feed_value(signal.as_str(), value);
+                                tokens_received += 1;
+                            }
+                            Err(_) => break StopReason::UpstreamClosed(signal),
+                        }
+                    } else {
+                        break StopReason::EnvironmentExhausted(signal);
+                    }
+                }
+                Err(StepFault::Fault(message)) => break StopReason::Fault(message),
+            }
+        };
+
+        let flows: Flows = outputs
+            .iter()
+            .map(|o| (o.clone(), self.machine.produced(o.as_str()).to_vec()))
+            .collect();
+        WorkerReport {
+            stats: ComponentStats {
+                name,
+                reactions,
+                blocked_reads,
+                tokens_sent,
+                tokens_received,
+                stop,
+            },
+            flows,
+        }
+    }
+}

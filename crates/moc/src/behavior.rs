@@ -59,7 +59,10 @@ impl Behavior {
     /// Inserts the event `(tag, value)` on the signal `name`, adding the name
     /// to the domain if necessary.
     pub fn insert_event(&mut self, name: impl Into<Name>, tag: Tag, value: Value) {
-        self.signals.entry(name.into()).or_default().insert(tag, value);
+        self.signals
+            .entry(name.into())
+            .or_default()
+            .insert(tag, value);
     }
 
     /// Replaces the whole signal assigned to `name`.
@@ -283,7 +286,10 @@ mod tests {
     fn filter_behavior() -> Behavior {
         // The filter example of Section 1 of the paper.
         let mut b = Behavior::new();
-        b.insert_stream("y", Stream::from_values(Tag::new(1), [true, false, false, true]));
+        b.insert_stream(
+            "y",
+            Stream::from_values(Tag::new(1), [true, false, false, true]),
+        );
         b.insert_event("x", Tag::new(2), Value::from(true));
         b.insert_event("x", Tag::new(4), Value::from(true));
         b
@@ -321,7 +327,10 @@ mod tests {
     fn tags_is_the_union_of_signal_chains() {
         let b = filter_behavior();
         let tags: Vec<Tag> = b.tags().into_iter().collect();
-        assert_eq!(tags, vec![Tag::new(1), Tag::new(2), Tag::new(3), Tag::new(4)]);
+        assert_eq!(
+            tags,
+            vec![Tag::new(1), Tag::new(2), Tag::new(3), Tag::new(4)]
+        );
         assert_eq!(b.max_tag(), Some(Tag::new(4)));
     }
 

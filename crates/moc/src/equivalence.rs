@@ -100,19 +100,25 @@ mod tests {
     /// The pair of clock-equivalent behaviors from Section 2.1 of the paper.
     fn paper_pair() -> (Behavior, Behavior) {
         let mut b = Behavior::new();
-        b.insert_stream("y", Stream::from_events([
-            (Tag::new(1), Value::from(true)),
-            (Tag::new(2), Value::from(false)),
-            (Tag::new(3), Value::from(false)),
-        ]));
+        b.insert_stream(
+            "y",
+            Stream::from_events([
+                (Tag::new(1), Value::from(true)),
+                (Tag::new(2), Value::from(false)),
+                (Tag::new(3), Value::from(false)),
+            ]),
+        );
         b.insert_event("x", Tag::new(2), Value::from(true));
 
         let mut c = Behavior::new();
-        c.insert_stream("y", Stream::from_events([
-            (Tag::new(10), Value::from(true)),
-            (Tag::new(30), Value::from(false)),
-            (Tag::new(50), Value::from(false)),
-        ]));
+        c.insert_stream(
+            "y",
+            Stream::from_events([
+                (Tag::new(10), Value::from(true)),
+                (Tag::new(30), Value::from(false)),
+                (Tag::new(50), Value::from(false)),
+            ]),
+        );
         c.insert_event("x", Tag::new(30), Value::from(true));
         (b, c)
     }
@@ -130,11 +136,14 @@ mod tests {
         // losing its synchronization with the second event of y.
         let (b, _) = paper_pair();
         let mut c = Behavior::new();
-        c.insert_stream("y", Stream::from_events([
-            (Tag::new(1), Value::from(true)),
-            (Tag::new(2), Value::from(false)),
-            (Tag::new(3), Value::from(false)),
-        ]));
+        c.insert_stream(
+            "y",
+            Stream::from_events([
+                (Tag::new(1), Value::from(true)),
+                (Tag::new(2), Value::from(false)),
+                (Tag::new(3), Value::from(false)),
+            ]),
+        );
         c.insert_event("x", Tag::new(1), Value::from(true));
         assert!(!clock_equivalent(&b, &c));
         assert!(flow_equivalent(&b, &c));

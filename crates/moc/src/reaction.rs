@@ -113,7 +113,9 @@ impl Reaction {
     /// Independence is the side condition of the diamond properties (2a)–(2c)
     /// of weak endochrony (Definition 2 of the paper).
     pub fn independent(&self, other: &Reaction) -> bool {
-        self.events.keys().all(|n| !other.events.contains_key(n.as_str()))
+        self.events
+            .keys()
+            .all(|n| !other.events.contains_key(n.as_str()))
     }
 
     /// The union `r ⊔ s` of two independent reactions of the same tag.
@@ -192,11 +194,7 @@ impl fmt::Display for Reaction {
 }
 
 fn join(names: &BTreeSet<Name>) -> String {
-    names
-        .iter()
-        .map(Name::as_str)
-        .collect::<Vec<_>>()
-        .join(",")
+    names.iter().map(Name::as_str).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]
@@ -269,7 +267,10 @@ mod tests {
         let r = reaction(5, &[("x", Value::from(7))]);
         let b = r.to_behavior();
         assert_eq!(b.stream("x").unwrap().len(), 1);
-        assert_eq!(b.stream("x").unwrap().value_at(Tag::new(5)), Some(Value::from(7)));
+        assert_eq!(
+            b.stream("x").unwrap().value_at(Tag::new(5)),
+            Some(Value::from(7))
+        );
     }
 
     #[test]

@@ -125,11 +125,7 @@ impl Stream {
     /// Returns the prefix of the signal restricted to tags `<= tag`.
     pub fn up_to(&self, tag: Tag) -> Stream {
         Stream {
-            events: self
-                .events
-                .range(..=tag)
-                .map(|(t, v)| (*t, *v))
-                .collect(),
+            events: self.events.range(..=tag).map(|(t, v)| (*t, *v)).collect(),
         }
     }
 
@@ -180,10 +176,7 @@ mod tests {
 
     #[test]
     fn tags_are_sorted() {
-        let s = Stream::from_events([
-            (Tag::new(4), Value::from(1)),
-            (Tag::new(1), Value::from(2)),
-        ]);
+        let s = Stream::from_events([(Tag::new(4), Value::from(1)), (Tag::new(1), Value::from(2))]);
         assert_eq!(s.tags().collect::<Vec<_>>(), vec![Tag::new(1), Tag::new(4)]);
     }
 
@@ -211,7 +204,10 @@ mod tests {
             s.tags().collect::<Vec<_>>(),
             vec![Tag::new(10), Tag::new(11), Tag::new(12)]
         );
-        assert_eq!(s.flow(), vec![Value::from(1), Value::from(2), Value::from(3)]);
+        assert_eq!(
+            s.flow(),
+            vec![Value::from(1), Value::from(2), Value::from(3)]
+        );
     }
 
     #[test]

@@ -153,7 +153,12 @@ impl TraceSet {
 
 impl fmt::Display for TraceSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "process over {{{}}} with {} behaviors", join(&self.domain), self.len())?;
+        writeln!(
+            f,
+            "process over {{{}}} with {} behaviors",
+            join(&self.domain),
+            self.len()
+        )?;
         for (i, b) in self.behaviors.iter().enumerate() {
             writeln!(f, "-- behavior {i}")?;
             write!(f, "{b}")?;
@@ -163,11 +168,7 @@ impl fmt::Display for TraceSet {
 }
 
 fn join(names: &BTreeSet<Name>) -> String {
-    names
-        .iter()
-        .map(Name::as_str)
-        .collect::<Vec<_>>()
-        .join(",")
+    names.iter().map(Name::as_str).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]

@@ -193,6 +193,9 @@ impl Expr {
     }
 
     /// Boolean negation.
+    // The builder DSL mirrors the Signal operator names; `not` consumes and
+    // rebuilds an expression rather than implementing `ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnOp::Not,
@@ -220,6 +223,7 @@ impl Expr {
     }
 
     /// Integer addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         self.binary(BinOp::Add, other)
     }
@@ -438,11 +442,7 @@ impl ProcessDef {
     /// This is how separate *instances* of library processes (two buffers in
     /// the LTTA bus, two schedulers in the controller) are given disjoint
     /// namespaces before composition.
-    pub fn instantiate(
-        &self,
-        instance: &str,
-        keep: &[(&str, &str)],
-    ) -> ProcessDef {
+    pub fn instantiate(&self, instance: &str, keep: &[(&str, &str)]) -> ProcessDef {
         let rename = |n: &Name| -> Name {
             for (old, new) in keep {
                 if n.as_str() == *old {

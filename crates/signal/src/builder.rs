@@ -161,7 +161,10 @@ impl ProcessBuilder {
         let outputs = if self.outputs.is_empty() {
             let defined = vars::defined_signals(&body);
             let hidden: std::collections::BTreeSet<Name> = self.hidden.into_iter().collect();
-            defined.into_iter().filter(|n| !hidden.contains(n)).collect()
+            defined
+                .into_iter()
+                .filter(|n| !hidden.contains(n))
+                .collect()
         } else {
             self.outputs
         };

@@ -48,13 +48,21 @@ impl fmt::Display for SignalError {
             SignalError::MissingInit(n) => {
                 write!(f, "delay defining {n} is missing an initial value")
             }
-            SignalError::Parse { line, column, message } => {
+            SignalError::Parse {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "parse error at {line}:{column}: {message}")
             }
             SignalError::UnknownProcess(name) => {
                 write!(f, "unknown process {name}")
             }
-            SignalError::ArityMismatch { process, expected, found } => {
+            SignalError::ArityMismatch {
+                process,
+                expected,
+                found,
+            } => {
                 write!(
                     f,
                     "process {process} expects {expected} arguments, found {found}"
@@ -73,7 +81,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = SignalError::MultipleDefinitions(Name::from("x"));
-        assert_eq!(e.to_string(), "signal x is defined by more than one equation");
+        assert_eq!(
+            e.to_string(),
+            "signal x is defined by more than one equation"
+        );
         let e = SignalError::Parse {
             line: 3,
             column: 7,

@@ -105,10 +105,9 @@ pub fn endochronous(name: &str, size: usize, seed: u64) -> ProcessDef {
             _ => NodeKind::BoolDelay,
         };
         builder = match kind {
-            NodeKind::BoolAlternator => builder.define(
-                signal.clone(),
-                Expr::var(signal.clone()).pre(false).not(),
-            ),
+            NodeKind::BoolAlternator => {
+                builder.define(signal.clone(), Expr::var(signal.clone()).pre(false).not())
+            }
             NodeKind::IntCounter => builder.define(
                 signal.clone(),
                 Expr::var(signal.clone()).pre(0).add(Expr::cst(1)),
@@ -201,7 +200,10 @@ mod tests {
         for def in &batch {
             let kernel = def.normalize().unwrap();
             for s in kernel.signals() {
-                assert!(all.insert(s.clone()), "signal {s} appears in two components");
+                assert!(
+                    all.insert(s.clone()),
+                    "signal {s} appears in two components"
+                );
             }
         }
     }

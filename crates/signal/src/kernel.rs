@@ -382,7 +382,9 @@ impl KernelProcess {
 
     /// The equation defining `name`, if any.
     pub fn definition_of(&self, name: &str) -> Option<&KernelEq> {
-        self.equations.iter().find(|eq| eq.defined().as_str() == name)
+        self.equations
+            .iter()
+            .find(|eq| eq.defined().as_str() == name)
     }
 
     /// Adds an equation to the process, maintaining the input/output/local
@@ -649,9 +651,7 @@ impl KernelProcess {
         self.equations
             .iter()
             .filter_map(|eq| match eq {
-                KernelEq::Delay { out, arg, init } => {
-                    Some((out.clone(), arg.clone(), *init))
-                }
+                KernelEq::Delay { out, arg, init } => Some((out.clone(), arg.clone(), *init)),
                 _ => None,
             })
             .collect()
@@ -664,12 +664,20 @@ impl fmt::Display for KernelProcess {
         writeln!(
             f,
             "  ? {}",
-            self.inputs.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+            self.inputs
+                .iter()
+                .map(Name::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
         )?;
         writeln!(
             f,
             "  ! {}",
-            self.outputs.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+            self.outputs
+                .iter()
+                .map(Name::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
         )?;
         writeln!(f, ")")?;
         for eq in &self.equations {
@@ -682,7 +690,11 @@ impl fmt::Display for KernelProcess {
             writeln!(
                 f,
                 "/ {}",
-                self.locals.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+                self.locals
+                    .iter()
+                    .map(Name::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )?;
         }
         Ok(())
@@ -866,10 +878,7 @@ mod tests {
 
     fn filter() -> ProcessDef {
         ProcessBuilder::new("filter")
-            .define(
-                "x",
-                Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
-            )
+            .define("x", Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))))
             .define("z", Expr::var("y").pre(true))
             .hide(["z"])
             .output("x")

@@ -180,7 +180,11 @@ impl<'src> Lexer<'src> {
             let line = self.line;
             let column = self.column;
             let Some(&c) = self.chars.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line, column });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    column,
+                });
                 return Ok(out);
             };
             let kind = self.next_kind(c, line, column)?;

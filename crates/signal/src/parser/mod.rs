@@ -86,7 +86,12 @@ end";
                 "constraint count differs for {}",
                 def.name
             );
-            assert_eq!(k1.signal_set(), k2.signal_set(), "signals differ for {}", def.name);
+            assert_eq!(
+                k1.signal_set(),
+                k2.signal_set(),
+                "signals differ for {}",
+                def.name
+            );
         }
     }
 

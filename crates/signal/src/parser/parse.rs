@@ -196,7 +196,9 @@ impl Parser {
                         Ok(ClockAst::Zero)
                     }
                     TokenKind::Ident(_) => Ok(ClockAst::Of(self.ident()?)),
-                    other => self.error(format!("expected a signal or `0` after `^`, found {other}")),
+                    other => {
+                        self.error(format!("expected a signal or `0` after `^`, found {other}"))
+                    }
                 }
             }
             TokenKind::LBracket => {
@@ -444,8 +446,8 @@ mod tests {
 
     #[test]
     fn cell_parses_with_init() {
-        let def =
-            parse_process("process p (? a, c ! x)\n x := a cell c init false\nend").expect("parses");
+        let def = parse_process("process p (? a, c ! x)\n x := a cell c init false\nend")
+            .expect("parses");
         let k = def.normalize().unwrap();
         assert_eq!(k.constraints().len(), 1);
     }

@@ -94,8 +94,8 @@ pub fn render_expr(e: &Expr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::ProcessBuilder;
     use crate::ast::ClockAst;
+    use crate::builder::ProcessBuilder;
 
     #[test]
     fn renders_equations_constraints_and_restrictions() {
@@ -122,10 +122,7 @@ mod tests {
         let e = Expr::var("y")
             .default(Expr::var("r").pre(false))
             .when(Expr::var("c"));
-        assert_eq!(
-            render_expr(&e),
-            "((y default (r $ init false)) when c)"
-        );
+        assert_eq!(render_expr(&e), "((y default (r $ init false)) when c)");
     }
 
     #[test]

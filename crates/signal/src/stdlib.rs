@@ -24,10 +24,7 @@ use crate::builder::ProcessBuilder;
 /// ```
 pub fn filter() -> ProcessDef {
     ProcessBuilder::new("filter")
-        .define(
-            "x",
-            Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))),
-        )
+        .define("x", Expr::cst(true).when(Expr::var("y").ne(Expr::var("z"))))
         .define("z", Expr::var("y").pre(true))
         .hide(["z"])
         .input("y")
@@ -86,15 +83,9 @@ pub fn flip() -> ProcessDef {
 /// ```
 pub fn current() -> ProcessDef {
     ProcessBuilder::new("current")
-        .define(
-            "r",
-            Expr::var("y").default(Expr::var("r").pre(false)),
-        )
+        .define("r", Expr::var("y").default(Expr::var("r").pre(false)))
         .define("x", Expr::var("r").when(Expr::var("c")))
-        .constraint(
-            ClockAst::of("r"),
-            ClockAst::of("x").or(ClockAst::of("y")),
-        )
+        .constraint(ClockAst::of("r"), ClockAst::of("x").or(ClockAst::of("y")))
         .hide(["r"])
         .inputs(["y", "c"])
         .output("x")
@@ -115,15 +106,9 @@ pub fn buffer() -> ProcessDef {
         .constraint_eq("x", ClockAst::when_true("t"))
         .constraint_eq("y", ClockAst::when_false("t"))
         // current, sampled by the alternating state t
-        .define(
-            "r",
-            Expr::var("y").default(Expr::var("r").pre(false)),
-        )
+        .define("r", Expr::var("y").default(Expr::var("r").pre(false)))
         .define("x", Expr::var("r").when(Expr::var("t")))
-        .constraint(
-            ClockAst::of("r"),
-            ClockAst::of("x").or(ClockAst::of("y")),
-        )
+        .constraint(ClockAst::of("r"), ClockAst::of("x").or(ClockAst::of("y")))
         .hide(["s", "t", "r"])
         .input("y")
         .output("x")
@@ -268,24 +253,12 @@ pub fn buffer_pair() -> ProcessDef {
         .constraint_eq("y", ClockAst::when_false("t"))
         .synchro("b", "y")
         .synchro("bo", "yo")
-        .define(
-            "ry",
-            Expr::var("y").default(Expr::var("ry").pre(false)),
-        )
+        .define("ry", Expr::var("y").default(Expr::var("ry").pre(false)))
         .define("yo", Expr::var("ry").when(Expr::var("t")))
-        .constraint(
-            ClockAst::of("ry"),
-            ClockAst::of("yo").or(ClockAst::of("y")),
-        )
-        .define(
-            "rb",
-            Expr::var("b").default(Expr::var("rb").pre(true)),
-        )
+        .constraint(ClockAst::of("ry"), ClockAst::of("yo").or(ClockAst::of("y")))
+        .define("rb", Expr::var("b").default(Expr::var("rb").pre(true)))
         .define("bo", Expr::var("rb").when(Expr::var("t")))
-        .constraint(
-            ClockAst::of("rb"),
-            ClockAst::of("bo").or(ClockAst::of("b")),
-        )
+        .constraint(ClockAst::of("rb"), ClockAst::of("bo").or(ClockAst::of("b")))
         .hide(["s", "t", "ry", "rb"])
         .inputs(["y", "b"])
         .outputs(["yo", "bo"])
@@ -350,10 +323,7 @@ pub fn controller() -> ProcessDef {
             "ra",
             Expr::var("a").not().default(Expr::var("ra").pre(false)),
         )
-        .define(
-            "rb",
-            Expr::var("b").default(Expr::var("rb").pre(false)),
-        )
+        .define("rb", Expr::var("b").default(Expr::var("rb").pre(false)))
         .define("r", Expr::var("ra").and(Expr::var("rb")))
         .define("c", Expr::var("a"))
         .define("d", Expr::var("b"))
@@ -392,9 +362,9 @@ mod tests {
     #[test]
     fn every_paper_process_normalizes() {
         for def in all_paper_processes() {
-            let kernel = def.normalize().unwrap_or_else(|e| {
-                panic!("process {} fails to normalize: {e}", def.name)
-            });
+            let kernel = def
+                .normalize()
+                .unwrap_or_else(|e| panic!("process {} fails to normalize: {e}", def.name));
             assert!(
                 !kernel.equations().is_empty() || !kernel.constraints().is_empty(),
                 "process {} is empty",

@@ -110,7 +110,10 @@ impl AsyncNetwork {
     {
         self.environment.insert(
             signal.into(),
-            (FeedMode::Demand, values.into_iter().map(Into::into).collect()),
+            (
+                FeedMode::Demand,
+                values.into_iter().map(Into::into).collect(),
+            ),
         );
     }
 
@@ -124,7 +127,10 @@ impl AsyncNetwork {
     {
         self.environment.insert(
             signal.into(),
-            (FeedMode::Paced, values.into_iter().map(Into::into).collect()),
+            (
+                FeedMode::Paced,
+                values.into_iter().map(Into::into).collect(),
+            ),
         );
     }
 
@@ -205,8 +211,7 @@ impl AsyncNetwork {
                 drives.push((input.clone(), Drive::Absent));
             }
         }
-        let drive_refs: Vec<(&str, Drive)> =
-            drives.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+        let drive_refs: Vec<(&str, Drive)> = drives.iter().map(|(n, d)| (n.as_str(), *d)).collect();
         let reaction = match self.components[id].simulator.step(&drive_refs) {
             Ok(r) => r,
             Err(SimError::UnknownSignal(n)) => {
@@ -254,6 +259,43 @@ impl AsyncNetwork {
         for turn in 0..turns {
             let id = turn % self.components.len();
             self.step_component(id);
+        }
+        self.reactions - before
+    }
+
+    /// Runs round-robin rounds until the network is *quiescent* — no flow
+    /// grew over several consecutive full rounds, so every component is
+    /// either finished (its environment streams are exhausted) or blocked on
+    /// a value that will never arrive — or until `max_turns` attempts were
+    /// made.  Returns the number of successful reactions performed.
+    ///
+    /// Quiescence is detected on flow growth rather than on reactions:
+    /// components whose activation forces a tick keep performing silent
+    /// reactions forever, and a reaction that only moves a token between
+    /// FIFOs grows no flow either, so the stagnation window spans several
+    /// rounds before the run is declared over.
+    pub fn run_until_quiescent(&mut self, max_turns: usize) -> u64 {
+        let before = self.reactions;
+        let round = self.components.len().max(1);
+        let stagnation_window = 4 * round + 4;
+        let mut stagnant = 0usize;
+        let mut last_volume: usize = self.flows.values().map(Vec::len).sum();
+        let mut turn = 0usize;
+        while turn < max_turns && stagnant < stagnation_window {
+            for _ in 0..round {
+                if turn >= max_turns {
+                    break;
+                }
+                self.step_component(turn % round);
+                turn += 1;
+            }
+            let volume: usize = self.flows.values().map(Vec::len).sum();
+            if volume > last_volume {
+                stagnant = 0;
+                last_volume = volume;
+            } else {
+                stagnant += 1;
+            }
         }
         self.reactions - before
     }
@@ -370,6 +412,32 @@ mod tests {
         assert_eq!(
             net.flow("v"),
             vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(5)]
+        );
+    }
+
+    #[test]
+    fn quiescence_is_reached_once_the_streams_are_drained() {
+        let producer = stdlib::producer().normalize().unwrap();
+        let consumer = stdlib::consumer().normalize().unwrap();
+        let mut net = AsyncNetwork::new();
+        net.add_component("producer", &producer, Vec::<Name>::new());
+        net.add_component("consumer", &consumer, Vec::<Name>::new());
+        net.feed_paced("a", [true, false, true, false]);
+        net.feed_paced("b", [false, true, false, true]);
+        let reacted = net.run_until_quiescent(10_000);
+        assert!(reacted >= 8, "only {reacted} reactions before quiescence");
+        assert_eq!(net.flow("x"), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            net.flow("v"),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(5)]
+        );
+        // Running further changes nothing: the network is quiescent.
+        let more = net.run_until_quiescent(1_000);
+        let after = net.flow("v");
+        assert_eq!(
+            after.len(),
+            4,
+            "quiescent network grew a flow ({more} reactions)"
         );
     }
 

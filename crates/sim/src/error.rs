@@ -68,6 +68,8 @@ mod tests {
             constraint: "^x = [t]".into(),
         };
         assert!(e.to_string().contains("^x = [t]"));
-        assert!(SimError::UnknownSignal(Name::from("q")).to_string().contains('q'));
+        assert!(SimError::UnknownSignal(Name::from("q"))
+            .to_string()
+            .contains('q'));
     }
 }

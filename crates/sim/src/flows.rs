@@ -1,0 +1,157 @@
+//! Flow recording and comparison.
+//!
+//! A *flow* is the sequence of values observed on one signal, with the
+//! synchronization instants erased — exactly the information preserved by
+//! the desynchronization of Section 2.3 of the paper.  Isochrony
+//! (Definition 3) is an equality of flows: the synchronous composition and
+//! the asynchronous execution of the separately compiled components must
+//! observe the same value sequences on every signal.
+//!
+//! This module holds the comparison logic shared by the dynamic isochrony
+//! observers (`isochron::isochrony`) and the deployment conformance checker
+//! (`gals_rt::conformance`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use signal_lang::{Name, Value};
+
+/// The flows observed on the signals of an execution: one value sequence
+/// per signal, in production order.
+pub type Flows = BTreeMap<Name, Vec<Value>>;
+
+/// One signal whose two observed flows differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMismatch {
+    /// The signal.
+    pub signal: Name,
+    /// The flow observed on the left execution.
+    pub left: Vec<Value>,
+    /// The flow observed on the right execution.
+    pub right: Vec<Value>,
+}
+
+impl fmt::Display for FlowMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?} /= {:?}", self.signal, self.left, self.right)
+    }
+}
+
+/// The result of comparing two flow observations signal per signal.
+#[derive(Debug, Clone, Default)]
+pub struct FlowComparison {
+    /// The signals whose flows coincide.
+    pub matching: Vec<Name>,
+    /// The signals whose flows differ, with both observations.
+    pub mismatches: Vec<FlowMismatch>,
+}
+
+impl FlowComparison {
+    /// Compares two observations on the union of their signals; a signal
+    /// absent from one side is treated as an empty flow (no value was ever
+    /// observed on it).
+    pub fn compare(left: &Flows, right: &Flows) -> Self {
+        let signals: Vec<Name> = left
+            .keys()
+            .chain(right.keys().filter(|k| !left.contains_key(*k)))
+            .cloned()
+            .collect();
+        Self::compare_on(left, right, signals)
+    }
+
+    /// Compares two observations on an explicit set of signals.
+    pub fn compare_on<I>(left: &Flows, right: &Flows, signals: I) -> Self
+    where
+        I: IntoIterator<Item = Name>,
+    {
+        let empty: Vec<Value> = Vec::new();
+        let mut comparison = FlowComparison::default();
+        for signal in signals {
+            let l = left.get(&signal).unwrap_or(&empty);
+            let r = right.get(&signal).unwrap_or(&empty);
+            if l == r {
+                comparison.matching.push(signal);
+            } else {
+                comparison.mismatches.push(FlowMismatch {
+                    signal,
+                    left: l.clone(),
+                    right: r.clone(),
+                });
+            }
+        }
+        comparison
+    }
+
+    /// Returns `true` when every compared signal observed the same flow on
+    /// both executions.
+    pub fn flows_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// The signals whose flows differ.
+    pub fn mismatching_signals(&self) -> Vec<Name> {
+        self.mismatches.iter().map(|m| m.signal.clone()).collect()
+    }
+}
+
+impl fmt::Display for FlowComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.flows_match() {
+            write!(f, "flows match on {} signal(s)", self.matching.len())
+        } else {
+            writeln!(
+                f,
+                "flows differ on {} of {} signal(s):",
+                self.mismatches.len(),
+                self.mismatches.len() + self.matching.len()
+            )?;
+            for m in &self.mismatches {
+                writeln!(f, "  {m}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(pairs: &[(&str, &[i64])]) -> Flows {
+        pairs
+            .iter()
+            .map(|(n, vs)| (Name::from(*n), vs.iter().map(|&v| Value::Int(v)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn equal_flows_match() {
+        let a = flows(&[("u", &[1, 2]), ("v", &[3])]);
+        let b = flows(&[("u", &[1, 2]), ("v", &[3])]);
+        let c = FlowComparison::compare(&a, &b);
+        assert!(c.flows_match());
+        assert_eq!(c.matching.len(), 2);
+        assert!(c.to_string().contains("match"));
+    }
+
+    #[test]
+    fn differing_flows_are_reported_per_signal() {
+        let a = flows(&[("u", &[1, 2]), ("v", &[3])]);
+        let b = flows(&[("u", &[1, 2]), ("v", &[4])]);
+        let c = FlowComparison::compare(&a, &b);
+        assert!(!c.flows_match());
+        assert_eq!(c.mismatching_signals(), vec![Name::from("v")]);
+        assert!(c.to_string().contains('v'));
+    }
+
+    #[test]
+    fn a_missing_signal_is_an_empty_flow() {
+        let a = flows(&[("u", &[1])]);
+        let b = flows(&[]);
+        let c = FlowComparison::compare(&a, &b);
+        assert_eq!(c.mismatching_signals(), vec![Name::from("u")]);
+        // And an empty flow on both sides matches.
+        let c = FlowComparison::compare_on(&b, &b, [Name::from("w")]);
+        assert!(c.flows_match());
+    }
+}

@@ -34,10 +34,12 @@
 
 pub mod async_net;
 pub mod error;
+pub mod flows;
 pub mod simulator;
 pub mod trace;
 
 pub use async_net::{AsyncNetwork, ComponentId, StepOutcome};
 pub use error::SimError;
+pub use flows::{FlowComparison, FlowMismatch, Flows};
 pub use simulator::{Drive, Simulator};
 pub use trace::TraceRecorder;

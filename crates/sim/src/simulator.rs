@@ -272,10 +272,7 @@ impl Simulator {
     /// Convenience: runs one instant with every *input* of the process made
     /// available with the provided value (demand-driven), plus the explicit
     /// drives.
-    pub fn step_with_inputs(
-        &mut self,
-        inputs: &[(&str, Value)],
-    ) -> Result<Reaction, SimError> {
+    pub fn step_with_inputs(&mut self, inputs: &[(&str, Value)]) -> Result<Reaction, SimError> {
         let drives: Vec<(&str, Drive)> = inputs
             .iter()
             .map(|(n, v)| (*n, Drive::Available(*v)))
@@ -636,8 +633,7 @@ impl Simulator {
                         Atom::Const(_) => out_present,
                         Atom::Var(z) => know[z].presence == Some(true),
                     };
-                    out_present == (left_on || right_on)
-                        || (out_present && (left_on || right_on))
+                    out_present == (left_on || right_on) || (out_present && (left_on || right_on))
                 }
             };
             if !consistent {
@@ -659,10 +655,7 @@ fn eval_clock(clock: &ClockAst, know: &BTreeMap<Name, Knowledge>) -> Option<bool
         ClockAst::WhenFalse(n) => sample(know, n, false),
         ClockAst::And(a, b) => kleene_and(eval_clock(a, know), eval_clock(b, know)),
         ClockAst::Or(a, b) => kleene_or(eval_clock(a, know), eval_clock(b, know)),
-        ClockAst::Diff(a, b) => kleene_and(
-            eval_clock(a, know),
-            eval_clock(b, know).map(|v| !v),
-        ),
+        ClockAst::Diff(a, b) => kleene_and(eval_clock(a, know), eval_clock(b, know).map(|v| !v)),
     }
 }
 
@@ -891,7 +884,10 @@ mod tests {
         let mut sim = Simulator::new(&kernel);
         // b=true with x=5: v=5 ; b=false: v=6 ; b=true with x=2: v=8.
         let r = sim
-            .step(&[("b", bool_drive(true)), ("x", Drive::Present(Value::Int(5)))])
+            .step(&[
+                ("b", bool_drive(true)),
+                ("x", Drive::Present(Value::Int(5))),
+            ])
             .expect("step 1");
         assert_eq!(r.value("v"), Some(Value::Int(5)));
         let r = sim
@@ -899,7 +895,10 @@ mod tests {
             .expect("step 2");
         assert_eq!(r.value("v"), Some(Value::Int(6)));
         let r = sim
-            .step(&[("b", bool_drive(true)), ("x", Drive::Present(Value::Int(2)))])
+            .step(&[
+                ("b", bool_drive(true)),
+                ("x", Drive::Present(Value::Int(2))),
+            ])
             .expect("step 3");
         assert_eq!(r.value("v"), Some(Value::Int(8)));
     }
@@ -910,7 +909,10 @@ mod tests {
         let mut sim = Simulator::new(&kernel);
         // x must be present iff b is true; drive x while b is false.
         let err = sim
-            .step(&[("b", bool_drive(false)), ("x", Drive::Present(Value::Int(1)))])
+            .step(&[
+                ("b", bool_drive(false)),
+                ("x", Drive::Present(Value::Int(1))),
+            ])
             .unwrap_err();
         assert!(matches!(
             err,
@@ -973,7 +975,10 @@ mod tests {
         // present, and the buffer must still emit x.
         let def = signal_lang::ProcessBuilder::new("mixed")
             .include(&stdlib::buffer())
-            .define("w", signal_lang::Expr::var("p").add(signal_lang::Expr::cst(1)))
+            .define(
+                "w",
+                signal_lang::Expr::var("p").add(signal_lang::Expr::cst(1)),
+            )
             .input("p")
             .output("w")
             .build()
@@ -1063,9 +1068,7 @@ mod tests {
         assert_eq!(r.value("o"), Some(Value::Int(7)));
         assert!(r.is_present("y"));
         // Writing instant: c present-but-unprovided must not stall x.
-        let r = sim
-            .step(&drives(Drive::Absent))
-            .expect("writing instant");
+        let r = sim.step(&drives(Drive::Absent)).expect("writing instant");
         assert_eq!(r.value("o"), Some(Value::Int(7)));
         assert_eq!(r.value("x"), Some(Value::Bool(true)), "x stalled: {r:?}");
     }

@@ -16,12 +16,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Timing relations R_buffer ==\n{}", analysis.relations());
     println!("== Clock hierarchy (paper figure, Section 3.3) ==");
     println!("{}", analysis.hierarchy().render());
-    println!("== Disjunctive form (Section 3.4) ==\n{}", analysis.disjunctive());
-    println!("== Scheduling graph (Section 3.5) ==\n{}", analysis.scheduling_graph());
+    println!(
+        "== Disjunctive form (Section 3.4) ==\n{}",
+        analysis.disjunctive()
+    );
+    println!(
+        "== Scheduling graph (Section 3.5) ==\n{}",
+        analysis.scheduling_graph()
+    );
     println!("== Verdicts ==\n{}", analysis.summary());
 
     let program = codegen::seq::generate(&analysis);
     println!("\n== Step program ==\n{program}");
-    println!("== Generated C (Section 3.6 listing) ==\n{}", codegen::emit::emit_c(&program));
+    println!(
+        "== Generated C (Section 3.6 listing) ==\n{}",
+        codegen::emit::emit_c(&program)
+    );
     Ok(())
 }

@@ -8,8 +8,8 @@
 
 use polychrony::isochron::library;
 use polychrony::moc::Name;
-use polychrony::sim::AsyncNetwork;
 use polychrony::signal_lang::stdlib;
+use polychrony::sim::AsyncNetwork;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // E1/E2: verdicts.

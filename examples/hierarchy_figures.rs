@@ -21,7 +21,10 @@ fn show(def: &ProcessDef) {
     println!();
     println!("{}", analysis.hierarchy().render());
     println!("{}", dot::hierarchy_dot(analysis.hierarchy(), &def.name));
-    println!("{}", dot::scheduling_dot(analysis.scheduling_graph(), &def.name));
+    println!(
+        "{}",
+        dot::scheduling_dot(analysis.scheduling_graph(), &def.name)
+    );
 }
 
 fn main() {

@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the reader polls (cr true) at every attempt.
     let values: Vec<i64> = (1..=8).collect();
     net.feed("xw", values.clone());
-    net.feed_paced("cw", std::iter::repeat(true).take(64).collect::<Vec<_>>());
-    net.feed_paced("cr", std::iter::repeat(true).take(64).collect::<Vec<_>>());
+    net.feed_paced("cw", vec![true; 64]);
+    net.feed_paced("cr", vec![true; 64]);
     net.run_round_robin(512);
     println!("written xw = {values:?}");
     println!("read    xr = {:?}", net.flow("xr"));

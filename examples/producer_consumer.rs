@@ -11,7 +11,10 @@ use polychrony::isochron::library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = library::producer_consumer_design()?;
-    println!("== Static criterion (Definition 12 / Theorem 1) ==\n{}", design.verdict());
+    println!(
+        "== Static criterion (Definition 12 / Theorem 1) ==\n{}",
+        design.verdict()
+    );
 
     let producer = seq::generate(design.components()[0].analysis());
     let consumer = seq::generate(design.components()[1].analysis());
@@ -25,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sequential controlled execution.
     let a = [true, false, true, false, true, true, false];
     let b = [false, true, false, true, false, false, true];
-    let mut pair = ControlledPair::new(producer.clone(), consumer.clone(), SharedLink::producer_consumer());
+    let mut pair = ControlledPair::new(
+        producer.clone(),
+        consumer.clone(),
+        SharedLink::producer_consumer(),
+    );
     pair.feed_left(a);
     pair.feed_right(b);
     pair.run(1000);

@@ -19,7 +19,10 @@ use polychrony::isochron::Design;
 
 fn main() {
     println!("static weak-hierarchy criterion (Definition 12)");
-    println!("{:>6} {:>10} {:>14} {:>8}", "pairs", "signals", "check time", "roots");
+    println!(
+        "{:>6} {:>10} {:>14} {:>8}",
+        "pairs", "signals", "check time", "roots"
+    );
     for n in [1usize, 2, 4, 8, 16, 32] {
         let components = chain_of_pairs(n);
         let start = Instant::now();
@@ -51,7 +54,10 @@ fn main() {
 
     println!();
     println!("explicit weak-endochrony exploration (the costly alternative)");
-    println!("{:>6} {:>10} {:>14} {:>10}", "pairs", "states", "check time", "verdict");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10}",
+        "pairs", "states", "check time", "verdict"
+    );
     for n in [1usize, 2, 3] {
         let kernel = chain_as_single_process(n)
             .expect("chain builds")

@@ -156,9 +156,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.effective_config(), Some(&self.name), &id.render(), |b| {
-            f(b, input)
-        });
+        run_one(
+            &self.effective_config(),
+            Some(&self.name),
+            &id.render(),
+            |b| f(b, input),
+        );
         self
     }
 

@@ -9,7 +9,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
     /// The sending half of a bounded channel.
     #[derive(Debug)]

@@ -40,7 +40,7 @@ pub mod test_runner {
         /// case sequence.
         pub fn deterministic() -> Self {
             TestRng {
-                state: 0x5eed_0f_0a11_ca5e ^ 0xa076_1d64_78bd_642f,
+                state: 0x005e_ed0f_0a11_ca5e ^ 0xa076_1d64_78bd_642f,
             }
         }
 

@@ -102,7 +102,10 @@ fn exhausted_input_streams_stop_the_generated_code() {
             Err(other) => panic!("unexpected runtime error {other}"),
         }
     }
-    assert!(saw_exhaustion, "the exhausted input stream must be reported");
+    assert!(
+        saw_exhaustion,
+        "the exhausted input stream must be reported"
+    );
 }
 
 #[test]
@@ -150,6 +153,60 @@ fn cyclic_and_ill_clocked_compositions_fail_the_criterion_not_the_api() {
 }
 
 #[test]
+fn deploying_an_unverified_design_is_refused() {
+    // A lone default over unrelated inputs is not hierarchic: the design
+    // fails the static criterion and the deployment API refuses it.
+    let loose = ProcessBuilder::new("loose")
+        .define("d", Expr::var("y").default(Expr::var("z")))
+        .build()
+        .unwrap();
+    let design = Design::compose("bad", [loose, stdlib::filter()]).expect("builds");
+    let err = design.deploy().expect_err("unverified");
+    assert!(matches!(err, DesignError::NotVerified(ref n) if n == "bad"));
+    assert!(err.to_string().contains("bad"));
+}
+
+#[test]
+fn deployment_divergence_of_a_non_isochronous_design_is_detected() {
+    // The paper's consumer *without* the clock constraint `^x = [b]` on the
+    // shared signal: its generated code falls back to reading x at every
+    // step instead of only at the b-true instants.  Deployed asynchronously
+    // it pairs the producer's tokens with the wrong instants — exactly the
+    // divergence Theorem 1 rules out for verified designs — and the dynamic
+    // conformance checker must report it rather than silently accept it.
+    let consumer_nosync = ProcessBuilder::new("consumer_nosync")
+        .synchro("v", "b")
+        .define(
+            "v",
+            Expr::var("v")
+                .pre(0)
+                .add(Expr::var("x").default(Expr::cst(1))),
+        )
+        .inputs(["b", "x"])
+        .output("v")
+        .build()
+        .unwrap();
+    let design =
+        Design::compose("unsynchronized", [stdlib::producer(), consumer_nosync]).expect("builds");
+    assert!(!design.verdict().weakly_hierarchic);
+    assert!(matches!(design.deploy(), Err(DesignError::NotVerified(_))));
+
+    // Forcing the deployment anyway: the run completes, but the flows
+    // diverge from the synchronous reference and the checker says so.
+    let mut deployment = design.deploy_unchecked();
+    deployment.feed("a", [true, false, true, false]);
+    deployment.feed("b", [false, true, false, true]);
+    let outcome = deployment.run().expect("the deployment still runs");
+    let report = outcome.check_conformance().expect("reference registered");
+    assert!(
+        !report.is_isochronous(),
+        "the divergence went undetected: {report}"
+    );
+    assert!(!report.mismatches().is_empty());
+    assert!(report.to_string().contains("NOT conformant"));
+}
+
+#[test]
 fn error_messages_are_lowercase_and_name_the_culprit() {
     let errors: Vec<String> = vec![
         SignalError::MultipleDefinitions("x".into()).to_string(),
@@ -163,6 +220,9 @@ fn error_messages_are_lowercase_and_name_the_culprit() {
             first.is_lowercase() || !first.is_alphabetic(),
             "error messages start lowercase: {message}"
         );
-        assert!(!message.ends_with('.'), "no trailing punctuation: {message}");
+        assert!(
+            !message.ends_with('.'),
+            "no trailing punctuation: {message}"
+        );
     }
 }

@@ -1,0 +1,179 @@
+//! End-to-end dynamic isochrony: every weakly hierarchic composition
+//! reachable from `signal_lang::stdlib` is deployed on OS threads with
+//! bounded channels, and the observed flows must equal the synchronous
+//! reference replay — Theorem 1 as an executable test (the conformance
+//! checker of `gals_rt`).
+
+use polychrony::gals_rt::{Deployment, DeploymentOutcome, StopReason};
+use polychrony::isochron::{design::chain_of_pairs, library, Design};
+use polychrony::moc::Value;
+
+/// Deploys the design with every feed applied, at the given channel
+/// capacity, and asserts the conformance verdict.
+fn assert_conformant(
+    design: &Design,
+    feeds: &[(&str, Vec<Value>)],
+    capacity: usize,
+) -> DeploymentOutcome {
+    let mut deployment: Deployment = design.deploy().expect("the design is verified");
+    deployment.set_capacity(capacity);
+    for (signal, values) in feeds {
+        deployment.feed(*signal, values.iter().copied());
+    }
+    let outcome = deployment.run().expect("the deployment runs");
+    let report = outcome.check_conformance().expect("reference registered");
+    assert!(
+        report.is_isochronous(),
+        "{} (capacity {capacity}): {report}\nstats:\n{}",
+        design.name(),
+        outcome.stats()
+    );
+    outcome
+}
+
+fn bools(values: &[bool]) -> Vec<Value> {
+    values.iter().map(|&b| Value::Bool(b)).collect()
+}
+
+fn ints(values: impl IntoIterator<Item = i64>) -> Vec<Value> {
+    values.into_iter().map(Value::Int).collect()
+}
+
+#[test]
+fn producer_consumer_conforms_at_every_capacity() {
+    let design = library::producer_consumer_design().unwrap();
+    let feeds = [
+        (
+            "a",
+            bools(&[true, false, false, true, false, true, true, false]),
+        ),
+        (
+            "b",
+            bools(&[false, true, true, false, true, false, false, true]),
+        ),
+    ];
+    for capacity in [1usize, 4, 64] {
+        let outcome = assert_conformant(&design, &feeds, capacity);
+        assert_eq!(
+            outcome
+                .flow("v")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4, 5, 8, 9, 10, 14]
+        );
+    }
+}
+
+#[test]
+fn filter_merge_conforms() {
+    let design = library::filter_merge_design().unwrap();
+    let feeds = [
+        ("y", bools(&[true, false, false, true])),
+        ("c", bools(&[false, true, true, false])),
+        ("z", bools(&[true, false])),
+    ];
+    for capacity in [1usize, 16] {
+        let outcome = assert_conformant(&design, &feeds, capacity);
+        // d = z1, x1, x2, z2 = 1 1 1 0 as in Section 1 of the paper.
+        assert_eq!(
+            outcome.flow("d"),
+            bools(&[true, true, true, false]).as_slice()
+        );
+    }
+}
+
+#[test]
+fn the_ltta_deploys_four_components_on_four_threads() {
+    let design = library::ltta_design().unwrap();
+    assert_eq!(design.components().len(), 4);
+    let feeds = [
+        ("xw", ints(1..=8)),
+        ("cw", bools(&[true; 48])),
+        ("cr", bools(&[true; 48])),
+    ];
+    for capacity in [1usize, 16] {
+        let outcome = assert_conformant(&design, &feeds, capacity);
+        // One worker (hence one OS thread) per device.
+        assert_eq!(outcome.stats().components.len(), 4);
+        // The alternating-bit protocol delivered fresh values end to end.
+        let xr = outcome.flow("xr");
+        assert!(
+            !xr.is_empty(),
+            "nothing crossed the bus:\n{}",
+            outcome.stats()
+        );
+    }
+}
+
+#[test]
+fn a_single_component_design_deploys_trivially() {
+    let design = library::buffer_design().unwrap();
+    let feeds = [("y", bools(&[true, false, true]))];
+    let outcome = assert_conformant(&design, &feeds, 1);
+    assert_eq!(outcome.flow("x"), bools(&[true, false, true]).as_slice());
+    assert_eq!(outcome.stats().channels, 0);
+}
+
+#[test]
+fn a_buffer_pipeline_conforms_and_preserves_the_stream() {
+    let stream = [true, false, true, true, false, false, true, false];
+    for n in [2usize, 4] {
+        let design = library::buffer_pipeline_design(n).expect("builds");
+        assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+        let feeds = [("p0", bools(&stream))];
+        for capacity in [1usize, 16] {
+            let outcome = assert_conformant(&design, &feeds, capacity);
+            assert_eq!(outcome.stats().components.len(), n);
+            // The pipeline is a FIFO: the last stage re-emits the stream.
+            assert_eq!(
+                outcome.flow(&format!("p{n}")),
+                bools(&stream).as_slice(),
+                "pipe{n} capacity {capacity}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_chain_of_pairs_deploys_every_pair_in_parallel() {
+    let design = Design::compose("chain2", chain_of_pairs(2)).expect("builds");
+    assert_eq!(design.components().len(), 4);
+    let a = bools(&[true, false, true, false, true]);
+    let b = bools(&[false, true, false, true, false]);
+    let feeds = [("a0", a.clone()), ("b0", b.clone()), ("a1", a), ("b1", b)];
+    let outcome = assert_conformant(&design, &feeds, 4);
+    assert_eq!(outcome.stats().components.len(), 4);
+    for pair in 0..2 {
+        assert_eq!(
+            outcome
+                .flow(&format!("v{pair}"))
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3, 5, 6]
+        );
+    }
+}
+
+#[test]
+fn backpressure_is_observable_at_capacity_one() {
+    // With a one-place channel and a consumer that asks late, the producer
+    // must block: the counters expose it.
+    let design = library::producer_consumer_design().unwrap();
+    let mut deployment = design.deploy().unwrap();
+    deployment.set_capacity(1);
+    // Many producer tokens early, consumer pulls late.
+    deployment.feed("a", [false, false, false, false, false, false]);
+    deployment.feed("b", [true, true, true, true, true, true]);
+    let outcome = deployment.run().unwrap();
+    let stats = outcome.stats();
+    assert_eq!(stats.capacity, 1);
+    assert_eq!(stats.components[1].tokens_received, 6);
+    assert_eq!(
+        stats.components[0].stop,
+        StopReason::EnvironmentExhausted("a".into())
+    );
+    let report = outcome.check_conformance().unwrap();
+    assert!(report.is_isochronous(), "{report}");
+}

@@ -25,7 +25,10 @@ use proptest::prelude::*;
 
 /// Runs the reference interpreter on a generated process for the given
 /// input flow and returns the per-output flows.
-fn interpret_flows(def: &polychrony::signal_lang::ProcessDef, flow: &[bool]) -> BTreeMap<String, Vec<Value>> {
+fn interpret_flows(
+    def: &polychrony::signal_lang::ProcessDef,
+    flow: &[bool],
+) -> BTreeMap<String, Vec<Value>> {
     let kernel = def.normalize().expect("generated processes normalize");
     let input = generate::input_of(def).clone();
     let mut sim = Simulator::new(&kernel);
@@ -45,7 +48,10 @@ fn interpret_flows(def: &polychrony::signal_lang::ProcessDef, flow: &[bool]) -> 
 
 /// Runs the generated step program on the same flow and returns the
 /// per-output flows.
-fn compiled_flows(def: &polychrony::signal_lang::ProcessDef, flow: &[bool]) -> BTreeMap<String, Vec<Value>> {
+fn compiled_flows(
+    def: &polychrony::signal_lang::ProcessDef,
+    flow: &[bool],
+) -> BTreeMap<String, Vec<Value>> {
     let kernel = def.normalize().expect("generated processes normalize");
     let analysis = ClockAnalysis::analyze(&kernel);
     let program = seq::generate(&analysis);
@@ -102,10 +108,7 @@ fn small_generated_compositions_are_weakly_endochronous() {
         }
         let composed = builder.build().unwrap().normalize().unwrap();
         let report = WeakEndochronyReport::check(&composed, 200_000);
-        assert!(
-            report.is_weakly_endochronous(),
-            "seed {seed}: {report}"
-        );
+        assert!(report.is_weakly_endochronous(), "seed {seed}: {report}");
         assert!(report.is_non_blocking(), "seed {seed}");
     }
 }

@@ -84,9 +84,7 @@ fn buffer_timing_diagram() {
     let mut read = Stream::new();
     let mut written = Stream::new();
     for i in 0..10i64 {
-        let r = sim
-            .step(&[("y", Drive::Available(Value::Int(i)))])
-            .unwrap();
+        let r = sim.step(&[("y", Drive::Available(Value::Int(i)))]).unwrap();
         if let Some(v) = r.value("y") {
             read.insert(Tag::new(i as u64), v);
         }

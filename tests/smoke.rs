@@ -44,14 +44,20 @@ fn facade_reexports_every_workspace_crate() {
     let _ = polychrony::moc::Tag::new(0);
     let _ = polychrony::signal_lang::stdlib::filter();
     let _ = polychrony::clocks::ClockAnalysis::analyze(
-        &polychrony::signal_lang::stdlib::filter().normalize().unwrap(),
+        &polychrony::signal_lang::stdlib::filter()
+            .normalize()
+            .unwrap(),
     );
     let _ = polychrony::analysis::WeakEndochronyReport::check(
-        &polychrony::signal_lang::stdlib::filter().normalize().unwrap(),
+        &polychrony::signal_lang::stdlib::filter()
+            .normalize()
+            .unwrap(),
         1_000,
     );
     let _ = polychrony::codegen::seq::generate(&polychrony::clocks::ClockAnalysis::analyze(
-        &polychrony::signal_lang::stdlib::filter().normalize().unwrap(),
+        &polychrony::signal_lang::stdlib::filter()
+            .normalize()
+            .unwrap(),
     ));
     let _ = polychrony::sim::AsyncNetwork::new();
     let _ = polychrony::isochron::Design::compose(
