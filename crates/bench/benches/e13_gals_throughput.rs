@@ -1,10 +1,14 @@
 //! E13 — GALS deployment throughput: reactions/sec of a deployed buffer
-//! pipeline at 1, 2, 4 and 8 components and channel capacities 1, 16 and
-//! 256.  The scaling story of the multi-threaded runtime: deeper pipelines
-//! add threads, wider channels trade memory for fewer blocking hand-offs.
+//! pipeline at 1, 2, 4 and 8 components, channel capacities 1, 16 and 256,
+//! and both channel backends (bounded mpsc vs lock-free SPSC ring).  The
+//! scaling story of the multi-threaded runtime: deeper pipelines add
+//! threads, wider channels trade memory for fewer blocking hand-offs, and
+//! the ring removes the per-token lock from the hand-off itself — most
+//! visible at capacity 1, where every token crosses a full rendez-vous.
 
 use bench::boolean_flow;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gals_rt::Backend;
 use isochron::library;
 use signal_lang::Value;
 
@@ -20,20 +24,23 @@ fn bench(c: &mut Criterion) {
     for components in [1usize, 2, 4, 8] {
         let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
         assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
-        for capacity in [1usize, 16, 256] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{components}"), capacity),
-                &capacity,
-                |bencher, &capacity| {
-                    bencher.iter(|| {
-                        let mut deployment = design.deploy().expect("the pipeline is verified");
-                        deployment.set_capacity(capacity);
-                        deployment.feed("p0", stream.iter().copied());
-                        let outcome = deployment.run().expect("the deployment runs");
-                        outcome.stats().total_reactions()
-                    })
-                },
-            );
+        for (label, backend) in [("mpsc", Backend::Mpsc), ("ring", Backend::SpscRing)] {
+            for capacity in [1usize, 16, 256] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("n{components}/{label}"), capacity),
+                    &capacity,
+                    |bencher, &capacity| {
+                        bencher.iter(|| {
+                            let mut deployment = design.deploy().expect("the pipeline is verified");
+                            deployment.set_backend(backend);
+                            deployment.set_capacity(capacity).expect("nonzero");
+                            deployment.feed("p0", stream.iter().copied());
+                            let outcome = deployment.run().expect("the deployment runs");
+                            outcome.stats().total_reactions()
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -11,7 +11,7 @@
 //! the same engine scales the scheme to arbitrary component counts and
 //! buffer depths.
 
-use gals_rt::Deployment;
+use gals_rt::{Backend, Deployment};
 use signal_lang::Value;
 
 use crate::ir::StepProgram;
@@ -48,8 +48,25 @@ pub fn run_producer_consumer(
     a_values: &[bool],
     b_values: &[bool],
 ) -> ConcurrentOutcome {
+    run_producer_consumer_on(Backend::Auto, producer, consumer, a_values, b_values)
+}
+
+/// Like [`run_producer_consumer`] with an explicit channel backend — the
+/// rendez-vous is transport-agnostic (isochrony holds over any reliable
+/// order-preserving medium), so the mpsc channel and the lock-free SPSC
+/// ring must produce identical flows and differ only in hand-off cost.
+pub fn run_producer_consumer_on(
+    backend: Backend,
+    producer: StepProgram,
+    consumer: StepProgram,
+    a_values: &[bool],
+    b_values: &[bool],
+) -> ConcurrentOutcome {
     let mut deployment = Deployment::new();
-    deployment.set_capacity(1);
+    deployment.set_backend(backend);
+    deployment
+        .set_capacity(1)
+        .expect("capacity 1 is always accepted");
     deployment.add_machine(Box::new(SequentialRuntime::new(producer)));
     deployment.add_machine(Box::new(SequentialRuntime::new(consumer)));
     deployment.feed("a", a_values.iter().copied());
@@ -120,6 +137,18 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_realizes_the_same_rendez_vous() {
+        let a = [true, false, true, false, true];
+        let b = [false, true, false, true, false];
+        let (p, c) = programs();
+        let reference = run_producer_consumer(p.clone(), c.clone(), &a, &b);
+        for backend in [Backend::Mpsc, Backend::SpscRing] {
+            let outcome = run_producer_consumer_on(backend, p.clone(), c.clone(), &a, &b);
+            assert_eq!(outcome, reference, "backend {backend}");
+        }
+    }
+
+    #[test]
     fn wider_buffers_preserve_the_flows_of_the_rendez_vous() {
         // The rendez-vous is the capacity-1 special case: re-running the
         // same streams through the general engine with a deeper buffer must
@@ -129,7 +158,7 @@ mod tests {
         let (p, c) = programs();
         let narrow = run_producer_consumer(p.clone(), c.clone(), &a, &b);
         let mut deployment = Deployment::new();
-        deployment.set_capacity(64);
+        deployment.set_capacity(64).expect("nonzero");
         deployment.add_machine(Box::new(SequentialRuntime::new(p)));
         deployment.add_machine(Box::new(SequentialRuntime::new(c)));
         deployment.feed("a", a.iter().copied());

@@ -491,7 +491,7 @@ mod tests {
         let design =
             Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
         let mut deployment = design.deploy().expect("the design is verified");
-        deployment.set_capacity(4);
+        deployment.set_capacity(4).expect("nonzero");
         deployment.feed("a", [true, false, true, false, true]);
         deployment.feed("b", [false, true, false, true, false]);
         let outcome = deployment.run().expect("runs");

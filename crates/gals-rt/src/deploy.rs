@@ -7,12 +7,19 @@
 //! thread until the streams are drained — the concurrent execution scheme
 //! of Section 5 of the paper generalized from one producer/consumer pair to
 //! arbitrary component counts.
+//!
+//! The channels themselves are minted by a pluggable
+//! [`Transport`](crate::transport::Transport) under a [`ChannelPolicy`]:
+//! per-edge capacities (a default plus per-signal overrides) and a backend
+//! choice — the lock-free SPSC ring by default, since every derived edge
+//! has exactly one producer and one consumer.  [`Deployment::topology`]
+//! reports the resolved capacity and backend of every edge.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{self, Receiver, Sender};
 use signal_lang::{Name, Value};
 use sim::Flows;
 
@@ -20,7 +27,11 @@ use crate::conformance::{
     replay_reference, ConformanceError, ConformanceReport, ReferenceComponent,
 };
 use crate::machine::StepMachine;
+use crate::ring::RingTransport;
 use crate::stats::DeploymentStats;
+use crate::transport::{
+    Backend, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport, ZeroCapacity,
+};
 use crate::worker::Worker;
 
 /// Default per-component step budget: a safety net against components that
@@ -44,6 +55,12 @@ pub enum DeployError {
     /// blocking channels, a cycle can deadlock every worker on it, so the
     /// run is refused unless cycles are explicitly allowed.
     CyclicTopology,
+    /// A channel capacity of 0 was requested (for the named signal, or for
+    /// the default when `None`).  A zero-capacity channel is a rendezvous
+    /// the worker loop cannot serve — the producer publishes before its
+    /// next read, so two adjacent workers would deadlock — and it is
+    /// rejected instead of being silently clamped.
+    ZeroCapacity(Option<Name>),
 }
 
 impl fmt::Display for DeployError {
@@ -64,13 +81,27 @@ impl fmt::Display for DeployError {
                 "the channel topology is cyclic and bounded blocking channels \
                  may deadlock on it (allow_cycles forces the run)"
             ),
+            DeployError::ZeroCapacity(signal) => {
+                let culprit = ZeroCapacity {
+                    signal: signal.clone(),
+                };
+                write!(f, "{culprit}")
+            }
         }
     }
 }
 
 impl std::error::Error for DeployError {}
 
-/// One bounded point-to-point channel of the derived topology.
+impl From<ZeroCapacity> for DeployError {
+    fn from(err: ZeroCapacity) -> Self {
+        DeployError::ZeroCapacity(err.signal)
+    }
+}
+
+/// One bounded point-to-point channel of the derived topology, with its
+/// policy resolution: the capacity this edge gets and the transport
+/// backend that carries it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// The shared signal carried by the channel.
@@ -79,9 +110,15 @@ pub struct ChannelSpec {
     pub producer: usize,
     /// Index of the consuming machine.
     pub consumer: usize,
+    /// The resolved bounded capacity of this edge (the per-signal override
+    /// when one is set, the policy default otherwise).
+    pub capacity: usize,
+    /// The name of the transport backend wiring this edge.
+    pub backend: &'static str,
 }
 
-/// The static shape of a deployment, derived from the machine interfaces.
+/// The static shape of a deployment, derived from the machine interfaces
+/// and resolved against the channel policy.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     /// The point-to-point channels (one per shared signal and consumer).
@@ -134,22 +171,24 @@ pub struct Deployment {
     reference: Vec<ReferenceComponent>,
     paced: BTreeSet<Name>,
     feeds: BTreeMap<Name, Vec<Value>>,
-    capacity: usize,
+    policy: ChannelPolicy,
+    transport: Option<Arc<dyn Transport>>,
     max_steps: u64,
     allow_cycles: bool,
 }
 
 impl Deployment {
     /// Creates an empty deployment with channel capacity 1 (the one-place
-    /// rendez-vous of the paper's concurrent scheme) and the default step
-    /// budget.
+    /// rendez-vous of the paper's concurrent scheme), the automatic
+    /// backend selection, and the default step budget.
     pub fn new() -> Self {
         Deployment {
             machines: Vec::new(),
             reference: Vec::new(),
             paced: BTreeSet::new(),
             feeds: BTreeMap::new(),
-            capacity: 1,
+            policy: ChannelPolicy::new(),
+            transport: None,
             max_steps: DEFAULT_MAX_STEPS,
             allow_cycles: false,
         }
@@ -166,15 +205,63 @@ impl Deployment {
         self
     }
 
-    /// Sets the capacity of every bounded channel (at least 1).
-    pub fn set_capacity(&mut self, capacity: usize) -> &mut Self {
-        self.capacity = capacity.max(1);
+    /// Sets the default capacity of every bounded channel (the per-signal
+    /// overrides of [`set_channel_capacity`](Self::set_channel_capacity)
+    /// win over it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::ZeroCapacity`] for `capacity == 0`: a
+    /// zero-capacity channel is a rendezvous the worker loop cannot serve
+    /// and would deadlock the deployment.
+    pub fn set_capacity(&mut self, capacity: usize) -> Result<&mut Self, DeployError> {
+        self.policy.set_default_capacity(capacity)?;
+        Ok(self)
+    }
+
+    /// Overrides the capacity of the channels carrying one signal — the
+    /// hook for per-channel bounds derived from the clock calculus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::ZeroCapacity`] for `capacity == 0`.
+    pub fn set_channel_capacity(
+        &mut self,
+        signal: impl Into<Name>,
+        capacity: usize,
+    ) -> Result<&mut Self, DeployError> {
+        self.policy.set_channel_capacity(signal, capacity)?;
+        Ok(self)
+    }
+
+    /// Selects the built-in channel backend ([`Backend::Auto`] picks the
+    /// lock-free SPSC ring, since every derived edge is point-to-point).
+    pub fn set_backend(&mut self, backend: Backend) -> &mut Self {
+        self.policy.set_backend(backend);
         self
     }
 
-    /// The configured channel capacity.
+    /// Replaces the whole channel policy (capacities and backend) at once.
+    pub fn set_policy(&mut self, policy: ChannelPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Routes every channel through a custom [`Transport`] (a shared-memory
+    /// or network medium, say), overriding the built-in backend selection.
+    pub fn set_transport(&mut self, transport: Arc<dyn Transport>) -> &mut Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The channel policy in effect.
+    pub fn policy(&self) -> &ChannelPolicy {
+        &self.policy
+    }
+
+    /// The configured default channel capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.policy.default_capacity()
     }
 
     /// Sets the per-component step budget.
@@ -222,7 +309,33 @@ impl Deployment {
         self
     }
 
-    /// Derives the channel topology from the machine interfaces.
+    /// The name of the transport backend the policy resolves to.  Every
+    /// edge of a derived topology is single-producer/single-consumer, so
+    /// [`Backend::Auto`] resolves to the SPSC ring.
+    fn backend_name(&self) -> &'static str {
+        match &self.transport {
+            Some(transport) => transport.name(),
+            None => match self.policy.backend() {
+                Backend::Mpsc => MpscTransport::NAME,
+                Backend::Auto | Backend::SpscRing => RingTransport::NAME,
+            },
+        }
+    }
+
+    /// The transport instance that mints the channels.
+    fn transport_instance(&self) -> Arc<dyn Transport> {
+        match &self.transport {
+            Some(transport) => Arc::clone(transport),
+            None => match self.policy.backend() {
+                Backend::Mpsc => Arc::new(MpscTransport),
+                Backend::Auto | Backend::SpscRing => Arc::new(RingTransport),
+            },
+        }
+    }
+
+    /// Derives the channel topology from the machine interfaces, resolved
+    /// against the channel policy: every [`ChannelSpec`] reports the
+    /// capacity and backend its edge will be wired with.
     ///
     /// # Errors
     ///
@@ -237,16 +350,22 @@ impl Deployment {
                 }
             }
         }
+        let backend = self.backend_name();
         let mut topology = Topology::default();
         let mut environment: BTreeSet<Name> = BTreeSet::new();
         for (j, machine) in self.machines.iter().enumerate() {
             for input in machine.input_signals() {
                 match producer_of.get(&input) {
-                    Some(&i) if i != j => topology.channels.push(ChannelSpec {
-                        signal: input,
-                        producer: i,
-                        consumer: j,
-                    }),
+                    Some(&i) if i != j => {
+                        let capacity = self.policy.capacity_for(&input);
+                        topology.channels.push(ChannelSpec {
+                            signal: input,
+                            producer: i,
+                            consumer: j,
+                            capacity,
+                            backend,
+                        });
+                    }
                     Some(_) => {} // self-loop: resolved inside the machine
                     None => {
                         environment.insert(input);
@@ -258,8 +377,9 @@ impl Deployment {
         Ok(topology)
     }
 
-    /// Launches one OS thread per machine, connected by bounded channels,
-    /// and blocks until every worker finished.
+    /// Launches one OS thread per machine, connected by bounded channels
+    /// minted by the selected transport, and blocks until every worker
+    /// finished.
     ///
     /// # Errors
     ///
@@ -291,14 +411,17 @@ impl Deployment {
             }
         }
 
-        // Wire the bounded channels.
+        // Wire the bounded channels: one endpoint pair per edge, minted by
+        // the transport at the edge's resolved capacity.
+        let transport = self.transport_instance();
+        let backend = self.backend_name();
         let n = self.machines.len();
-        let mut sources: Vec<BTreeMap<Name, Receiver<Value>>> =
+        let mut sources: Vec<BTreeMap<Name, Box<dyn TokenRx>>> =
             (0..n).map(|_| BTreeMap::new()).collect();
-        let mut sinks: Vec<BTreeMap<Name, Vec<Sender<Value>>>> =
+        let mut sinks: Vec<BTreeMap<Name, Vec<Box<dyn TokenTx>>>> =
             (0..n).map(|_| BTreeMap::new()).collect();
         for spec in &topology.channels {
-            let (tx, rx) = channel::bounded::<Value>(self.capacity);
+            let (tx, rx) = transport.open(spec.capacity);
             sinks[spec.producer]
                 .entry(spec.signal.clone())
                 .or_default()
@@ -357,7 +480,8 @@ impl Deployment {
             stats: DeploymentStats {
                 components,
                 channels: topology.channels.len(),
-                capacity: self.capacity,
+                capacity: self.policy.default_capacity(),
+                backend,
                 elapsed,
             },
             feeds: self.feeds,
@@ -377,7 +501,8 @@ impl fmt::Debug for Deployment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Deployment")
             .field("machines", &self.machines.len())
-            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("transport", &self.transport.as_ref().map(|t| t.name()))
             .field("max_steps", &self.max_steps)
             .finish()
     }

@@ -12,6 +12,12 @@
 //! * **bounded** FIFO channels with blocking-read/blocking-write
 //!   backpressure — the finite-buffer refinement of the paper's
 //!   unbounded-FIFO asynchronous model (`^` [`sim::AsyncNetwork`]);
+//! * a **pluggable transport layer** ([`Transport`] minting
+//!   [`TokenTx`]/[`TokenRx`] endpoint pairs) with two built-in backends —
+//!   a bounded mpsc channel and a **lock-free SPSC ring buffer**
+//!   ([`ring`]) picked automatically for the point-to-point edges the
+//!   topology derivation produces — and a [`ChannelPolicy`] for per-signal
+//!   capacities and backend selection;
 //! * per-component counters (reactions, blocked reads, tokens) aggregated
 //!   into a [`DeploymentStats`] report;
 //! * a dynamic **isochrony conformance checker**
@@ -84,7 +90,9 @@
 pub mod conformance;
 pub mod deploy;
 pub mod machine;
+pub mod ring;
 pub mod stats;
+pub mod transport;
 mod worker;
 
 pub use conformance::{ConformanceError, ConformanceReport, ReferenceComponent};
@@ -92,7 +100,11 @@ pub use deploy::{
     ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
 };
 pub use machine::{StepFault, StepMachine};
+pub use ring::{RingReceiver, RingSender, RingTransport};
 pub use stats::{ComponentStats, DeploymentStats, StopReason};
+pub use transport::{
+    Backend, ChannelClosed, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport, TryRecvError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -166,31 +178,35 @@ mod tests {
 
     #[test]
     fn a_pipeline_of_eight_stages_runs_on_eight_threads() {
-        for capacity in [1usize, 4, 64] {
-            let mut deployment = pipeline(8);
-            deployment.set_capacity(capacity);
-            deployment.feed("s0", (1..=32).map(Value::Int));
-            let outcome = deployment.run().expect("runs");
-            // Each stage performed 32 reactions.
-            assert_eq!(outcome.stats().total_reactions(), 8 * 32);
-            assert_eq!(outcome.stats().components.len(), 8);
-            // Prefix sums applied 8 times: the final flow is deterministic
-            // whatever the interleaving and the capacity.
-            let last = outcome.flow("s8");
-            assert_eq!(last.len(), 32);
-            let reference = {
-                let mut values: Vec<i64> = (1..=32).collect();
-                for _ in 0..8 {
-                    let mut sum = 0;
-                    for v in values.iter_mut() {
-                        sum += *v;
-                        *v = sum;
+        for backend in [Backend::Auto, Backend::Mpsc, Backend::SpscRing] {
+            for capacity in [1usize, 4, 64] {
+                let mut deployment = pipeline(8);
+                deployment.set_backend(backend);
+                deployment.set_capacity(capacity).expect("nonzero");
+                deployment.feed("s0", (1..=32).map(Value::Int));
+                let outcome = deployment.run().expect("runs");
+                // Each stage performed 32 reactions.
+                assert_eq!(outcome.stats().total_reactions(), 8 * 32);
+                assert_eq!(outcome.stats().components.len(), 8);
+                // Prefix sums applied 8 times: the final flow is
+                // deterministic whatever the interleaving, the capacity
+                // and the channel backend.
+                let last = outcome.flow("s8");
+                assert_eq!(last.len(), 32);
+                let reference = {
+                    let mut values: Vec<i64> = (1..=32).collect();
+                    for _ in 0..8 {
+                        let mut sum = 0;
+                        for v in values.iter_mut() {
+                            sum += *v;
+                            *v = sum;
+                        }
                     }
-                }
-                values
-            };
-            let got: Vec<i64> = last.iter().map(|v| v.as_int().unwrap()).collect();
-            assert_eq!(got, reference, "capacity {capacity}");
+                    values
+                };
+                let got: Vec<i64> = last.iter().map(|v| v.as_int().unwrap()).collect();
+                assert_eq!(got, reference, "backend {backend} capacity {capacity}");
+            }
         }
     }
 
@@ -205,10 +221,105 @@ mod tests {
             ChannelSpec {
                 signal: Name::from("s1"),
                 producer: 0,
-                consumer: 1
+                consumer: 1,
+                capacity: 1,
+                backend: RingTransport::NAME,
             }
         );
         assert!(!topology.has_cycle());
+    }
+
+    #[test]
+    fn the_policy_resolution_is_reported_per_edge() {
+        let mut deployment = pipeline(3);
+        deployment.set_capacity(8).expect("nonzero");
+        deployment.set_channel_capacity("s2", 2).expect("nonzero");
+        deployment.set_backend(Backend::Mpsc);
+        let topology = deployment.topology().expect("well-formed");
+        let by_signal: std::collections::BTreeMap<_, _> = topology
+            .channels
+            .iter()
+            .map(|c| (c.signal.as_str().to_string(), (c.capacity, c.backend)))
+            .collect();
+        assert_eq!(by_signal["s1"], (8, MpscTransport::NAME));
+        assert_eq!(by_signal["s2"], (2, MpscTransport::NAME));
+    }
+
+    #[test]
+    fn zero_capacities_are_rejected_not_clamped() {
+        // Regression: capacity 0 used to thread straight into the channel
+        // constructor (a rendezvous that deadlocks the worker loop); it
+        // must be a typed error instead.
+        let mut deployment = pipeline(2);
+        assert_eq!(
+            deployment.set_capacity(0).unwrap_err(),
+            DeployError::ZeroCapacity(None)
+        );
+        assert_eq!(
+            deployment.set_channel_capacity("s1", 0).unwrap_err(),
+            DeployError::ZeroCapacity(Some(Name::from("s1")))
+        );
+        // The rejected sets left the policy untouched and the deployment
+        // fully runnable.
+        assert_eq!(deployment.capacity(), 1);
+        deployment.feed("s0", (1..=4).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.flow("s2").len(), 4);
+    }
+
+    #[test]
+    fn both_backends_produce_identical_flows_and_report_their_name() {
+        let mut flows = Vec::new();
+        for (backend, name) in [
+            (Backend::Mpsc, MpscTransport::NAME),
+            (Backend::SpscRing, RingTransport::NAME),
+        ] {
+            let mut deployment = pipeline(4);
+            deployment.set_backend(backend);
+            deployment.feed("s0", (1..=16).map(Value::Int));
+            let outcome = deployment.run().expect("runs");
+            assert_eq!(outcome.stats().backend, name);
+            flows.push(outcome.flow("s4").to_vec());
+        }
+        assert_eq!(flows[0], flows[1]);
+    }
+
+    #[test]
+    fn a_custom_transport_carries_every_channel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// A transport that counts how many channels it minted and at what
+        /// capacity, delegating the actual medium to the ring.
+        #[derive(Debug, Default)]
+        struct Counting {
+            opened: AtomicUsize,
+            total_capacity: AtomicUsize,
+        }
+        impl Transport for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn open(&self, capacity: usize) -> transport::Endpoints {
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                self.total_capacity.fetch_add(capacity, Ordering::Relaxed);
+                RingTransport.open(capacity)
+            }
+        }
+
+        let transport = std::sync::Arc::new(Counting::default());
+        let mut deployment = pipeline(4);
+        deployment.set_transport(transport.clone());
+        deployment.set_capacity(3).expect("nonzero");
+        assert_eq!(
+            deployment.topology().expect("well-formed").channels[0].backend,
+            "counting"
+        );
+        deployment.feed("s0", (1..=8).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().backend, "counting");
+        assert_eq!(transport.opened.load(Ordering::Relaxed), 3);
+        assert_eq!(transport.total_capacity.load(Ordering::Relaxed), 9);
+        assert_eq!(outcome.flow("s4").len(), 8);
     }
 
     #[test]
@@ -256,7 +367,7 @@ mod tests {
     #[test]
     fn stats_record_backpressure_and_stop_reasons() {
         let mut deployment = pipeline(2);
-        deployment.set_capacity(1);
+        deployment.set_capacity(1).expect("nonzero");
         deployment.feed("s0", (1..=8).map(Value::Int));
         let outcome = deployment.run().expect("runs");
         let stats = outcome.stats();

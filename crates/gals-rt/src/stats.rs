@@ -72,8 +72,12 @@ pub struct DeploymentStats {
     pub components: Vec<ComponentStats>,
     /// Number of bounded channels wired between the components.
     pub channels: usize,
-    /// Capacity of each channel.
+    /// Default channel capacity of the policy (individual edges may carry
+    /// per-signal overrides; `Deployment::topology()` reports the per-edge
+    /// resolution).
     pub capacity: usize,
+    /// Name of the transport backend that carried the channels.
+    pub backend: &'static str,
     /// Wall-clock duration of the run (spawn to last join).
     pub elapsed: Duration,
 }
@@ -110,11 +114,12 @@ impl fmt::Display for DeploymentStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "deployment of {} component(s), {} channel(s) of capacity {}: \
+            "deployment of {} component(s), {} channel(s) of capacity {} over {}: \
              {} reactions, {} blocked reads, {} tokens in {:?}",
             self.components.len(),
             self.channels,
             self.capacity,
+            self.backend,
             self.total_reactions(),
             self.total_blocked_reads(),
             self.total_tokens(),
@@ -154,6 +159,7 @@ mod tests {
             ],
             channels: 1,
             capacity: 1,
+            backend: "spsc-ring",
             elapsed: Duration::from_millis(2),
         };
         assert_eq!(stats.total_reactions(), 9);
@@ -163,5 +169,6 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("environment input a exhausted"));
         assert!(text.contains("upstream of x closed"));
+        assert!(text.contains("over spsc-ring"));
     }
 }

@@ -1,0 +1,372 @@
+//! The pluggable transport layer of the deployment engine.
+//!
+//! The paper's GALS story deliberately leaves the FIFO medium abstract:
+//! isochrony holds for *any* reliable order-preserving channel.  This
+//! module makes the medium a first-class extension point — a [`Transport`]
+//! mints typed endpoint pairs ([`TokenTx`]/[`TokenRx`]) for each edge of
+//! the derived topology, so the worker loop and the deployment builder
+//! never name a concrete channel type.
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`MpscTransport`] — the bounded mpsc channel (the crossbeam shim over
+//!   `std::sync::mpsc`), the conservative default of earlier releases;
+//! * [`crate::ring::RingTransport`] — a lock-free fixed-capacity SPSC ring
+//!   buffer, selected automatically ([`Backend::Auto`]) because every edge
+//!   the topology derivation produces is single-producer/single-consumer.
+//!
+//! Channel sizing and backend selection are grouped in a [`ChannelPolicy`]:
+//! a default capacity, per-signal overrides, and the backend choice — the
+//! per-edge resolution is reported by `Deployment::topology()`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError as ShimTryRecvError};
+use signal_lang::{Name, Value};
+
+/// The peer endpoint of a channel is gone: a send can never be delivered,
+/// or a receive can never be satisfied (the buffer is drained and the
+/// producer dropped its endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the peer endpoint of the channel is closed")
+    }
+}
+
+impl std::error::Error for ChannelClosed {}
+
+/// Why a non-blocking receive returned no token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The buffer is currently empty; the producer may still deliver.
+    Empty,
+    /// The buffer is drained and the producer endpoint is gone.
+    Closed,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "the channel is empty"),
+            TryRecvError::Closed => write!(f, "the channel is closed and drained"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending endpoint of one bounded token channel.
+///
+/// Dropping the endpoint closes the channel: a blocked or later receive on
+/// the peer observes [`ChannelClosed`] once the buffer is drained.
+pub trait TokenTx: Send {
+    /// Delivers one token, blocking while the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelClosed`] when the receiving endpoint is gone (the
+    /// token is dropped, exactly like a send to a terminated worker).
+    fn send(&self, token: Value) -> Result<(), ChannelClosed>;
+}
+
+/// The receiving endpoint of one bounded token channel.
+///
+/// Dropping the endpoint closes the channel: a blocked or later send on
+/// the peer observes [`ChannelClosed`].
+pub trait TokenRx: Send {
+    /// Takes the next token, blocking while the buffer is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelClosed`] when the buffer is drained and the
+    /// sending endpoint is gone.
+    fn recv(&self) -> Result<Value, ChannelClosed>;
+
+    /// Takes the next token without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when no token is buffered yet and
+    /// [`TryRecvError::Closed`] once the channel is drained and closed.
+    fn try_recv(&self) -> Result<Value, TryRecvError>;
+}
+
+/// A connected endpoint pair for one edge of the topology.
+pub type Endpoints = (Box<dyn TokenTx>, Box<dyn TokenRx>);
+
+/// A channel factory: mints one connected endpoint pair per topology edge.
+///
+/// Implementations must preserve token order and deliver every token
+/// accepted by [`TokenTx::send`] exactly once — the reliability assumption
+/// under which Theorem 1 (isochrony) transfers to the deployment.  An
+/// implementation spanning processes or hosts makes the deployment a true
+/// distributed GALS system without touching the engine.
+pub trait Transport: Send + Sync {
+    /// A short stable name for reports and topology dumps.
+    fn name(&self) -> &'static str;
+
+    /// Mints a connected endpoint pair with an internal buffer of
+    /// `capacity` tokens (`capacity >= 1`; the deployment rejects 0).
+    fn open(&self, capacity: usize) -> Endpoints;
+}
+
+/// Which built-in channel backend a deployment wires its edges with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick the best built-in backend per edge.  Every edge the topology
+    /// derivation produces has exactly one producer and one consumer, so
+    /// this resolves to the lock-free SPSC ring.
+    #[default]
+    Auto,
+    /// The bounded mpsc channel (crossbeam shim over `std::sync::mpsc`).
+    Mpsc,
+    /// The lock-free fixed-capacity SPSC ring buffer ([`crate::ring`]).
+    SpscRing,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Auto => write!(f, "auto"),
+            Backend::Mpsc => write!(f, "{}", MpscTransport::NAME),
+            Backend::SpscRing => write!(f, "{}", crate::ring::RingTransport::NAME),
+        }
+    }
+}
+
+/// A channel capacity of zero was requested.
+///
+/// Capacity 0 would be a rendezvous channel: the worker loop publishes a
+/// produced token *before* attempting its next read, so two adjacent
+/// workers would each block in `send` waiting for the other to arrive at
+/// `recv` — a deadlock.  The deployment rejects it up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroCapacity {
+    /// The per-signal override that was zero, or `None` for the default
+    /// capacity.
+    pub signal: Option<Name>,
+}
+
+impl fmt::Display for ZeroCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.signal {
+            Some(n) => write!(
+                f,
+                "channel capacity 0 for signal {n} would deadlock the worker loop \
+                 (a rendezvous send can never be met); use a capacity of at least 1"
+            ),
+            None => write!(
+                f,
+                "channel capacity 0 would deadlock the worker loop (a rendezvous \
+                 send can never be met); use a capacity of at least 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ZeroCapacity {}
+
+/// How the channels of a deployment are sized and which backend carries
+/// them: a default capacity, per-signal overrides, and a [`Backend`]
+/// selection.
+///
+/// The per-edge resolution (override, or default) is reported by
+/// `Deployment::topology()` in each `ChannelSpec`.
+#[derive(Debug, Clone)]
+pub struct ChannelPolicy {
+    default_capacity: usize,
+    overrides: BTreeMap<Name, usize>,
+    backend: Backend,
+}
+
+impl ChannelPolicy {
+    /// The policy of the paper's concurrent scheme: every channel is a
+    /// one-place buffer, carried by the automatically selected backend.
+    pub fn new() -> Self {
+        ChannelPolicy {
+            default_capacity: 1,
+            overrides: BTreeMap::new(),
+            backend: Backend::Auto,
+        }
+    }
+
+    /// Sets the default capacity of every channel without an override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroCapacity`] for `capacity == 0`.
+    pub fn set_default_capacity(&mut self, capacity: usize) -> Result<&mut Self, ZeroCapacity> {
+        if capacity == 0 {
+            return Err(ZeroCapacity { signal: None });
+        }
+        self.default_capacity = capacity;
+        Ok(self)
+    }
+
+    /// Overrides the capacity of the channels carrying one signal — the
+    /// hook for per-channel bounds derived from the clock calculus (a
+    /// producer twice as fast as its consumer needs a deeper buffer than a
+    /// lock-step pair).
+    ///
+    /// An override for a signal that turns out not to be a channel (an
+    /// environment input or an unknown name) is simply never consulted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroCapacity`] for `capacity == 0`.
+    pub fn set_channel_capacity(
+        &mut self,
+        signal: impl Into<Name>,
+        capacity: usize,
+    ) -> Result<&mut Self, ZeroCapacity> {
+        let signal = signal.into();
+        if capacity == 0 {
+            return Err(ZeroCapacity {
+                signal: Some(signal),
+            });
+        }
+        self.overrides.insert(signal, capacity);
+        Ok(self)
+    }
+
+    /// Selects the built-in backend wiring the channels.
+    pub fn set_backend(&mut self, backend: Backend) -> &mut Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The default capacity of channels without an override.
+    pub fn default_capacity(&self) -> usize {
+        self.default_capacity
+    }
+
+    /// The selected backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The per-signal capacity overrides.
+    pub fn overrides(&self) -> &BTreeMap<Name, usize> {
+        &self.overrides
+    }
+
+    /// The resolved capacity for the channels carrying `signal`.
+    pub fn capacity_for(&self, signal: &Name) -> usize {
+        self.overrides
+            .get(signal)
+            .copied()
+            .unwrap_or(self.default_capacity)
+    }
+}
+
+impl Default for ChannelPolicy {
+    fn default() -> Self {
+        ChannelPolicy::new()
+    }
+}
+
+/// The bounded mpsc backend: the crossbeam shim over `std::sync::mpsc`.
+///
+/// Kept as the conservative baseline (and the `e13` comparison point); the
+/// SPSC ring is the default for the point-to-point edges the topology
+/// derivation produces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpscTransport;
+
+impl MpscTransport {
+    /// The backend name reported in topologies and statistics.
+    pub const NAME: &'static str = "mpsc";
+}
+
+impl Transport for MpscTransport {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn open(&self, capacity: usize) -> Endpoints {
+        assert!(capacity > 0, "a bounded channel needs at least one slot");
+        let (tx, rx) = channel::bounded::<Value>(capacity);
+        (Box::new(MpscTx(tx)), Box::new(MpscRx(rx)))
+    }
+}
+
+struct MpscTx(Sender<Value>);
+
+impl TokenTx for MpscTx {
+    fn send(&self, token: Value) -> Result<(), ChannelClosed> {
+        self.0.send(token).map_err(|_| ChannelClosed)
+    }
+}
+
+struct MpscRx(Receiver<Value>);
+
+impl TokenRx for MpscRx {
+    fn recv(&self) -> Result<Value, ChannelClosed> {
+        self.0.recv().map_err(|_| ChannelClosed)
+    }
+
+    fn try_recv(&self) -> Result<Value, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            ShimTryRecvError::Empty => TryRecvError::Empty,
+            ShimTryRecvError::Disconnected => TryRecvError::Closed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_resolves_overrides_and_defaults() {
+        let mut policy = ChannelPolicy::new();
+        assert_eq!(policy.default_capacity(), 1);
+        assert_eq!(policy.backend(), Backend::Auto);
+        policy.set_default_capacity(4).expect("nonzero");
+        policy.set_channel_capacity("x", 16).expect("nonzero");
+        assert_eq!(policy.capacity_for(&Name::from("x")), 16);
+        assert_eq!(policy.capacity_for(&Name::from("y")), 4);
+        assert_eq!(policy.overrides().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacities_are_rejected_with_the_culprit() {
+        let mut policy = ChannelPolicy::new();
+        let err = policy.set_default_capacity(0).unwrap_err();
+        assert_eq!(err.signal, None);
+        assert!(err.to_string().contains("deadlock"));
+        let err = policy.set_channel_capacity("x", 0).unwrap_err();
+        assert_eq!(err.signal, Some(Name::from("x")));
+        assert!(err.to_string().contains('x'));
+        // The failed sets left the policy untouched.
+        assert_eq!(policy.default_capacity(), 1);
+        assert!(policy.overrides().is_empty());
+    }
+
+    #[test]
+    fn the_mpsc_backend_round_trips_and_closes() {
+        let (tx, rx) = MpscTransport.open(2);
+        tx.send(Value::Int(1)).unwrap();
+        tx.send(Value::Bool(true)).unwrap();
+        assert_eq!(rx.try_recv(), Ok(Value::Int(1)));
+        assert_eq!(rx.recv(), Ok(Value::Bool(true)));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(rx.recv(), Err(ChannelClosed));
+        let (tx, rx) = MpscTransport.open(1);
+        drop(rx);
+        assert_eq!(tx.send(Value::Int(7)), Err(ChannelClosed));
+    }
+
+    #[test]
+    fn backends_render_their_names() {
+        assert_eq!(Backend::Auto.to_string(), "auto");
+        assert_eq!(Backend::Mpsc.to_string(), "mpsc");
+        assert_eq!(Backend::SpscRing.to_string(), "spsc-ring");
+    }
+}

@@ -6,23 +6,28 @@
 //! produced output token into the bounded downstream channels (blocking
 //! when a buffer is full — the backpressure that makes the unbounded-FIFO
 //! model of the paper executable in finite memory).
+//!
+//! The loop is written purely against the [`transport`](crate::transport)
+//! endpoint API: which medium carries the tokens (mpsc channel, lock-free
+//! SPSC ring, something remote) is the deployment policy's business, not
+//! the worker's.
 
 use std::collections::BTreeMap;
 
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use signal_lang::{Name, Value};
 use sim::Flows;
 
 use crate::machine::{StepFault, StepMachine};
 use crate::stats::{ComponentStats, StopReason};
+use crate::transport::{TokenRx, TokenTx, TryRecvError};
 
 /// A worker ready to run on its own thread.
 pub(crate) struct Worker {
     pub(crate) machine: Box<dyn StepMachine>,
-    /// Upstream bounded channels, one per channel-fed input signal.
-    pub(crate) sources: BTreeMap<Name, Receiver<Value>>,
-    /// Downstream bounded channels: one sender per consumer of each output.
-    pub(crate) sinks: BTreeMap<Name, Vec<Sender<Value>>>,
+    /// Upstream receiving endpoints, one per channel-fed input signal.
+    pub(crate) sources: BTreeMap<Name, Box<dyn TokenRx>>,
+    /// Downstream sending endpoints: one per consumer of each output.
+    pub(crate) sinks: BTreeMap<Name, Vec<Box<dyn TokenTx>>>,
     /// Per-component step budget.
     pub(crate) max_steps: u64,
 }
@@ -76,14 +81,12 @@ impl Worker {
                         // same instant with the token available.  Only a
                         // read that finds the buffer empty and has to wait
                         // counts as blocked.
-                        let received = match rx.try_recv() {
+                        let received: Result<Value, ()> = match rx.try_recv() {
                             Ok(value) => Ok(value),
-                            Err(TryRecvError::Disconnected) => {
-                                break StopReason::UpstreamClosed(signal)
-                            }
+                            Err(TryRecvError::Closed) => break StopReason::UpstreamClosed(signal),
                             Err(TryRecvError::Empty) => {
                                 blocked_reads += 1;
-                                rx.recv()
+                                rx.recv().map_err(|_| ())
                             }
                         };
                         match received {
@@ -91,7 +94,7 @@ impl Worker {
                                 self.machine.feed_value(signal.as_str(), value);
                                 tokens_received += 1;
                             }
-                            Err(_) => break StopReason::UpstreamClosed(signal),
+                            Err(()) => break StopReason::UpstreamClosed(signal),
                         }
                     } else {
                         break StopReason::EnvironmentExhausted(signal);

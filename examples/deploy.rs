@@ -3,10 +3,16 @@
 //! own OS thread with bounded channels, and check dynamic isochrony
 //! conformance against the synchronous reference.
 //!
+//! The channel medium is pluggable: a `ChannelPolicy` picks the backend
+//! (the lock-free SPSC ring by default, the mpsc channel on request) and
+//! sizes each channel individually — the resolved per-edge capacity and
+//! backend are reported by `topology()`.
+//!
 //! ```text
 //! cargo run --example deploy
 //! ```
 
+use polychrony::gals_rt::Backend;
 use polychrony::isochron::library;
 use polychrony::moc::Value;
 
@@ -16,9 +22,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Static criterion (Definition 12 / Theorem 1) ==");
     println!("{}", design.verdict());
 
-    // Deploy: one OS thread per stage, bounded channels in between.
+    // Deploy: one OS thread per stage, bounded channels in between.  The
+    // policy sets a default capacity, deepens the p2 channel specifically,
+    // and selects the lock-free SPSC ring explicitly (what Backend::Auto
+    // would pick anyway: every derived edge is point-to-point).
     let mut deployment = design.deploy()?;
-    deployment.set_capacity(8);
+    deployment.set_backend(Backend::SpscRing);
+    deployment.set_capacity(8)?;
+    deployment.set_channel_capacity("p2", 32)?;
+
+    println!("== Channel topology (policy resolved per edge) ==");
+    for spec in &deployment.topology()?.channels {
+        println!(
+            "  {} -> {}  signal {:<3} capacity {:>3}  backend {}",
+            spec.producer, spec.consumer, spec.signal, spec.capacity, spec.backend
+        );
+    }
+
     let stream: Vec<Value> = (0..16).map(|i| Value::Bool(i % 3 != 1)).collect();
     deployment.feed("p0", stream.iter().copied());
     let outcome = deployment.run()?;
@@ -34,5 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Conformance ==");
     println!("{report}");
     assert!(report.is_isochronous());
+
+    // Isochrony is transport-agnostic: the same pipeline over the mpsc
+    // backend observes exactly the same flows.
+    let mut mpsc = design.deploy()?;
+    mpsc.set_backend(Backend::Mpsc);
+    mpsc.feed("p0", stream.iter().copied());
+    let mpsc_outcome = mpsc.run()?;
+    assert_eq!(mpsc_outcome.flow("p4"), outcome.flow("p4"));
+    println!(
+        "mpsc backend agrees: p4 identical over {} and {}",
+        mpsc_outcome.stats().backend,
+        outcome.stats().backend
+    );
     Ok(())
 }

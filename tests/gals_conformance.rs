@@ -4,31 +4,47 @@
 //! reference replay — Theorem 1 as an executable test (the conformance
 //! checker of `gals_rt`).
 
-use polychrony::gals_rt::{Deployment, DeploymentOutcome, StopReason};
+use polychrony::gals_rt::{Backend, DeployError, Deployment, DeploymentOutcome, StopReason};
 use polychrony::isochron::{design::chain_of_pairs, library, Design};
 use polychrony::moc::Value;
 
 /// Deploys the design with every feed applied, at the given channel
-/// capacity, and asserts the conformance verdict.
+/// capacity and over **both** built-in channel backends, asserts the
+/// conformance verdict for each, and returns the ring-backed outcome —
+/// isochrony (Theorem 1) is transport-agnostic, so every backend must
+/// observe the synchronous flows.
 fn assert_conformant(
     design: &Design,
     feeds: &[(&str, Vec<Value>)],
     capacity: usize,
 ) -> DeploymentOutcome {
-    let mut deployment: Deployment = design.deploy().expect("the design is verified");
-    deployment.set_capacity(capacity);
-    for (signal, values) in feeds {
-        deployment.feed(*signal, values.iter().copied());
+    let mut outcomes = Vec::new();
+    for backend in [Backend::Mpsc, Backend::SpscRing] {
+        let mut deployment: Deployment = design.deploy().expect("the design is verified");
+        deployment.set_backend(backend);
+        deployment.set_capacity(capacity).expect("nonzero");
+        for (signal, values) in feeds {
+            deployment.feed(*signal, values.iter().copied());
+        }
+        let outcome = deployment.run().expect("the deployment runs");
+        let report = outcome.check_conformance().expect("reference registered");
+        assert!(
+            report.is_isochronous(),
+            "{} (backend {backend}, capacity {capacity}): {report}\nstats:\n{}",
+            design.name(),
+            outcome.stats()
+        );
+        outcomes.push(outcome);
     }
-    let outcome = deployment.run().expect("the deployment runs");
-    let report = outcome.check_conformance().expect("reference registered");
-    assert!(
-        report.is_isochronous(),
-        "{} (capacity {capacity}): {report}\nstats:\n{}",
-        design.name(),
-        outcome.stats()
+    let mpsc = outcomes.remove(0);
+    let ring = outcomes.remove(0);
+    assert_eq!(
+        mpsc.flows(),
+        ring.flows(),
+        "{} (capacity {capacity}): the backends observed different flows",
+        design.name()
     );
-    outcome
+    ring
 }
 
 fn bools(values: &[bool]) -> Vec<Value> {
@@ -157,12 +173,37 @@ fn a_chain_of_pairs_deploys_every_pair_in_parallel() {
 }
 
 #[test]
+fn zero_channel_capacities_are_rejected_with_a_typed_error() {
+    // Regression: a zero capacity used to be silently altered instead of
+    // rejected; a rendezvous channel would deadlock the worker loop, so
+    // the API must say no.
+    let design = library::producer_consumer_design().unwrap();
+    let mut deployment = design.deploy().unwrap();
+    assert!(matches!(
+        deployment.set_capacity(0),
+        Err(DeployError::ZeroCapacity(None))
+    ));
+    assert!(matches!(
+        deployment.set_channel_capacity("x", 0),
+        Err(DeployError::ZeroCapacity(Some(ref n))) if n.as_str() == "x"
+    ));
+    // The deployment survives the refusals and still runs (and conforms)
+    // with the untouched policy.
+    deployment.feed("a", [true, false, true]);
+    deployment.feed("b", [false, true, false]);
+    let outcome = deployment.run().expect("still runs");
+    assert_eq!(outcome.stats().capacity, 1);
+    let report = outcome.check_conformance().expect("reference registered");
+    assert!(report.is_isochronous(), "{report}");
+}
+
+#[test]
 fn backpressure_is_observable_at_capacity_one() {
     // With a one-place channel and a consumer that asks late, the producer
     // must block: the counters expose it.
     let design = library::producer_consumer_design().unwrap();
     let mut deployment = design.deploy().unwrap();
-    deployment.set_capacity(1);
+    deployment.set_capacity(1).expect("nonzero");
     // Many producer tokens early, consumer pulls late.
     deployment.feed("a", [false, false, false, false, false, false]);
     deployment.feed("b", [true, true, true, true, true, true]);
