@@ -1,20 +1,162 @@
-//! E13 — GALS deployment throughput: reactions/sec of a deployed buffer
-//! pipeline at 1, 2, 4 and 8 components, channel capacities 1, 16 and 256,
-//! and both channel backends (bounded mpsc vs lock-free SPSC ring).  The
-//! scaling story of the multi-threaded runtime: deeper pipelines add
-//! threads, wider channels trade memory for fewer blocking hand-offs, and
-//! the ring removes the per-token lock from the hand-off itself — most
-//! visible at capacity 1, where every token crosses a full rendez-vous.
+//! E13 — GALS deployment throughput, two experiments:
+//!
+//! 1. **Backend/capacity** (verified designs): reactions/sec of a deployed
+//!    buffer pipeline at 1, 2, 4 and 8 components, channel capacities 1,
+//!    16 and 256, and both channel backends (bounded mpsc vs lock-free
+//!    SPSC ring).  Deeper pipelines add threads, wider channels trade
+//!    memory for fewer blocking hand-offs, and the ring removes the
+//!    per-token lock from the hand-off itself — most visible at capacity
+//!    1, where every token crosses a full rendez-vous.
+//!
+//! 2. **Scheduler** (hand-rolled relay machines): thread-per-component vs
+//!    the work-stealing batched pool at 8, 64 and 256 components, on a
+//!    pipeline shape and a fan-out/fan-in shape.  Thread mode spawns one
+//!    OS thread per component — 256 threads on a handful of cores is pure
+//!    oversubscription; the pool completes the same run on
+//!    `available_parallelism` workers, stepping each ready component a
+//!    quantum of reactions per dispatch.
 
 use bench::boolean_flow;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gals_rt::Backend;
+use gals_rt::{Backend, Deployment, ExecutionMode, StepFault, StepMachine};
 use isochron::library;
-use signal_lang::Value;
+use signal_lang::{Name, Value};
 
 const STREAM_LEN: usize = 256;
 
-fn bench(c: &mut Criterion) {
+/// A machine that forwards one token per reaction from its single input to
+/// its single output — the cheapest possible component, so the benchmark
+/// measures scheduling and hand-off cost, not compute.
+struct Relay {
+    name: String,
+    input: Name,
+    output: Name,
+    queue: std::collections::VecDeque<Value>,
+    produced: Vec<Value>,
+}
+
+impl Relay {
+    fn new(name: String, input: &str, output: &str) -> Box<Self> {
+        Box::new(Relay {
+            name,
+            input: Name::from(input),
+            output: Name::from(output),
+            queue: std::collections::VecDeque::new(),
+            produced: Vec::new(),
+        })
+    }
+}
+
+impl StepMachine for Relay {
+    fn machine_name(&self) -> &str {
+        &self.name
+    }
+    fn input_signals(&self) -> Vec<Name> {
+        vec![self.input.clone()]
+    }
+    fn output_signals(&self) -> Vec<Name> {
+        vec![self.output.clone()]
+    }
+    fn feed_value(&mut self, _signal: &str, value: Value) {
+        self.queue.push_back(value);
+    }
+    fn try_step(&mut self) -> Result<(), StepFault> {
+        match self.queue.pop_front() {
+            Some(value) => {
+                self.produced.push(value);
+                Ok(())
+            }
+            None => Err(StepFault::NeedInput(self.input.clone())),
+        }
+    }
+    fn produced(&self, _signal: &str) -> &[Value] {
+        &self.produced
+    }
+}
+
+/// A machine that merges every fan branch: one reaction consumes one token
+/// from each input and emits their conjunction.
+struct Collect {
+    inputs: Vec<Name>,
+    queues: Vec<std::collections::VecDeque<Value>>,
+    produced: Vec<Value>,
+}
+
+impl StepMachine for Collect {
+    fn machine_name(&self) -> &str {
+        "collect"
+    }
+    fn input_signals(&self) -> Vec<Name> {
+        self.inputs.clone()
+    }
+    fn output_signals(&self) -> Vec<Name> {
+        vec![Name::from("out")]
+    }
+    fn feed_value(&mut self, signal: &str, value: Value) {
+        let slot = self
+            .inputs
+            .iter()
+            .position(|i| i.as_str() == signal)
+            .expect("declared input");
+        self.queues[slot].push_back(value);
+    }
+    fn try_step(&mut self) -> Result<(), StepFault> {
+        for (i, queue) in self.queues.iter().enumerate() {
+            if queue.is_empty() {
+                return Err(StepFault::NeedInput(self.inputs[i].clone()));
+            }
+        }
+        let mut all = true;
+        for queue in self.queues.iter_mut() {
+            all &= queue.pop_front().expect("checked nonempty") == Value::Bool(true);
+        }
+        self.produced.push(Value::Bool(all));
+        Ok(())
+    }
+    fn produced(&self, _signal: &str) -> &[Value] {
+        &self.produced
+    }
+}
+
+/// `components` relays in a line: env `s0` -> relay -> ... -> `s{n}`.
+fn pipeline_shape(components: usize) -> Deployment {
+    let mut deployment = Deployment::new();
+    for i in 0..components {
+        deployment.add_machine(Relay::new(
+            format!("stage{i}"),
+            &format!("s{i}"),
+            &format!("s{}", i + 1),
+        ));
+    }
+    deployment
+}
+
+/// A source broadcasting to `components - 2` parallel relays, recollected
+/// by one sink: the widest topology the derivation produces.
+fn fan_shape(components: usize) -> Deployment {
+    assert!(components >= 3, "a fan needs source, branch and sink");
+    let branches = components - 2;
+    let mut deployment = Deployment::new();
+    deployment.add_machine(Relay::new("source".into(), "in", "x"));
+    let mut inputs = Vec::with_capacity(branches);
+    for b in 0..branches {
+        let output = format!("t{b}");
+        deployment.add_machine(Relay::new(format!("branch{b}"), "x", &output));
+        inputs.push(Name::from(output.as_str()));
+    }
+    let queues = inputs
+        .iter()
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
+    deployment.add_machine(Box::new(Collect {
+        inputs,
+        queues,
+        produced: Vec::new(),
+    }));
+    deployment
+}
+
+fn bench_backends(c: &mut Criterion) {
     let stream: Vec<Value> = boolean_flow(STREAM_LEN, 0xE13)
         .into_iter()
         .map(Value::Bool)
@@ -46,11 +188,54 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_schedulers(c: &mut Criterion) {
+    let stream: Vec<Value> = boolean_flow(STREAM_LEN, 0x5C4ED)
+        .into_iter()
+        .map(Value::Bool)
+        .collect();
+    let pool = ExecutionMode::pool_per_core();
+    let mut group = c.benchmark_group("e13_pool_vs_thread");
+    group.sample_size(10);
+    for components in [8usize, 64, 256] {
+        for (shape, build, env) in [
+            ("pipeline", pipeline_shape as fn(usize) -> Deployment, "s0"),
+            ("fan", fan_shape as fn(usize) -> Deployment, "in"),
+        ] {
+            for (label, mode) in [
+                ("thread", ExecutionMode::ThreadPerComponent),
+                ("pool", pool),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("n{components}/{shape}"), label),
+                    &mode,
+                    |bencher, &mode| {
+                        bencher.iter(|| {
+                            let mut deployment = build(components);
+                            deployment.set_execution_mode(mode).expect("valid mode");
+                            deployment.set_capacity(16).expect("nonzero");
+                            deployment.feed(env, stream.iter().copied());
+                            let outcome = deployment.run().expect("the deployment runs");
+                            // Every relay forwarded the full stream: the
+                            // two modes do identical work.
+                            assert_eq!(
+                                outcome.stats().total_reactions(),
+                                (components * STREAM_LEN) as u64
+                            );
+                            outcome.stats().total_reactions()
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench
+    targets = bench_backends, bench_schedulers
 }
 criterion_main!(benches);

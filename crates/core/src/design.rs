@@ -310,14 +310,23 @@ impl Design {
     /// diverge (the conformance checker reports the divergence instead of
     /// silently accepting it).
     pub fn deploy_unchecked(&self) -> Deployment {
+        let programs: Vec<_> = self.components.iter().map(|c| c.step_program()).collect();
+        // Paced marks only make sense on environment inputs (signals no
+        // component produces): a channel-fed input is paced by its
+        // producer, and the deployment rejects paced marks on it.
+        let produced: std::collections::BTreeSet<_> = programs
+            .iter()
+            .flat_map(|p| p.outputs.iter().cloned())
+            .collect();
         let mut deployment = Deployment::new();
-        for component in &self.components {
-            let program = component.step_program();
-            // Inputs present at every activation of the step function pace
-            // their component: the synchronous reference must present them
-            // at every attempted reaction too.
+        for (component, program) in self.components.iter().zip(programs) {
+            // Environment inputs present at every activation of the step
+            // function pace their component: the synchronous reference
+            // must present them at every attempted reaction too.
             for input in &program.inputs {
-                if matches!(program.clock_of(input.as_str()), Some(ClockCode::Always)) {
+                if matches!(program.clock_of(input.as_str()), Some(ClockCode::Always))
+                    && !produced.contains(input)
+                {
                     deployment.mark_paced(input.clone());
                 }
             }

@@ -28,11 +28,12 @@ use crate::conformance::{
 };
 use crate::machine::StepMachine;
 use crate::ring::RingTransport;
-use crate::stats::DeploymentStats;
+use crate::sched::{self, ExecutionMode};
+use crate::stats::{CapacityRange, DeploymentStats, PoolWorkerStats};
 use crate::transport::{
     Backend, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport, ZeroCapacity,
 };
-use crate::worker::Worker;
+use crate::worker::{self, Driver, WorkerReport};
 
 /// Default per-component step budget: a safety net against components that
 /// can react forever without consuming any finite stream.
@@ -61,6 +62,20 @@ pub enum DeployError {
     /// next read, so two adjacent workers would deadlock — and it is
     /// rejected instead of being silently clamped.
     ZeroCapacity(Option<Name>),
+    /// A signal marked as paced ([`Deployment::mark_paced`]) is not an
+    /// environment input of the deployment — a typo here would silently
+    /// skew the conformance replay, so it is rejected like an unknown feed.
+    UnknownPaced(Name),
+    /// A step budget of 0 was requested: every worker would exit instantly
+    /// with `StopReason::StepLimit` and the run would "succeed" with empty
+    /// flows, so it is rejected like a zero capacity.
+    ZeroMaxSteps,
+    /// A pool execution mode with 0 workers was requested: no thread would
+    /// ever dispatch a component.
+    ZeroPoolWorkers,
+    /// A pool execution mode with a 0-reaction quantum was requested: a
+    /// dispatch could never advance its component.
+    ZeroQuantum,
 }
 
 impl fmt::Display for DeployError {
@@ -86,6 +101,20 @@ impl fmt::Display for DeployError {
                     signal: signal.clone(),
                 };
                 write!(f, "{culprit}")
+            }
+            DeployError::UnknownPaced(n) => {
+                write!(f, "paced signal {n} is not an environment input")
+            }
+            DeployError::ZeroMaxSteps => write!(
+                f,
+                "a step budget of 0 would stop every component before its \
+                 first reaction; use a budget of at least 1"
+            ),
+            DeployError::ZeroPoolWorkers => {
+                write!(f, "a pool of 0 workers can never dispatch a component")
+            }
+            DeployError::ZeroQuantum => {
+                write!(f, "a quantum of 0 reactions can never advance a component")
             }
         }
     }
@@ -173,6 +202,7 @@ pub struct Deployment {
     feeds: BTreeMap<Name, Vec<Value>>,
     policy: ChannelPolicy,
     transport: Option<Arc<dyn Transport>>,
+    mode: ExecutionMode,
     max_steps: u64,
     allow_cycles: bool,
 }
@@ -189,9 +219,40 @@ impl Deployment {
             feeds: BTreeMap::new(),
             policy: ChannelPolicy::new(),
             transport: None,
+            mode: ExecutionMode::ThreadPerComponent,
             max_steps: DEFAULT_MAX_STEPS,
             allow_cycles: false,
         }
+    }
+
+    /// Selects how components are mapped onto OS threads:
+    /// [`ExecutionMode::ThreadPerComponent`] (the default — one dedicated
+    /// thread per component, channel waits park the thread) or
+    /// [`ExecutionMode::Pool`] (a fixed work-stealing pool cooperatively
+    /// steps every component, `quantum` reactions per dispatch — the mode
+    /// that scales past core count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::ZeroPoolWorkers`] or
+    /// [`DeployError::ZeroQuantum`] for a pool with no workers or a
+    /// quantum of 0 reactions.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) -> Result<&mut Self, DeployError> {
+        if let ExecutionMode::Pool { workers, quantum } = mode {
+            if workers == 0 {
+                return Err(DeployError::ZeroPoolWorkers);
+            }
+            if quantum == 0 {
+                return Err(DeployError::ZeroQuantum);
+            }
+        }
+        self.mode = mode;
+        Ok(self)
+    }
+
+    /// The execution mode in effect.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// Allows running a deployment whose channel topology contains a
@@ -265,9 +326,18 @@ impl Deployment {
     }
 
     /// Sets the per-component step budget.
-    pub fn set_max_steps(&mut self, max_steps: u64) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::ZeroMaxSteps`] for `max_steps == 0`: every
+    /// worker would stop before its first reaction and the run would
+    /// "succeed" with empty flows.
+    pub fn set_max_steps(&mut self, max_steps: u64) -> Result<&mut Self, DeployError> {
+        if max_steps == 0 {
+            return Err(DeployError::ZeroMaxSteps);
+        }
         self.max_steps = max_steps;
-        self
+        Ok(self)
     }
 
     /// Adds a machine; returns its index in the deployment.
@@ -377,15 +447,17 @@ impl Deployment {
         Ok(topology)
     }
 
-    /// Launches one OS thread per machine, connected by bounded channels
-    /// minted by the selected transport, and blocks until every worker
-    /// finished.
+    /// Runs the deployment to completion under the selected
+    /// [`ExecutionMode`]: one dedicated OS thread per machine (the
+    /// default), or a fixed work-stealing pool cooperatively stepping every
+    /// machine — either way connected by bounded channels minted by the
+    /// selected transport.  Blocks until every component finished.
     ///
     /// # Errors
     ///
     /// Returns [`DeployError`] when the deployment is empty, the topology
-    /// is ill-formed or cyclic, or a feed does not name an environment
-    /// input.
+    /// is ill-formed or cyclic, or a feed or paced mark does not name an
+    /// environment input.
     pub fn run(mut self) -> Result<DeploymentOutcome, DeployError> {
         if self.machines.is_empty() {
             return Err(DeployError::Empty);
@@ -395,7 +467,8 @@ impl Deployment {
             return Err(DeployError::CyclicTopology);
         }
 
-        // Validate the feeds against the derived environment.
+        // Validate the feeds and paced marks against the derived
+        // environment.
         let inputs: BTreeSet<Name> = self
             .machines
             .iter()
@@ -408,6 +481,11 @@ impl Deployment {
             }
             if !environment.contains(signal) {
                 return Err(DeployError::FedInternalSignal(signal.clone()));
+            }
+        }
+        for signal in &self.paced {
+            if !environment.contains(signal) {
+                return Err(DeployError::UnknownPaced(signal.clone()));
             }
         }
 
@@ -443,30 +521,39 @@ impl Deployment {
             }
         }
 
-        // One worker per machine, one OS thread per worker.
+        // One resumable driver per machine; the execution mode decides how
+        // drivers map onto OS threads.
         let max_steps = self.max_steps;
-        let mut workers: Vec<Worker> = Vec::with_capacity(n);
+        let mut drivers: Vec<Driver> = Vec::with_capacity(n);
         let mut sources = sources.into_iter();
         let mut sinks = sinks.into_iter();
         for machine in self.machines {
-            workers.push(Worker {
+            drivers.push(Driver::new(
                 machine,
-                sources: sources.next().expect("one source map per machine"),
-                sinks: sinks.next().expect("one sink map per machine"),
+                sources.next().expect("one source map per machine"),
+                sinks.next().expect("one sink map per machine"),
                 max_steps,
-            });
+            ));
         }
         let started = Instant::now();
-        let reports: Vec<_> = std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .map(|worker| scope.spawn(move || worker.run()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+        let (reports, pool_workers): (Vec<WorkerReport>, Vec<PoolWorkerStats>) = match self.mode {
+            ExecutionMode::ThreadPerComponent => {
+                let reports = std::thread::scope(|scope| {
+                    let handles: Vec<_> = drivers
+                        .into_iter()
+                        .map(|driver| scope.spawn(move || worker::run_dedicated(driver)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                });
+                (reports, Vec::new())
+            }
+            ExecutionMode::Pool { workers, quantum } => {
+                sched::run_pool(drivers, &topology, workers, quantum)
+            }
+        };
         let elapsed = started.elapsed();
 
         let mut flows: Flows = Flows::new();
@@ -480,8 +567,10 @@ impl Deployment {
             stats: DeploymentStats {
                 components,
                 channels: topology.channels.len(),
-                capacity: self.policy.default_capacity(),
+                capacity: CapacityRange::of_edges(topology.channels.iter().map(|c| c.capacity)),
                 backend,
+                mode: self.mode,
+                pool_workers,
                 elapsed,
             },
             feeds: self.feeds,
@@ -503,6 +592,7 @@ impl fmt::Debug for Deployment {
             .field("machines", &self.machines.len())
             .field("policy", &self.policy)
             .field("transport", &self.transport.as_ref().map(|t| t.name()))
+            .field("mode", &self.mode)
             .field("max_steps", &self.max_steps)
             .finish()
     }

@@ -91,6 +91,7 @@ pub mod conformance;
 pub mod deploy;
 pub mod machine;
 pub mod ring;
+pub mod sched;
 pub mod stats;
 pub mod transport;
 mod worker;
@@ -101,9 +102,11 @@ pub use deploy::{
 };
 pub use machine::{StepFault, StepMachine};
 pub use ring::{RingReceiver, RingSender, RingTransport};
-pub use stats::{ComponentStats, DeploymentStats, StopReason};
+pub use sched::ExecutionMode;
+pub use stats::{CapacityRange, ComponentStats, DeploymentStats, PoolWorkerStats, StopReason};
 pub use transport::{
-    Backend, ChannelClosed, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport, TryRecvError,
+    Backend, ChannelClosed, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport,
+    TryRecvError, TrySendError,
 };
 
 #[cfg(test)]
@@ -371,7 +374,7 @@ mod tests {
         deployment.feed("s0", (1..=8).map(Value::Int));
         let outcome = deployment.run().expect("runs");
         let stats = outcome.stats();
-        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.capacity, CapacityRange::exactly(1));
         assert_eq!(stats.channels, 1);
         // Stage 0 drained its environment stream; stage 1 stopped when the
         // upstream channel closed.
@@ -417,13 +420,345 @@ mod tests {
             }
         }
         let mut deployment = Deployment::new();
-        deployment.set_max_steps(100);
+        deployment.set_max_steps(100).expect("nonzero");
         deployment.add_machine(Box::new(Spinner {
             produced: Vec::new(),
         }));
         let outcome = deployment.run().expect("runs");
         assert_eq!(outcome.stats().components[0].reactions, 100);
         assert_eq!(outcome.stats().components[0].stop, StopReason::StepLimit);
+    }
+
+    #[test]
+    fn a_zero_step_budget_is_rejected_not_an_instant_empty_success() {
+        // Regression: `set_max_steps(0)` used to make every worker exit
+        // immediately with `StepLimit` and the run "succeeded" with empty
+        // flows.
+        let mut deployment = pipeline(2);
+        assert_eq!(
+            deployment.set_max_steps(0).unwrap_err(),
+            DeployError::ZeroMaxSteps
+        );
+        // The rejected set left the budget untouched and the deployment
+        // fully runnable.
+        deployment.feed("s0", (1..=4).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.flow("s2").len(), 4);
+        assert_eq!(outcome.stats().total_reactions(), 8);
+    }
+
+    #[test]
+    fn paced_marks_must_name_environment_inputs() {
+        // Regression: `mark_paced` used to accept any name silently, so a
+        // typo skewed the conformance replay instead of failing fast.
+        let mut deployment = pipeline(2);
+        deployment.mark_paced("nosuch");
+        deployment.feed("s0", [Value::Int(1)]);
+        assert_eq!(
+            deployment.run().unwrap_err(),
+            DeployError::UnknownPaced(Name::from("nosuch"))
+        );
+        // An internal (channel-fed) signal is not an environment input
+        // either.
+        let mut deployment = pipeline(2);
+        deployment.mark_paced("s1");
+        deployment.feed("s0", [Value::Int(1)]);
+        assert_eq!(
+            deployment.run().unwrap_err(),
+            DeployError::UnknownPaced(Name::from("s1"))
+        );
+    }
+
+    #[test]
+    fn stats_report_the_true_per_edge_capacity_range() {
+        // Regression: the stats used to report the policy *default* even
+        // when per-signal overrides made edges differ.
+        let mut deployment = pipeline(3);
+        deployment.set_capacity(8).expect("nonzero");
+        deployment.set_channel_capacity("s2", 2).expect("nonzero");
+        deployment.feed("s0", (1..=4).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().capacity, CapacityRange { min: 2, max: 8 });
+        assert!(outcome.stats().to_string().contains("capacity 2..8"));
+        // A single-component deployment has no channel at all: the range
+        // is 0, not the policy default.
+        let mut deployment = pipeline(1);
+        deployment.set_capacity(64).expect("nonzero");
+        deployment.feed("s0", [Value::Int(1)]);
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().capacity, CapacityRange::exactly(0));
+    }
+
+    #[test]
+    fn invalid_pool_modes_are_rejected() {
+        let mut deployment = pipeline(2);
+        assert_eq!(
+            deployment
+                .set_execution_mode(ExecutionMode::Pool {
+                    workers: 0,
+                    quantum: 1,
+                })
+                .unwrap_err(),
+            DeployError::ZeroPoolWorkers
+        );
+        assert_eq!(
+            deployment
+                .set_execution_mode(ExecutionMode::Pool {
+                    workers: 1,
+                    quantum: 0,
+                })
+                .unwrap_err(),
+            DeployError::ZeroQuantum
+        );
+        // The rejected modes left the deployment in the default mode.
+        assert_eq!(
+            deployment.execution_mode(),
+            ExecutionMode::ThreadPerComponent
+        );
+    }
+
+    #[test]
+    fn a_two_worker_pool_runs_eight_components_with_identical_flows() {
+        // The scheduler's point: fewer OS threads than components, same
+        // flows as the dedicated-thread mode, whatever the quantum, the
+        // backend or the capacity.
+        let reference = {
+            let mut deployment = pipeline(8);
+            deployment.feed("s0", (1..=32).map(Value::Int));
+            deployment.run().expect("runs").flow("s8").to_vec()
+        };
+        for backend in [Backend::Mpsc, Backend::SpscRing] {
+            for quantum in [1u64, 3, 64] {
+                for capacity in [1usize, 4] {
+                    let mut deployment = pipeline(8);
+                    deployment
+                        .set_execution_mode(ExecutionMode::Pool {
+                            workers: 2,
+                            quantum,
+                        })
+                        .expect("valid mode");
+                    deployment.set_backend(backend);
+                    deployment.set_capacity(capacity).expect("nonzero");
+                    deployment.feed("s0", (1..=32).map(Value::Int));
+                    let outcome = deployment.run().expect("runs");
+                    let stats = outcome.stats();
+                    assert_eq!(
+                        outcome.flow("s8"),
+                        reference.as_slice(),
+                        "backend {backend} quantum {quantum} capacity {capacity}"
+                    );
+                    assert_eq!(stats.total_reactions(), 8 * 32);
+                    // The run was scheduled by the pool, not by dedicated
+                    // threads.
+                    assert_eq!(
+                        stats.mode,
+                        ExecutionMode::Pool {
+                            workers: 2,
+                            quantum,
+                        }
+                    );
+                    assert_eq!(stats.pool_workers.len(), 2);
+                    assert!(stats.total_dispatches() >= 8, "every component dispatched");
+                }
+            }
+        }
+    }
+
+    /// A machine that joins two input streams, emitting the sum of one
+    /// token from each — the fan-in end of a diamond.
+    struct Join {
+        name: String,
+        inputs: [Name; 2],
+        queues: [Vec<Value>; 2],
+        output: Name,
+        produced: Vec<Value>,
+    }
+
+    impl StepMachine for Join {
+        fn machine_name(&self) -> &str {
+            &self.name
+        }
+        fn input_signals(&self) -> Vec<Name> {
+            self.inputs.to_vec()
+        }
+        fn output_signals(&self) -> Vec<Name> {
+            vec![self.output.clone()]
+        }
+        fn feed_value(&mut self, signal: &str, value: Value) {
+            let slot = self.inputs.iter().position(|i| i.as_str() == signal);
+            self.queues[slot.expect("declared input")].push(value);
+        }
+        fn try_step(&mut self) -> Result<(), StepFault> {
+            for (i, queue) in self.queues.iter().enumerate() {
+                if queue.is_empty() {
+                    return Err(StepFault::NeedInput(self.inputs[i].clone()));
+                }
+            }
+            let a = self.queues[0].remove(0).as_int().unwrap_or(0);
+            let b = self.queues[1].remove(0).as_int().unwrap_or(0);
+            self.produced.push(Value::Int(a + b));
+            Ok(())
+        }
+        fn produced(&self, _signal: &str) -> &[Value] {
+            &self.produced
+        }
+    }
+
+    /// Fan-out/fan-in diamond: a source broadcasts `x` to two summers,
+    /// whose outputs a `Join` recombines.  Exercises the multi-consumer
+    /// broadcast publish (and its partial-progress resume in pool mode).
+    fn diamond() -> Deployment {
+        let mut deployment = Deployment::new();
+        deployment.add_machine(Box::new(Summer::new("source", "in", "x")));
+        deployment.add_machine(Box::new(Summer::new("left", "x", "l")));
+        deployment.add_machine(Box::new(Summer::new("right", "x", "r")));
+        deployment.add_machine(Box::new(Join {
+            name: "join".into(),
+            inputs: [Name::from("l"), Name::from("r")],
+            queues: [Vec::new(), Vec::new()],
+            output: Name::from("out"),
+            produced: Vec::new(),
+        }));
+        deployment
+    }
+
+    #[test]
+    fn a_fan_out_fan_in_diamond_conforms_across_modes() {
+        let reference = {
+            let mut deployment = diamond();
+            deployment.feed("in", (1..=16).map(Value::Int));
+            deployment.run().expect("runs").flow("out").to_vec()
+        };
+        assert_eq!(reference.len(), 16);
+        for workers in [1usize, 2, 3] {
+            for quantum in [1u64, 5] {
+                let mut deployment = diamond();
+                deployment
+                    .set_execution_mode(ExecutionMode::Pool { workers, quantum })
+                    .expect("valid mode");
+                deployment.set_capacity(1).expect("nonzero");
+                deployment.feed("in", (1..=16).map(Value::Int));
+                let outcome = deployment.run().expect("runs");
+                assert_eq!(
+                    outcome.flow("out"),
+                    reference.as_slice(),
+                    "workers {workers} quantum {quantum}"
+                );
+                assert_eq!(outcome.stats().pool_workers.len(), workers);
+            }
+        }
+    }
+
+    /// A machine that consumes one env token per step and emits a stamp
+    /// from a shared global sequence — the dispatch order of two such
+    /// machines is visible in their produced flows.
+    struct Stamper {
+        name: String,
+        input: Name,
+        queue: Vec<Value>,
+        produced: Vec<Value>,
+        sequence: std::sync::Arc<std::sync::atomic::AtomicI64>,
+    }
+
+    impl StepMachine for Stamper {
+        fn machine_name(&self) -> &str {
+            &self.name
+        }
+        fn input_signals(&self) -> Vec<Name> {
+            vec![self.input.clone()]
+        }
+        fn output_signals(&self) -> Vec<Name> {
+            vec![Name::from(format!("{}_out", self.name).as_str())]
+        }
+        fn feed_value(&mut self, _signal: &str, value: Value) {
+            self.queue.push(value);
+        }
+        fn try_step(&mut self) -> Result<(), StepFault> {
+            if self.queue.is_empty() {
+                return Err(StepFault::NeedInput(self.input.clone()));
+            }
+            self.queue.remove(0);
+            let stamp = self
+                .sequence
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.produced.push(Value::Int(stamp));
+            Ok(())
+        }
+        fn produced(&self, _signal: &str) -> &[Value] {
+            &self.produced
+        }
+    }
+
+    #[test]
+    fn a_quantum_yield_round_robins_the_deque_instead_of_starving_it() {
+        // Regression: a yielded component used to be pushed to the back of
+        // the deque its owner also pops from the back, so a single worker
+        // re-dispatched the same component until its stream was exhausted
+        // and deque siblings starved.  With two independent components on
+        // one worker at quantum 1, fair scheduling interleaves their
+        // global stamps; starvation would give one component an entirely
+        // smaller stamp range than the other.
+        let sequence = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let mut deployment = Deployment::new();
+        for name in ["a", "b"] {
+            deployment.add_machine(Box::new(Stamper {
+                name: name.into(),
+                input: Name::from(format!("{name}_in").as_str()),
+                queue: Vec::new(),
+                produced: Vec::new(),
+                sequence: std::sync::Arc::clone(&sequence),
+            }));
+        }
+        deployment
+            .set_execution_mode(ExecutionMode::Pool {
+                workers: 1,
+                quantum: 1,
+            })
+            .expect("valid mode");
+        deployment.feed("a_in", (0..16).map(Value::Int));
+        deployment.feed("b_in", (0..16).map(Value::Int));
+        let outcome = deployment.run().expect("runs");
+        let stamps = |signal: &str| -> Vec<i64> {
+            outcome
+                .flow(signal)
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect()
+        };
+        let a = stamps("a_out");
+        let b = stamps("b_out");
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        let ranges_overlap = a.iter().min() < b.iter().max() && b.iter().min() < a.iter().max();
+        assert!(
+            ranges_overlap,
+            "one component ran to completion before the other was ever \
+             dispatched: a = {a:?}, b = {b:?}"
+        );
+    }
+
+    #[test]
+    fn the_pool_detects_a_communication_deadlock_instead_of_hanging() {
+        // a reads q and writes p; b reads p and writes q.  Nothing is ever
+        // fed, so both block immediately.  The dedicated-thread mode would
+        // hang on this (which is why cycles must be explicitly allowed);
+        // the pool scheduler proves the all-blocked state terminal and
+        // stops.
+        let mut deployment = Deployment::new();
+        deployment.add_machine(Box::new(Summer::new("a", "q", "p")));
+        deployment.add_machine(Box::new(Summer::new("b", "p", "q")));
+        deployment.set_allow_cycles(true);
+        deployment
+            .set_execution_mode(ExecutionMode::Pool {
+                workers: 2,
+                quantum: 4,
+            })
+            .expect("valid mode");
+        let outcome = deployment.run().expect("terminates");
+        for component in &outcome.stats().components {
+            assert_eq!(component.stop, StopReason::Deadlocked);
+            assert_eq!(component.reactions, 0);
+        }
     }
 
     #[test]

@@ -32,7 +32,9 @@ use std::time::Duration;
 
 use signal_lang::Value;
 
-use crate::transport::{ChannelClosed, Endpoints, TokenRx, TokenTx, Transport, TryRecvError};
+use crate::transport::{
+    ChannelClosed, Endpoints, TokenRx, TokenTx, Transport, TryRecvError, TrySendError,
+};
 
 /// Spins before yielding: a handful of iterations rides out the common
 /// case where the peer is mid-operation **on another core**.  On a
@@ -243,6 +245,35 @@ impl RingSender {
         }
     }
 
+    /// Delivers one token without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when every slot is occupied and
+    /// [`TrySendError::Closed`] when the receiver is gone.
+    pub fn try_send(&self, token: Value) -> Result<(), TrySendError> {
+        let shared = &*self.shared;
+        let capacity = shared.slots.len();
+        if shared.rx_dropped.load(Acquire) {
+            return Err(TrySendError::Closed);
+        }
+        // Single producer: this thread is the only writer of `tail`.
+        let tail = shared.tail.load(Relaxed);
+        let head = shared.head.load(Acquire);
+        if tail.wrapping_sub(head) >= capacity {
+            return Err(TrySendError::Full);
+        }
+        let slot = &shared.slots[tail % capacity];
+        let (tag, bits) = encode(token);
+        slot.tag.store(tag, Relaxed);
+        slot.bits.store(bits, Relaxed);
+        // Publishes the slot contents to the consumer's Acquire load of
+        // `tail`.
+        shared.tail.store(tail.wrapping_add(1), Release);
+        shared.wake_peer();
+        Ok(())
+    }
+
     /// The fixed slot count of the ring.
     pub fn capacity(&self) -> usize {
         self.shared.slots.len()
@@ -278,6 +309,10 @@ impl Drop for RingSender {
 impl TokenTx for RingSender {
     fn send(&self, token: Value) -> Result<(), ChannelClosed> {
         RingSender::send(self, token)
+    }
+
+    fn try_send(&self, token: Value) -> Result<(), TrySendError> {
+        RingSender::try_send(self, token)
     }
 }
 
@@ -483,6 +518,20 @@ mod tests {
             assert_eq!(rx.recv(), Ok(Value::Int(2 * round)));
             assert_eq!(rx.recv(), Ok(Value::Int(2 * round + 1)));
         }
+    }
+
+    #[test]
+    fn try_send_reports_full_without_parking() {
+        let (tx, rx) = ring(2);
+        assert_eq!(tx.try_send(Value::Int(1)), Ok(()));
+        assert_eq!(tx.try_send(Value::Int(2)), Ok(()));
+        assert_eq!(tx.try_send(Value::Int(3)), Err(TrySendError::Full));
+        assert_eq!(rx.recv(), Ok(Value::Int(1)));
+        assert_eq!(tx.try_send(Value::Int(3)), Ok(()));
+        assert_eq!(rx.recv(), Ok(Value::Int(2)));
+        assert_eq!(rx.recv(), Ok(Value::Int(3)));
+        drop(rx);
+        assert_eq!(tx.try_send(Value::Int(4)), Err(TrySendError::Closed));
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! The work-stealing batched pool scheduler.
+//!
+//! Thread-per-component execution oversubscribes every real machine once a
+//! deployment grows past core count — the paper's claim is about
+//! *arbitrary* component counts, so the runtime needs an execution mode
+//! whose OS-thread footprint is fixed.  This module provides it: a pool of
+//! `workers` OS threads cooperatively runs every component
+//! ([`crate::worker::Driver`]) by pulling **ready** components from
+//! per-worker deques — each worker pops its own deque from the back and,
+//! when empty, steals from a sibling's front — and stepping each one up to
+//! `quantum` reactions per dispatch (the batching that amortizes channel
+//! hand-offs and deque traffic over many reactions).  A component that
+//! yields its quantum is re-queued at the *front* of the deque, behind
+//! every other ready component, so the quantum really does round-robin
+//! the deque instead of re-dispatching the yielder forever.
+//!
+//! A dispatch never blocks the worker thread: a driver that runs into an
+//! empty upstream or a full downstream edge returns
+//! [`Pending`](crate::worker::Pending) and is parked in a per-component
+//! *blocked* state.  Readiness notification is topological: every token a
+//! dispatch moves can only unblock the component's channel neighbors, so
+//! after each dispatch that moved tokens (or finished, closing its edges)
+//! the scheduler re-queues the blocked neighbors.  A wake that races a
+//! concurrent dispatch of the same component is latched in a `NOTIFIED`
+//! state instead of being lost — the dispatching worker observes it when it
+//! tries to block and re-queues the component itself.  Workers with no
+//! runnable component park on a condvar with a bounded timeout (same
+//! insurance as the SPSC ring: a hypothetically missed notify costs a
+//! retry, never a hang).
+//!
+//! Because environment streams are preloaded, every wake originates inside
+//! a dispatch; when nothing is queued, nothing is running and components
+//! remain, the blocked components can never make progress again — a true
+//! communication deadlock (only reachable when a cyclic topology was
+//! explicitly allowed).  The pool detects that state and finalizes the
+//! survivors with [`StopReason::Deadlocked`] instead of hanging, which the
+//! dedicated-thread mode would.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{fence, AtomicU8, AtomicUsize};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::deploy::Topology;
+use crate::stats::{PoolWorkerStats, StopReason};
+use crate::worker::{DriveOutcome, Driver, WorkerReport};
+
+/// How a deployment maps components onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One dedicated OS thread per component; channel waits park the
+    /// thread (blocking-read/blocking-write backpressure).  The mode of
+    /// earlier releases, and still the default.
+    #[default]
+    ThreadPerComponent,
+    /// A fixed pool of `workers` OS threads cooperatively runs every
+    /// component: ready components are pulled from work-stealing deques
+    /// and stepped up to `quantum` reactions per dispatch.  The OS-thread
+    /// footprint is `workers`, whatever the component count.
+    Pool {
+        /// Pool size in OS threads (must be nonzero).
+        workers: usize,
+        /// Reactions one dispatch may run before the component is re-queued
+        /// behind its peers (must be nonzero).  Larger quanta amortize
+        /// scheduling overhead; smaller quanta interleave more fairly.
+        quantum: u64,
+    },
+}
+
+impl ExecutionMode {
+    /// A pool sized to the machine: one worker per available core, with a
+    /// moderate 32-reaction quantum.
+    pub fn pool_per_core() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|cores| cores.get())
+            .unwrap_or(1);
+        ExecutionMode::Pool {
+            workers,
+            quantum: 32,
+        }
+    }
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionMode::ThreadPerComponent => write!(f, "thread-per-component"),
+            ExecutionMode::Pool { workers, quantum } => {
+                write!(f, "pool of {workers} worker(s), quantum {quantum}")
+            }
+        }
+    }
+}
+
+/// Per-component scheduling states (one `AtomicU8` per component).
+///
+/// Transitions:
+/// `QUEUED -> RUNNING` (a worker pops the component and takes its driver),
+/// `RUNNING -> QUEUED|BLOCKED|DONE` (dispatch concluded),
+/// `RUNNING -> NOTIFIED` (a wake raced the dispatch; latched, not lost),
+/// `NOTIFIED -> QUEUED` (the dispatching worker re-queues instead of
+/// blocking), `BLOCKED -> QUEUED` (a neighbor's wake re-queues).
+const BLOCKED: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// Bound on one idle park: a missed notify (prevented by the `SeqCst`
+/// handshake, but cheap to insure against) costs a retry, not a hang.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+struct Shared {
+    /// Driver storage while a component is not being dispatched.  A
+    /// component index lives in at most one deque at a time, and `QUEUED`
+    /// implies its driver is in the slot.
+    slots: Vec<Mutex<Option<Driver>>>,
+    states: Vec<AtomicU8>,
+    reports: Vec<Mutex<Option<WorkerReport>>>,
+    /// The per-worker deques: owner pushes/pops at the back, thieves steal
+    /// from the front.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Channel neighbors (upstream producers and downstream consumers) of
+    /// each component — the only components a dispatch can unblock.
+    neighbors: Vec<Vec<usize>>,
+    /// Components not yet `DONE`.
+    remaining: AtomicUsize,
+    /// Component indices sitting in some deque.
+    queued: AtomicUsize,
+    /// Outstanding work: queued components plus dispatches in flight.  A
+    /// dequeued component stays counted until its dispatch has published
+    /// every wake, so observing `work == 0` with `remaining > 0` proves no
+    /// future wake can originate — a communication deadlock.
+    work: AtomicUsize,
+    /// Workers parked on `idle`.
+    sleepers: AtomicUsize,
+    park_lock: Mutex<()>,
+    idle: Condvar,
+}
+
+impl Shared {
+    fn lock_park(&self) -> MutexGuard<'_, ()> {
+        self.park_lock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes a ready component onto a worker's deque and wakes a parked
+    /// worker if any.  The counters are incremented *before* the push: a
+    /// popped component can then never precede its own increments, so the
+    /// `queued`/`work` decrements that follow a pop cannot transiently
+    /// underflow the counters (which would let `park` misdiagnose a
+    /// healthy deployment as deadlocked).  The `SeqCst` fence pairs with
+    /// the re-check a parking worker performs under the lock: either this
+    /// side sees `sleepers > 0` and notifies, or the parking side's
+    /// re-check sees `queued > 0` and never sleeps.
+    fn enqueue(&self, worker: usize, component: usize) {
+        self.enqueue_at(worker, component, false);
+    }
+
+    /// Re-queues a component that yielded its quantum at the *front* of
+    /// the owner's deque — the end the owner pops last — so the remaining
+    /// ready components run before the yielder is dispatched again.
+    /// Pushing it to the back would let the owner's back-pop re-dispatch
+    /// the same component immediately, starving its deque siblings and
+    /// defeating the fairness the quantum exists for.
+    fn enqueue_yielded(&self, worker: usize, component: usize) {
+        self.enqueue_at(worker, component, true);
+    }
+
+    fn enqueue_at(&self, worker: usize, component: usize, front: bool) {
+        self.queued.fetch_add(1, SeqCst);
+        self.work.fetch_add(1, SeqCst);
+        {
+            let mut queue = self.queues[worker]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if front {
+                queue.push_front(component);
+            } else {
+                queue.push_back(component);
+            }
+        }
+        fence(SeqCst);
+        if self.sleepers.load(Relaxed) > 0 {
+            let _guard = self.lock_park();
+            self.idle.notify_all();
+        }
+    }
+
+    /// Re-queues `component` if it is blocked; latches the wake if it is
+    /// being dispatched right now.  Spurious wakes are harmless — a
+    /// re-driven component that is still blocked simply re-blocks.
+    fn wake(&self, worker: usize, component: usize) {
+        let state = &self.states[component];
+        loop {
+            match state.load(SeqCst) {
+                BLOCKED => {
+                    if state
+                        .compare_exchange(BLOCKED, QUEUED, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        self.enqueue(worker, component);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if state
+                        .compare_exchange(RUNNING, NOTIFIED, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already latched, or finished: the wake is
+                // subsumed.
+                QUEUED | NOTIFIED | DONE => return,
+                other => unreachable!("component state {other}"),
+            }
+        }
+    }
+}
+
+/// Runs `drivers` to completion on a pool of `workers` OS threads and
+/// returns the per-component reports (in component order) plus the
+/// per-worker scheduling counters.
+pub(crate) fn run_pool(
+    drivers: Vec<Driver>,
+    topology: &Topology,
+    workers: usize,
+    quantum: u64,
+) -> (Vec<WorkerReport>, Vec<PoolWorkerStats>) {
+    let n = drivers.len();
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for spec in &topology.channels {
+        if !neighbors[spec.producer].contains(&spec.consumer) {
+            neighbors[spec.producer].push(spec.consumer);
+        }
+        if !neighbors[spec.consumer].contains(&spec.producer) {
+            neighbors[spec.consumer].push(spec.producer);
+        }
+    }
+
+    let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for component in 0..n {
+        // Round-robin seeding spreads the initial ready set evenly.
+        queues[component % workers].push_back(component);
+    }
+    let shared = Shared {
+        slots: drivers.into_iter().map(|d| Mutex::new(Some(d))).collect(),
+        states: (0..n).map(|_| AtomicU8::new(QUEUED)).collect(),
+        reports: (0..n).map(|_| Mutex::new(None)).collect(),
+        queues: queues.into_iter().map(Mutex::new).collect(),
+        neighbors,
+        remaining: AtomicUsize::new(n),
+        queued: AtomicUsize::new(n),
+        work: AtomicUsize::new(n),
+        sleepers: AtomicUsize::new(0),
+        park_lock: Mutex::new(()),
+        idle: Condvar::new(),
+    };
+
+    let worker_stats: Vec<PoolWorkerStats> = std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || worker_loop(shared, w, quantum)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+
+    let reports = shared
+        .reports
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every component finished")
+        })
+        .collect();
+    (reports, worker_stats)
+}
+
+fn worker_loop(shared: &Shared, me: usize, quantum: u64) -> PoolWorkerStats {
+    let mut stats = PoolWorkerStats::new(me);
+    while shared.remaining.load(SeqCst) > 0 {
+        match pop_task(shared, me) {
+            Some((component, stolen)) => {
+                stats.dispatches += 1;
+                if stolen {
+                    stats.steals += 1;
+                }
+                dispatch(shared, me, component, quantum);
+            }
+            None => {
+                stats.parks += 1;
+                park(shared);
+            }
+        }
+    }
+    // Someone must still be parked: make sure every sibling re-checks the
+    // exit condition.
+    let _guard = shared.lock_park();
+    shared.idle.notify_all();
+    drop(_guard);
+    stats
+}
+
+/// Pops the next ready component: own deque from the back first, then each
+/// sibling's front (steal-on-empty).
+fn pop_task(shared: &Shared, me: usize) -> Option<(usize, bool)> {
+    let workers = shared.queues.len();
+    if let Some(component) = {
+        let mut own = shared.queues[me].lock().unwrap_or_else(|e| e.into_inner());
+        own.pop_back()
+    } {
+        shared.queued.fetch_sub(1, SeqCst);
+        return Some((component, false));
+    }
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        if let Some(component) = {
+            let mut queue = shared.queues[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            queue.pop_front()
+        } {
+            shared.queued.fetch_sub(1, SeqCst);
+            return Some((component, true));
+        }
+    }
+    None
+}
+
+/// Runs one quantum of one component and performs the resulting state
+/// transition, waking the channel neighbors its progress may have
+/// unblocked.
+fn dispatch(shared: &Shared, me: usize, component: usize, quantum: u64) {
+    let state = &shared.states[component];
+    let previous = state.swap(RUNNING, SeqCst);
+    debug_assert_eq!(previous, QUEUED, "a dequeued component is queued");
+
+    let mut driver = shared.slots[component]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("a queued component's driver is parked in its slot");
+    let before = driver.tokens_moved();
+    let outcome = driver.drive(quantum);
+    let moved = driver.tokens_moved() != before;
+
+    let mut finished = false;
+    match outcome {
+        DriveOutcome::Yielded => {
+            *shared.slots[component]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(driver);
+            // The wake latch is subsumed: the component goes straight back
+            // to the ready set either way.
+            state.store(QUEUED, SeqCst);
+            shared.enqueue_yielded(me, component);
+        }
+        DriveOutcome::Pending(_edge) => {
+            // Park the driver *before* publishing the blocked state: a
+            // concurrent wake that sees BLOCKED may immediately re-queue
+            // the component for another worker, which will look for the
+            // driver in the slot.
+            *shared.slots[component]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(driver);
+            if state
+                .compare_exchange(RUNNING, BLOCKED, SeqCst, SeqCst)
+                .is_err()
+            {
+                // A wake raced the dispatch (NOTIFIED): the edge may have
+                // moved since the driver observed it, so re-queue instead
+                // of blocking.
+                state.store(QUEUED, SeqCst);
+                shared.enqueue(me, component);
+            }
+        }
+        DriveOutcome::Done(stop) => {
+            // Finalizing drops the endpoints, closing every adjacent
+            // channel *before* the neighbors are woken to observe it.
+            let report = driver.finish(stop);
+            *shared.reports[component]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(report);
+            state.store(DONE, SeqCst);
+            finished = true;
+        }
+    }
+
+    if moved || finished {
+        // Every token this dispatch moved (and every channel it closed)
+        // can only unblock the component's channel neighbors.
+        for &neighbor in &shared.neighbors[component] {
+            shared.wake(me, neighbor);
+        }
+    }
+    if finished && shared.remaining.fetch_sub(1, SeqCst) == 1 {
+        let _guard = shared.lock_park();
+        shared.idle.notify_all();
+    }
+    // The decrement is ordered after every wake/re-queue above: a worker
+    // that observes `work == 0` knows no wake is still in flight.
+    shared.work.fetch_sub(1, SeqCst);
+}
+
+/// Parks an idle worker until work may exist again, detecting the terminal
+/// all-blocked state (a communication deadlock on an explicitly allowed
+/// cyclic topology) instead of sleeping forever on it.
+fn park(shared: &Shared) {
+    let guard = shared.lock_park();
+    // Register as a sleeper *before* re-checking for work: the enqueue
+    // side increments `queued` before loading `sleepers`, and this side
+    // increments `sleepers` before loading `queued` — two store→load
+    // pairs under `SeqCst`, so at least one side observes the other
+    // (either the enqueuer notifies, or this re-check sees the queued
+    // component and skips the wait).  The notify itself is taken under
+    // `park_lock`, which this thread holds until `wait_timeout` releases
+    // it, so it cannot fire between the re-check and the wait.
+    shared.sleepers.fetch_add(1, SeqCst);
+    if shared.queued.load(SeqCst) == 0 && shared.remaining.load(SeqCst) > 0 {
+        if shared.work.load(SeqCst) == 0 {
+            // Nothing queued, nothing running, components remaining:
+            // every survivor is BLOCKED and no future wake can originate.
+            // Finalize them as deadlocked (the park lock serializes this
+            // recovery).
+            for component in 0..shared.states.len() {
+                let state = &shared.states[component];
+                if state
+                    .compare_exchange(BLOCKED, DONE, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    let driver = shared.slots[component]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("a blocked component's driver is parked in its slot");
+                    *shared.reports[component]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) =
+                        Some(driver.finish(StopReason::Deadlocked));
+                    shared.remaining.fetch_sub(1, SeqCst);
+                }
+            }
+            shared.idle.notify_all();
+        } else {
+            let _guard = shared
+                .idle
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    shared.sleepers.fetch_sub(1, SeqCst);
+}

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use signal_lang::Name;
 
+use crate::sched::ExecutionMode;
+
 /// Why a worker thread stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StopReason {
@@ -18,6 +20,12 @@ pub enum StopReason {
     StepLimit,
     /// The machine faulted.
     Fault(String),
+    /// The pool scheduler found every surviving component blocked on a
+    /// channel edge with no dispatch in flight: a communication deadlock
+    /// (only reachable when a cyclic topology was explicitly allowed).
+    /// The dedicated-thread mode would hang on the same state; the pool
+    /// detects it and stops.
+    Deadlocked,
 }
 
 impl fmt::Display for StopReason {
@@ -29,6 +37,7 @@ impl fmt::Display for StopReason {
             StopReason::UpstreamClosed(n) => write!(f, "upstream of {n} closed"),
             StopReason::StepLimit => write!(f, "step limit reached"),
             StopReason::Fault(m) => write!(f, "fault: {m}"),
+            StopReason::Deadlocked => write!(f, "deadlocked in a communication cycle"),
         }
     }
 }
@@ -65,6 +74,93 @@ impl fmt::Display for ComponentStats {
     }
 }
 
+/// The scheduling counters of one pool worker thread (empty in
+/// thread-per-component mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// The worker's index in the pool.
+    pub worker: usize,
+    /// Components dispatched (each dispatch runs up to one quantum).
+    pub dispatches: u64,
+    /// Dispatches whose component was stolen from a sibling's deque.
+    pub steals: u64,
+    /// Times the worker found no runnable component and parked.
+    pub parks: u64,
+}
+
+impl PoolWorkerStats {
+    pub(crate) fn new(worker: usize) -> Self {
+        PoolWorkerStats {
+            worker,
+            dispatches: 0,
+            steals: 0,
+            parks: 0,
+        }
+    }
+}
+
+impl fmt::Display for PoolWorkerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker {}: {} dispatches ({} stolen), {} parks",
+            self.worker, self.dispatches, self.steals, self.parks
+        )
+    }
+}
+
+/// The range of resolved per-edge channel capacities of one deployment —
+/// per-signal overrides make edges differ, so a single number cannot
+/// describe the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityRange {
+    /// The smallest resolved edge capacity (0 when there is no channel).
+    pub min: usize,
+    /// The largest resolved edge capacity (0 when there is no channel).
+    pub max: usize,
+}
+
+impl CapacityRange {
+    /// The range of a topology where every edge has the same capacity.
+    pub fn exactly(capacity: usize) -> Self {
+        CapacityRange {
+            min: capacity,
+            max: capacity,
+        }
+    }
+
+    /// Folds the resolved capacities of every edge into a range; an empty
+    /// topology yields `0..0`.
+    pub fn of_edges(capacities: impl IntoIterator<Item = usize>) -> Self {
+        let mut range: Option<CapacityRange> = None;
+        for capacity in capacities {
+            range = Some(match range {
+                None => CapacityRange::exactly(capacity),
+                Some(r) => CapacityRange {
+                    min: r.min.min(capacity),
+                    max: r.max.max(capacity),
+                },
+            });
+        }
+        range.unwrap_or(CapacityRange { min: 0, max: 0 })
+    }
+
+    /// Whether every edge has the same capacity.
+    pub fn is_uniform(&self) -> bool {
+        self.min == self.max
+    }
+}
+
+impl fmt::Display for CapacityRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_uniform() {
+            write!(f, "{}", self.min)
+        } else {
+            write!(f, "{}..{}", self.min, self.max)
+        }
+    }
+}
+
 /// The aggregated report of one deployment run.
 #[derive(Debug, Clone)]
 pub struct DeploymentStats {
@@ -72,12 +168,16 @@ pub struct DeploymentStats {
     pub components: Vec<ComponentStats>,
     /// Number of bounded channels wired between the components.
     pub channels: usize,
-    /// Default channel capacity of the policy (individual edges may carry
-    /// per-signal overrides; `Deployment::topology()` reports the per-edge
-    /// resolution).
-    pub capacity: usize,
+    /// The range of resolved per-edge capacities (min..max over the
+    /// topology — per-signal overrides make edges differ).
+    pub capacity: CapacityRange,
     /// Name of the transport backend that carried the channels.
     pub backend: &'static str,
+    /// How components were mapped onto OS threads.
+    pub mode: ExecutionMode,
+    /// Per-worker scheduling counters of the pool (empty in
+    /// thread-per-component mode).
+    pub pool_workers: Vec<PoolWorkerStats>,
     /// Wall-clock duration of the run (spawn to last join).
     pub elapsed: Duration,
 }
@@ -98,15 +198,24 @@ impl DeploymentStats {
         self.components.iter().map(|c| c.tokens_sent).sum()
     }
 
-    /// Reactions per second over the whole run (0 when the run was too fast
-    /// to measure).
-    pub fn reactions_per_second(&self) -> f64 {
+    /// Total dispatches across the pool workers (0 in thread-per-component
+    /// mode).
+    pub fn total_dispatches(&self) -> u64 {
+        self.pool_workers.iter().map(|w| w.dispatches).sum()
+    }
+
+    /// Total steals across the pool workers (0 in thread-per-component
+    /// mode).
+    pub fn total_steals(&self) -> u64 {
+        self.pool_workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Reactions per second over the whole run, or `None` when the run was
+    /// too fast for the clock to measure at all — the fastest runs are not
+    /// "0 reactions per second".
+    pub fn reactions_per_second(&self) -> Option<f64> {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.total_reactions() as f64 / secs
-        } else {
-            0.0
-        }
+        (secs > 0.0).then(|| self.total_reactions() as f64 / secs)
     }
 }
 
@@ -114,12 +223,13 @@ impl fmt::Display for DeploymentStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "deployment of {} component(s), {} channel(s) of capacity {} over {}: \
+            "deployment of {} component(s), {} channel(s) of capacity {} over {} ({}): \
              {} reactions, {} blocked reads, {} tokens in {:?}",
             self.components.len(),
             self.channels,
             self.capacity,
             self.backend,
+            self.mode,
             self.total_reactions(),
             self.total_blocked_reads(),
             self.total_tokens(),
@@ -127,6 +237,9 @@ impl fmt::Display for DeploymentStats {
         )?;
         for c in &self.components {
             writeln!(f, "  {c}")?;
+        }
+        for w in &self.pool_workers {
+            writeln!(f, "  {w}")?;
         }
         Ok(())
     }
@@ -136,9 +249,8 @@ impl fmt::Display for DeploymentStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn totals_aggregate_component_counters() {
-        let stats = DeploymentStats {
+    fn sample() -> DeploymentStats {
+        DeploymentStats {
             components: vec![
                 ComponentStats {
                     name: "p".into(),
@@ -158,17 +270,78 @@ mod tests {
                 },
             ],
             channels: 1,
-            capacity: 1,
+            capacity: CapacityRange::exactly(1),
             backend: "spsc-ring",
+            mode: ExecutionMode::ThreadPerComponent,
+            pool_workers: Vec::new(),
             elapsed: Duration::from_millis(2),
-        };
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_component_counters() {
+        let stats = sample();
         assert_eq!(stats.total_reactions(), 9);
         assert_eq!(stats.total_blocked_reads(), 3);
         assert_eq!(stats.total_tokens(), 2);
-        assert!(stats.reactions_per_second() > 0.0);
+        assert!(stats.reactions_per_second().expect("measurable") > 0.0);
         let text = stats.to_string();
         assert!(text.contains("environment input a exhausted"));
         assert!(text.contains("upstream of x closed"));
         assert!(text.contains("over spsc-ring"));
+        assert!(text.contains("thread-per-component"));
+    }
+
+    #[test]
+    fn an_unmeasurably_fast_run_is_not_zero_reactions_per_second() {
+        // Regression: a zero elapsed used to report 0.0 — reading as
+        // "infinitely slow" for exactly the fastest runs.
+        let mut stats = sample();
+        stats.elapsed = Duration::ZERO;
+        assert_eq!(stats.reactions_per_second(), None);
+    }
+
+    #[test]
+    fn capacity_ranges_fold_and_render() {
+        assert_eq!(
+            CapacityRange::of_edges([8, 2, 8]),
+            CapacityRange { min: 2, max: 8 }
+        );
+        assert_eq!(
+            CapacityRange::of_edges([]),
+            CapacityRange { min: 0, max: 0 }
+        );
+        assert_eq!(CapacityRange::exactly(4).to_string(), "4");
+        assert!(CapacityRange::exactly(4).is_uniform());
+        assert_eq!(CapacityRange { min: 2, max: 8 }.to_string(), "2..8");
+        assert!(!CapacityRange { min: 2, max: 8 }.is_uniform());
+    }
+
+    #[test]
+    fn pool_counters_aggregate_and_render() {
+        let mut stats = sample();
+        stats.mode = ExecutionMode::Pool {
+            workers: 2,
+            quantum: 8,
+        };
+        stats.pool_workers = vec![
+            PoolWorkerStats {
+                worker: 0,
+                dispatches: 7,
+                steals: 2,
+                parks: 1,
+            },
+            PoolWorkerStats {
+                worker: 1,
+                dispatches: 3,
+                steals: 1,
+                parks: 4,
+            },
+        ];
+        assert_eq!(stats.total_dispatches(), 10);
+        assert_eq!(stats.total_steals(), 3);
+        let text = stats.to_string();
+        assert!(text.contains("pool of 2 worker(s), quantum 8"));
+        assert!(text.contains("worker 0: 7 dispatches (2 stolen), 1 parks"));
     }
 }

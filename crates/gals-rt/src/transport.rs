@@ -22,7 +22,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError as ShimTryRecvError};
+use crossbeam::channel::{
+    self, Receiver, Sender, TryRecvError as ShimTryRecvError, TrySendError as ShimTrySendError,
+};
 use signal_lang::{Name, Value};
 
 /// The peer endpoint of a channel is gone: a send can never be delivered,
@@ -59,6 +61,26 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Why a non-blocking send did not deliver its token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The buffer is currently full; the consumer may still drain it.
+    Full,
+    /// The receiving endpoint is gone; the token can never be delivered.
+    Closed,
+}
+
+impl fmt::Display for TrySendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full => write!(f, "the channel is full"),
+            TrySendError::Closed => write!(f, "the channel is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TrySendError {}
+
 /// The sending endpoint of one bounded token channel.
 ///
 /// Dropping the endpoint closes the channel: a blocked or later receive on
@@ -71,6 +93,16 @@ pub trait TokenTx: Send {
     /// Returns [`ChannelClosed`] when the receiving endpoint is gone (the
     /// token is dropped, exactly like a send to a terminated worker).
     fn send(&self, token: Value) -> Result<(), ChannelClosed>;
+
+    /// Delivers one token without blocking — the hook the cooperative pool
+    /// scheduler uses to turn a full buffer into a yield instead of a
+    /// parked OS thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when the buffer has no free slot and
+    /// [`TrySendError::Closed`] when the receiving endpoint is gone.
+    fn try_send(&self, token: Value) -> Result<(), TrySendError>;
 }
 
 /// The receiving endpoint of one bounded token channel.
@@ -300,6 +332,13 @@ impl TokenTx for MpscTx {
     fn send(&self, token: Value) -> Result<(), ChannelClosed> {
         self.0.send(token).map_err(|_| ChannelClosed)
     }
+
+    fn try_send(&self, token: Value) -> Result<(), TrySendError> {
+        self.0.try_send(token).map_err(|e| match e {
+            ShimTrySendError::Full(_) => TrySendError::Full,
+            ShimTrySendError::Disconnected(_) => TrySendError::Closed,
+        })
+    }
 }
 
 struct MpscRx(Receiver<Value>);
@@ -361,6 +400,17 @@ mod tests {
         let (tx, rx) = MpscTransport.open(1);
         drop(rx);
         assert_eq!(tx.send(Value::Int(7)), Err(ChannelClosed));
+    }
+
+    #[test]
+    fn the_mpsc_backend_reports_full_and_closed_on_try_send() {
+        let (tx, rx) = MpscTransport.open(1);
+        assert_eq!(tx.try_send(Value::Int(1)), Ok(()));
+        assert_eq!(tx.try_send(Value::Int(2)), Err(TrySendError::Full));
+        assert_eq!(rx.recv(), Ok(Value::Int(1)));
+        assert_eq!(tx.try_send(Value::Int(3)), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(Value::Int(4)), Err(TrySendError::Closed));
     }
 
     #[test]

@@ -1,123 +1,280 @@
-//! The per-component worker loop.
+//! The per-component step driver.
 //!
-//! One worker owns one [`StepMachine`] and runs it to completion on its own
-//! OS thread: it repeatedly attempts a step, services blocking reads by
-//! receiving from the bounded upstream channels, and publishes every newly
-//! produced output token into the bounded downstream channels (blocking
-//! when a buffer is full — the backpressure that makes the unbounded-FIFO
-//! model of the paper executable in finite memory).
+//! A [`Driver`] owns one [`StepMachine`] and its channel endpoints and
+//! advances it **cooperatively**: [`Driver::drive`] steps the machine up to
+//! a quantum of reactions and, instead of parking the OS thread, returns
+//! [`DriveOutcome::Pending`] when progress needs a peer — a token on an
+//! empty upstream edge, or room in a full downstream buffer.  The
+//! work-stealing pool scheduler ([`crate::sched`]) dispatches drivers from
+//! its ready set and re-queues them when the blocking edge drains.
 //!
-//! The loop is written purely against the [`transport`](crate::transport)
+//! The classic one-OS-thread-per-component execution is the degenerate
+//! client of the same driver: [`run_dedicated`] drives with an unbounded
+//! quantum and serves each `Pending` with the endpoint's *blocking*
+//! `recv`/`send` — exactly the backpressure loop of earlier releases.
+//!
+//! The driver is written purely against the [`transport`](crate::transport)
 //! endpoint API: which medium carries the tokens (mpsc channel, lock-free
 //! SPSC ring, something remote) is the deployment policy's business, not
-//! the worker's.
+//! the driver's.
 
 use std::collections::BTreeMap;
 
-use signal_lang::{Name, Value};
+use signal_lang::Name;
 use sim::Flows;
 
 use crate::machine::{StepFault, StepMachine};
 use crate::stats::{ComponentStats, StopReason};
-use crate::transport::{TokenRx, TokenTx, TryRecvError};
+use crate::transport::{TokenRx, TokenTx, TryRecvError, TrySendError};
 
-/// A worker ready to run on its own thread.
-pub(crate) struct Worker {
-    pub(crate) machine: Box<dyn StepMachine>,
-    /// Upstream receiving endpoints, one per channel-fed input signal.
-    pub(crate) sources: BTreeMap<Name, Box<dyn TokenRx>>,
-    /// Downstream sending endpoints: one per consumer of each output.
-    pub(crate) sinks: BTreeMap<Name, Vec<Box<dyn TokenTx>>>,
-    /// Per-component step budget.
-    pub(crate) max_steps: u64,
+/// The edge a cooperative driver is blocked on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// The machine needs a token on this channel-fed input and the buffer
+    /// is empty: runnable again once the upstream producer delivers.
+    Upstream(Name),
+    /// A produced token on this output could not be published because a
+    /// consumer's buffer is full: runnable again once that consumer drains.
+    Downstream(Name),
 }
 
-/// What a finished worker reports back.
+/// What one [`Driver::drive`] dispatch concluded.
+#[derive(Debug)]
+pub(crate) enum DriveOutcome {
+    /// The quantum was exhausted with the machine still runnable.
+    Yielded,
+    /// The machine is blocked on a channel edge; re-drive once it moves.
+    Pending(Pending),
+    /// The machine will never react again.
+    Done(StopReason),
+}
+
+/// A resumable step driver: one machine, its endpoints, its counters.
+pub(crate) struct Driver {
+    machine: Box<dyn StepMachine>,
+    /// Upstream receiving endpoints, one per channel-fed input signal.
+    sources: BTreeMap<Name, Box<dyn TokenRx>>,
+    /// Downstream sending endpoints: one per consumer of each output
+    /// (`None` once that consumer terminated and its channel closed).
+    sinks: BTreeMap<Name, Vec<Option<Box<dyn TokenTx>>>>,
+    /// Per-output publication cursors into `machine.produced(..)`.
+    cursors: BTreeMap<Name, usize>,
+    /// Mid-value publication state: the sink index to resume a partially
+    /// broadcast token at (the value is `produced[cursor]` of the signal).
+    resume_sink: BTreeMap<Name, usize>,
+    /// The upstream edge of the wait episode currently charged to
+    /// `blocked_reads`, so a pool re-dispatch that finds the same edge
+    /// still empty (a spurious wake) does not count the one wait twice.
+    waiting_on: Option<Name>,
+    max_steps: u64,
+    reactions: u64,
+    blocked_reads: u64,
+    tokens_sent: u64,
+    tokens_received: u64,
+}
+
+/// What a finished driver reports back.
 pub(crate) struct WorkerReport {
     pub(crate) stats: ComponentStats,
     pub(crate) flows: Flows,
 }
 
-impl Worker {
-    /// Runs the machine until an environment stream is exhausted, an
-    /// upstream channel closes during a blocking read, the step budget is
-    /// spent, or the machine faults.
-    pub(crate) fn run(mut self) -> WorkerReport {
-        let name = self.machine.machine_name().to_string();
-        let outputs = self.machine.output_signals();
-        let mut cursors: BTreeMap<Name, usize> = outputs.iter().map(|o| (o.clone(), 0)).collect();
-        let mut reactions = 0u64;
-        let mut blocked_reads = 0u64;
-        let mut tokens_sent = 0u64;
-        let mut tokens_received = 0u64;
+impl Driver {
+    pub(crate) fn new(
+        machine: Box<dyn StepMachine>,
+        sources: BTreeMap<Name, Box<dyn TokenRx>>,
+        sinks: BTreeMap<Name, Vec<Box<dyn TokenTx>>>,
+        max_steps: u64,
+    ) -> Self {
+        let cursors = machine
+            .output_signals()
+            .iter()
+            .map(|o| (o.clone(), 0))
+            .collect();
+        let sinks = sinks
+            .into_iter()
+            .map(|(signal, txs)| (signal, txs.into_iter().map(Some).collect()))
+            .collect();
+        Driver {
+            machine,
+            sources,
+            sinks,
+            cursors,
+            resume_sink: BTreeMap::new(),
+            waiting_on: None,
+            max_steps,
+            reactions: 0,
+            blocked_reads: 0,
+            tokens_sent: 0,
+            tokens_received: 0,
+        }
+    }
 
-        let stop = loop {
-            if reactions >= self.max_steps {
-                break StopReason::StepLimit;
+    /// How many tokens this driver has moved over its channels so far —
+    /// the scheduler compares snapshots around a dispatch to decide whether
+    /// blocked neighbors may have become runnable.
+    pub(crate) fn tokens_moved(&self) -> u64 {
+        self.tokens_sent + self.tokens_received
+    }
+
+    /// Publishes every not-yet-published produced token.  Non-blocking by
+    /// default: returns the output signal whose broadcast stalled on a
+    /// full buffer (`None` when fully flushed), remembering the stalled
+    /// position so the next call resumes exactly where this one stopped
+    /// and no consumer ever sees a token twice.  With `blocking` (the
+    /// dedicated-thread mode, where waiting on a full buffer *is* the
+    /// backpressure mechanism), a full buffer is waited out instead and
+    /// the flush always completes.
+    fn flush(&mut self, blocking: bool) -> Option<Name> {
+        for (signal, senders) in self.sinks.iter_mut() {
+            let produced = self.machine.produced(signal.as_str());
+            let cursor = self.cursors.get_mut(signal).expect("output cursor");
+            let mut next_sink = self.resume_sink.remove(signal).unwrap_or(0);
+            while *cursor < produced.len() {
+                let value = produced[*cursor];
+                for (idx, slot) in senders.iter_mut().enumerate().skip(next_sink) {
+                    let Some(tx) = slot else { continue };
+                    let sent = if blocking {
+                        tx.send(value).map_err(|_closed| TrySendError::Closed)
+                    } else {
+                        tx.try_send(value)
+                    };
+                    match sent {
+                        Ok(()) => self.tokens_sent += 1,
+                        Err(TrySendError::Closed) => *slot = None,
+                        Err(TrySendError::Full) => {
+                            self.resume_sink.insert(signal.clone(), idx);
+                            return Some(signal.clone());
+                        }
+                    }
+                }
+                next_sink = 0;
+                *cursor += 1;
+            }
+        }
+        None
+    }
+
+    /// Advances the machine by up to `quantum` reactions without ever
+    /// blocking the OS thread: a full or empty channel edge surfaces as
+    /// [`DriveOutcome::Pending`] instead of a parked wait.  Outstanding
+    /// unpublished tokens are flushed before new reactions are attempted,
+    /// so a resumed driver first completes the broadcast it stalled in.
+    pub(crate) fn drive(&mut self, quantum: u64) -> DriveOutcome {
+        if let Some(signal) = self.flush(false) {
+            return DriveOutcome::Pending(Pending::Downstream(signal));
+        }
+        let mut steps = 0u64;
+        loop {
+            if self.reactions >= self.max_steps {
+                return DriveOutcome::Done(StopReason::StepLimit);
+            }
+            if steps >= quantum {
+                return DriveOutcome::Yielded;
             }
             match self.machine.try_step() {
                 Ok(()) => {
-                    reactions += 1;
-                    // Publish the tokens produced by this step.  A send
-                    // blocks while the consumer's buffer is full; a send to
-                    // a consumer that already terminated fails and removes
-                    // that consumer, the remaining flow still being
-                    // produced (the unbounded reference keeps producing
-                    // too, so the flows stay comparable).
-                    for (signal, senders) in self.sinks.iter_mut() {
-                        let produced = self.machine.produced(signal.as_str());
-                        let cursor = cursors.get_mut(signal).expect("output cursor");
-                        for &value in &produced[*cursor..] {
-                            senders.retain(|tx| tx.send(value).is_ok());
-                            tokens_sent += senders.len() as u64;
-                        }
-                        *cursor = produced.len();
+                    self.reactions += 1;
+                    steps += 1;
+                    if let Some(signal) = self.flush(false) {
+                        return DriveOutcome::Pending(Pending::Downstream(signal));
                     }
                 }
                 Err(StepFault::NeedInput(signal)) => {
-                    if let Some(rx) = self.sources.get(&signal) {
-                        // Read from the upstream channel; the machine state
-                        // is unchanged, so the retried step re-solves the
-                        // same instant with the token available.  Only a
-                        // read that finds the buffer empty and has to wait
-                        // counts as blocked.
-                        let received: Result<Value, ()> = match rx.try_recv() {
-                            Ok(value) => Ok(value),
-                            Err(TryRecvError::Closed) => break StopReason::UpstreamClosed(signal),
-                            Err(TryRecvError::Empty) => {
-                                blocked_reads += 1;
-                                rx.recv().map_err(|_| ())
-                            }
-                        };
-                        match received {
-                            Ok(value) => {
-                                self.machine.feed_value(signal.as_str(), value);
-                                tokens_received += 1;
-                            }
-                            Err(()) => break StopReason::UpstreamClosed(signal),
+                    let Some(rx) = self.sources.get(&signal) else {
+                        return DriveOutcome::Done(StopReason::EnvironmentExhausted(signal));
+                    };
+                    // The machine state is unchanged on `NeedInput`, so the
+                    // retried step re-solves the same instant with the
+                    // token available.  Only a read that finds the buffer
+                    // empty counts as blocked.
+                    match rx.try_recv() {
+                        Ok(value) => {
+                            self.machine.feed_value(signal.as_str(), value);
+                            self.tokens_received += 1;
+                            self.waiting_on = None;
                         }
-                    } else {
-                        break StopReason::EnvironmentExhausted(signal);
+                        Err(TryRecvError::Closed) => {
+                            return DriveOutcome::Done(StopReason::UpstreamClosed(signal));
+                        }
+                        Err(TryRecvError::Empty) => {
+                            // One wait episode counts once, however many
+                            // spurious re-dispatches find the edge still
+                            // empty before a token actually arrives.
+                            if self.waiting_on.as_ref() != Some(&signal) {
+                                self.blocked_reads += 1;
+                                self.waiting_on = Some(signal.clone());
+                            }
+                            return DriveOutcome::Pending(Pending::Upstream(signal));
+                        }
                     }
                 }
-                Err(StepFault::Fault(message)) => break StopReason::Fault(message),
+                Err(StepFault::Fault(message)) => {
+                    return DriveOutcome::Done(StopReason::Fault(message));
+                }
             }
-        };
+        }
+    }
 
-        let flows: Flows = outputs
+    /// Serves an [`Pending::Upstream`] blockage with the endpoint's
+    /// *blocking* receive (dedicated-thread mode).  Returns the stop reason
+    /// when the wait observed the channel close instead of a token.
+    fn recv_blocking(&mut self, signal: &Name) -> Option<StopReason> {
+        let rx = self.sources.get(signal).expect("pending upstream edge");
+        match rx.recv() {
+            Ok(value) => {
+                self.machine.feed_value(signal.as_str(), value);
+                self.tokens_received += 1;
+                self.waiting_on = None;
+                None
+            }
+            Err(_closed) => Some(StopReason::UpstreamClosed(signal.clone())),
+        }
+    }
+
+    /// Finalizes the driver: snapshots the produced flows and counters and
+    /// drops the endpoints, which closes every adjacent channel (blocked
+    /// peers observe the close instead of hanging).
+    pub(crate) fn finish(self, stop: StopReason) -> WorkerReport {
+        let name = self.machine.machine_name().to_string();
+        let flows: Flows = self
+            .machine
+            .output_signals()
             .iter()
             .map(|o| (o.clone(), self.machine.produced(o.as_str()).to_vec()))
             .collect();
         WorkerReport {
             stats: ComponentStats {
                 name,
-                reactions,
-                blocked_reads,
-                tokens_sent,
-                tokens_received,
+                reactions: self.reactions,
+                blocked_reads: self.blocked_reads,
+                tokens_sent: self.tokens_sent,
+                tokens_received: self.tokens_received,
                 stop,
             },
             flows,
         }
     }
+}
+
+/// Runs one driver to completion on the current (dedicated) OS thread:
+/// the thread-per-component execution mode, where channel waits park the
+/// thread itself — blocking-read/blocking-write backpressure.
+pub(crate) fn run_dedicated(mut driver: Driver) -> WorkerReport {
+    let stop = loop {
+        match driver.drive(u64::MAX) {
+            DriveOutcome::Yielded => unreachable!("an unbounded quantum never yields"),
+            DriveOutcome::Done(stop) => break stop,
+            DriveOutcome::Pending(Pending::Upstream(signal)) => {
+                if let Some(stop) = driver.recv_blocking(&signal) {
+                    break stop;
+                }
+            }
+            DriveOutcome::Pending(Pending::Downstream(_)) => {
+                let stalled = driver.flush(true);
+                debug_assert!(stalled.is_none(), "a blocking flush always completes");
+            }
+        }
+    };
+    driver.finish(stop)
 }

@@ -8,11 +8,18 @@
 //! sizes each channel individually — the resolved per-edge capacity and
 //! backend are reported by `topology()`.
 //!
+//! The thread mapping is selectable too: the default
+//! `ExecutionMode::ThreadPerComponent` dedicates one OS thread per stage,
+//! while `ExecutionMode::Pool { workers, quantum }` multiplexes every
+//! stage onto a fixed work-stealing pool — each dispatch steps a ready
+//! stage up to `quantum` reactions, so a deployment of hundreds of
+//! components still runs on a handful of threads.
+//!
 //! ```text
 //! cargo run --example deploy
 //! ```
 
-use polychrony::gals_rt::Backend;
+use polychrony::gals_rt::{Backend, ExecutionMode};
 use polychrony::isochron::library;
 use polychrony::moc::Value;
 
@@ -67,5 +74,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mpsc_outcome.stats().backend,
         outcome.stats().backend
     );
+
+    // ... and scheduler-agnostic: the same four stages multiplexed onto a
+    // 2-worker work-stealing pool (each dispatch batches up to 8 reactions)
+    // observe the same flows again — on 2 OS threads instead of 4.  The
+    // stats record the mode and the per-worker dispatch/steal counters.
+    let mut pooled = design.deploy()?;
+    pooled.set_execution_mode(ExecutionMode::Pool {
+        workers: 2,
+        quantum: 8,
+    })?;
+    pooled.feed("p0", stream.iter().copied());
+    let pooled_outcome = pooled.run()?;
+    assert_eq!(pooled_outcome.flow("p4"), outcome.flow("p4"));
+    println!("== Pool scheduler ==");
+    println!("{}", pooled_outcome.stats());
+    assert!(pooled_outcome.check_conformance()?.is_isochronous());
     Ok(())
 }

@@ -9,7 +9,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a bounded channel.
     #[derive(Debug)]
@@ -30,6 +30,12 @@ pub mod channel {
         /// are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: errors with `TrySendError::Full` instead of
+        /// waiting when the buffer has no free slot.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 

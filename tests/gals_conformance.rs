@@ -3,48 +3,72 @@
 //! bounded channels, and the observed flows must equal the synchronous
 //! reference replay — Theorem 1 as an executable test (the conformance
 //! checker of `gals_rt`).
+//!
+//! Every scenario runs over **both** channel backends and under **both**
+//! execution modes — dedicated threads and a 2-worker work-stealing pool
+//! (fewer workers than components for every multi-component design), so
+//! the cooperative scheduler must observe the same synchronous flows as
+//! the blocking one.
 
-use polychrony::gals_rt::{Backend, DeployError, Deployment, DeploymentOutcome, StopReason};
+use polychrony::gals_rt::{
+    Backend, CapacityRange, DeployError, Deployment, DeploymentOutcome, ExecutionMode, StopReason,
+};
 use polychrony::isochron::{design::chain_of_pairs, library, Design};
 use polychrony::moc::Value;
 
+/// The execution modes every scenario is replayed under: the classic
+/// dedicated-thread mode and a deliberately undersized pool (2 workers,
+/// small quantum) that forces component multiplexing and stealing.
+const MODES: [ExecutionMode; 2] = [
+    ExecutionMode::ThreadPerComponent,
+    ExecutionMode::Pool {
+        workers: 2,
+        quantum: 4,
+    },
+];
+
 /// Deploys the design with every feed applied, at the given channel
-/// capacity and over **both** built-in channel backends, asserts the
-/// conformance verdict for each, and returns the ring-backed outcome —
-/// isochrony (Theorem 1) is transport-agnostic, so every backend must
-/// observe the synchronous flows.
+/// capacity, over **both** built-in channel backends and under **both**
+/// execution modes; asserts the conformance verdict for each of the four
+/// runs, and returns the last (pool × ring) outcome — Theorem 1's
+/// isochrony is transport- and scheduler-agnostic, so every combination
+/// must observe the synchronous flows.
 fn assert_conformant(
     design: &Design,
     feeds: &[(&str, Vec<Value>)],
     capacity: usize,
 ) -> DeploymentOutcome {
     let mut outcomes = Vec::new();
-    for backend in [Backend::Mpsc, Backend::SpscRing] {
-        let mut deployment: Deployment = design.deploy().expect("the design is verified");
-        deployment.set_backend(backend);
-        deployment.set_capacity(capacity).expect("nonzero");
-        for (signal, values) in feeds {
-            deployment.feed(*signal, values.iter().copied());
+    for mode in MODES {
+        for backend in [Backend::Mpsc, Backend::SpscRing] {
+            let mut deployment: Deployment = design.deploy().expect("the design is verified");
+            deployment.set_execution_mode(mode).expect("valid mode");
+            deployment.set_backend(backend);
+            deployment.set_capacity(capacity).expect("nonzero");
+            for (signal, values) in feeds {
+                deployment.feed(*signal, values.iter().copied());
+            }
+            let outcome = deployment.run().expect("the deployment runs");
+            let report = outcome.check_conformance().expect("reference registered");
+            assert!(
+                report.is_isochronous(),
+                "{} ({mode}, backend {backend}, capacity {capacity}): {report}\nstats:\n{}",
+                design.name(),
+                outcome.stats()
+            );
+            outcomes.push(outcome);
         }
-        let outcome = deployment.run().expect("the deployment runs");
-        let report = outcome.check_conformance().expect("reference registered");
-        assert!(
-            report.is_isochronous(),
-            "{} (backend {backend}, capacity {capacity}): {report}\nstats:\n{}",
-            design.name(),
-            outcome.stats()
-        );
-        outcomes.push(outcome);
     }
-    let mpsc = outcomes.remove(0);
-    let ring = outcomes.remove(0);
-    assert_eq!(
-        mpsc.flows(),
-        ring.flows(),
-        "{} (capacity {capacity}): the backends observed different flows",
-        design.name()
-    );
-    ring
+    let reference = outcomes[0].flows().clone();
+    for outcome in &outcomes[1..] {
+        assert_eq!(
+            outcome.flows(),
+            &reference,
+            "{} (capacity {capacity}): a mode/backend combination observed different flows",
+            design.name()
+        );
+    }
+    outcomes.pop().expect("four outcomes")
 }
 
 fn bools(values: &[bool]) -> Vec<Value> {
@@ -134,7 +158,10 @@ fn a_single_component_design_deploys_trivially() {
 #[test]
 fn a_buffer_pipeline_conforms_and_preserves_the_stream() {
     let stream = [true, false, true, true, false, false, true, false];
-    for n in [2usize, 4] {
+    // n = 8 puts four times as many components as pool workers on the
+    // scheduler: the 2-worker pool must still observe the synchronous
+    // flows.
+    for n in [2usize, 4, 8] {
         let design = library::buffer_pipeline_design(n).expect("builds");
         assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
         let feeds = [("p0", bools(&stream))];
@@ -192,7 +219,33 @@ fn zero_channel_capacities_are_rejected_with_a_typed_error() {
     deployment.feed("a", [true, false, true]);
     deployment.feed("b", [false, true, false]);
     let outcome = deployment.run().expect("still runs");
-    assert_eq!(outcome.stats().capacity, 1);
+    assert_eq!(outcome.stats().capacity, CapacityRange::exactly(1));
+    let report = outcome.check_conformance().expect("reference registered");
+    assert!(report.is_isochronous(), "{report}");
+}
+
+#[test]
+fn the_pool_records_its_scheduling_counters() {
+    // 8 verified components on 2 pool workers: the run must complete on
+    // exactly 2 OS threads, report the pool mode, and account one
+    // dispatch per component at minimum — while still conforming.
+    let design = library::buffer_pipeline_design(8).expect("builds");
+    let mut deployment = design.deploy().expect("verified");
+    let mode = ExecutionMode::Pool {
+        workers: 2,
+        quantum: 4,
+    };
+    deployment.set_execution_mode(mode).expect("valid mode");
+    deployment.feed("p0", (0..16).map(|i| Value::Bool(i % 2 == 0)));
+    let outcome = deployment.run().expect("runs");
+    let stats = outcome.stats();
+    assert_eq!(stats.mode, mode);
+    assert_eq!(stats.components.len(), 8);
+    assert_eq!(stats.pool_workers.len(), 2);
+    assert!(
+        stats.total_dispatches() >= 8,
+        "every component was dispatched at least once:\n{stats}"
+    );
     let report = outcome.check_conformance().expect("reference registered");
     assert!(report.is_isochronous(), "{report}");
 }
@@ -209,7 +262,7 @@ fn backpressure_is_observable_at_capacity_one() {
     deployment.feed("b", [true, true, true, true, true, true]);
     let outcome = deployment.run().unwrap();
     let stats = outcome.stats();
-    assert_eq!(stats.capacity, 1);
+    assert_eq!(stats.capacity, CapacityRange::exactly(1));
     assert_eq!(stats.components[1].tokens_received, 6);
     assert_eq!(
         stats.components[0].stop,
