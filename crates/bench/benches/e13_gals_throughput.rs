@@ -15,6 +15,14 @@
 //!    oversubscription; the pool completes the same run on
 //!    `available_parallelism` workers, stepping each ready component a
 //!    quantum of reactions per dispatch.
+//!
+//! 3. **Derived vs hand-tuned capacities** (verified designs): the same
+//!    buffer pipeline with its channel capacities derived from the clock
+//!    calculus (`ChannelSizing::Derived` — the paper's one-place bound on
+//!    every edge) against hand-tuned capacities 1 and 16.  Derived sizing
+//!    must match capacity 1 (it *is* 1 on these edges, now proven instead
+//!    of guessed); capacity 16 shows what the extra slack buys — memory
+//!    traded against blocking hand-offs, no conformance difference.
 
 use bench::boolean_flow;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -231,11 +239,64 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_derived_sizing(c: &mut Criterion) {
+    let stream: Vec<Value> = boolean_flow(STREAM_LEN, 0xD1F)
+        .into_iter()
+        .map(Value::Bool)
+        .collect();
+    let mut group = c.benchmark_group("e13_derived_vs_tuned");
+    group.sample_size(10);
+    for components in [2usize, 4, 8] {
+        let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
+        // Derive once, outside the measurement: the BDD work is a
+        // per-design compile-time cost, not a per-run one.
+        let analysis = design.capacity_analysis().expect("verified design");
+        assert!(analysis.is_fully_bounded(), "{analysis}");
+        type Sizing = Box<dyn Fn(&mut gals_rt::Deployment)>;
+        let sizings: [(&str, Sizing); 3] = [
+            ("derived", {
+                let analysis = analysis.clone();
+                Box::new(move |d: &mut gals_rt::Deployment| {
+                    d.set_capacity_analysis(&analysis);
+                })
+            }),
+            (
+                "tuned1",
+                Box::new(|d: &mut gals_rt::Deployment| {
+                    d.set_capacity(1).expect("nonzero");
+                }),
+            ),
+            (
+                "tuned16",
+                Box::new(|d: &mut gals_rt::Deployment| {
+                    d.set_capacity(16).expect("nonzero");
+                }),
+            ),
+        ];
+        for (label, sizing) in &sizings {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{components}"), label),
+                label,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        let mut deployment = design.deploy().expect("the pipeline is verified");
+                        sizing(&mut deployment);
+                        deployment.feed("p0", stream.iter().copied());
+                        let outcome = deployment.run().expect("the deployment runs");
+                        outcome.stats().total_reactions()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_backends, bench_schedulers
+    targets = bench_backends, bench_schedulers, bench_derived_sizing
 }
 criterion_main!(benches);

@@ -165,6 +165,12 @@ impl ClockAlgebra {
         self.presence.keys()
     }
 
+    /// Returns `true` when the signal belongs to the process the algebra
+    /// was built from (encoding a clock of an unknown signal panics).
+    pub fn has_signal(&self, name: &str) -> bool {
+        self.presence.contains_key(name)
+    }
+
     /// Encodes an atomic clock.
     pub fn encode_clock(&mut self, clock: &Clock) -> NodeRef {
         match clock {

@@ -12,8 +12,10 @@
 //! * disjunctive forms of Section 3.4 ([`disjunctive`]),
 //! * the reinforced scheduling graph and the acyclicity check of
 //!   Definition 8 ([`schedule`]),
-//! * and the aggregated verdicts — well-clocked, compilable, hierarchic,
-//!   endochronous — of Section 4 ([`analysis`]).
+//! * the aggregated verdicts — well-clocked, compilable, hierarchic,
+//!   endochronous — of Section 4 ([`analysis`]),
+//! * and the rate relations deriving FIFO bounds between clock domains
+//!   from the same algebra ([`rate`]).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod disjunctive;
 pub mod dot;
 pub mod hierarchy;
 pub mod inference;
+pub mod rate;
 pub mod relation;
 pub mod schedule;
 
@@ -47,5 +50,6 @@ pub use analysis::ClockAnalysis;
 pub use clock::{Clock, ClockExpr};
 pub use disjunctive::DisjunctiveForm;
 pub use hierarchy::{ClassId, ClockHierarchy};
+pub use rate::RateRelation;
 pub use relation::{SchedEdge, SchedNode, TimingRelations};
 pub use schedule::{Acyclicity, SchedulingGraph};

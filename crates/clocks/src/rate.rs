@@ -1,0 +1,333 @@
+//! Rate relations between clocks: the buffer-sizing side of the calculus.
+//!
+//! The paper's deployment story (Section 5) replaces the synchronous
+//! broadcast between components by FIFO channels.  The same relation `R`
+//! that proves the composition isochronous also says how far a producer
+//! can run ahead of a consumer: if every instant where the producer emits
+//! is an instant where the consumer is ready to read, at most one token is
+//! ever in flight — the one-place buffer of the paper's concurrent scheme
+//! is not a heuristic, it is a theorem of `R`.
+//!
+//! [`RateRelation::between`] classifies a producer/consumer clock pair
+//! under `R`:
+//!
+//! * [`RateRelation::Synchronous`] — the clocks are equal: production and
+//!   consumption opportunities coincide, bound **1**;
+//! * [`RateRelation::Subsampled`] — the producer's clock is included in
+//!   the consumer's: the producer emits (at most) whenever the consumer
+//!   can read, bound **1**;
+//! * [`RateRelation::Alternating`] — the consumer reads at a sampling
+//!   `[t]`/`[not t]` of an *alternating* register state `t` (`t = not
+//!   (t $ init v)`) and the producer emits within `^t`: the two phases
+//!   strictly interleave, so at most one token accumulates per phase plus
+//!   the one priming the register — bound **2** (the bound that lets a
+//!   register-broken feedback loop absorb its initializing token);
+//! * [`RateRelation::Unbounded`] — `R` proves none of the above: the
+//!   producer can emit arbitrarily many tokens between consumer
+//!   presences, and no finite capacity can be derived.
+//!
+//! The classification is *conservative*: `Unbounded` never means "will
+//! overflow", only "the calculus cannot bound it".
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use signal_lang::{Atom, KernelEq, KernelProcess, Name, PrimOp};
+
+use crate::algebra::ClockAlgebra;
+use crate::clock::{Clock, ClockExpr};
+
+/// How a producer clock relates to a consumer clock under the relation `R`
+/// of a process — and hence how many tokens can sit in a FIFO from one to
+/// the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RateRelation {
+    /// The clocks are equal under `R`: every emission instant is a read
+    /// instant.  At most one token is in flight.
+    Synchronous,
+    /// The producer's clock is (strictly) included in the consumer's:
+    /// emissions are a subset of read opportunities.  At most one token is
+    /// in flight.
+    Subsampled,
+    /// Producer and consumer live inside the tick of an alternating
+    /// register state (`t = not (t $ init v)`) whose value samplings
+    /// strictly interleave; the consumer reads at one of the samplings.
+    /// At most one token per phase plus the register's priming token: two.
+    Alternating {
+        /// The alternating boolean state whose samplings pace the edge.
+        state: Name,
+    },
+    /// `R` entails no finite relation between the clocks: the producer can
+    /// run arbitrarily far ahead of the consumer.
+    Unbounded,
+}
+
+impl RateRelation {
+    /// The FIFO occupancy bound implied by the relation: the maximum
+    /// number of tokens the producer can have emitted and the consumer not
+    /// yet consumed, or `None` when no finite bound is derivable.
+    pub fn bound(&self) -> Option<usize> {
+        match self {
+            RateRelation::Synchronous | RateRelation::Subsampled => Some(1),
+            RateRelation::Alternating { .. } => Some(2),
+            RateRelation::Unbounded => None,
+        }
+    }
+
+    /// Classifies a producer/consumer clock pair under the relation held
+    /// by `algebra`, using equality and inclusion only (no access to the
+    /// process syntax, so the alternating-register refinement is not
+    /// applied — see [`RateRelation::between_in`]).
+    ///
+    /// Clock expressions mentioning signals unknown to the algebra are
+    /// conservatively [`RateRelation::Unbounded`].
+    pub fn between(
+        algebra: &mut ClockAlgebra,
+        producer: &ClockExpr,
+        consumer: &ClockExpr,
+    ) -> RateRelation {
+        if !knows_atoms(algebra, producer) || !knows_atoms(algebra, consumer) {
+            return RateRelation::Unbounded;
+        }
+        RateRelation::classify(algebra, producer, consumer)
+    }
+
+    /// Equality/inclusion classification of clocks already known to the
+    /// algebra (encoding an unknown signal panics, so callers guard with
+    /// [`knows_atoms`] first).
+    fn classify(
+        algebra: &mut ClockAlgebra,
+        producer: &ClockExpr,
+        consumer: &ClockExpr,
+    ) -> RateRelation {
+        if algebra.clocks_equal(producer, consumer) {
+            return RateRelation::Synchronous;
+        }
+        if algebra.clock_included(producer, consumer) {
+            return RateRelation::Subsampled;
+        }
+        RateRelation::Unbounded
+    }
+
+    /// Classifies a producer/consumer clock pair under the relation held
+    /// by `algebra`, refining [`RateRelation::between`] with the
+    /// alternating-register states of `kernel`: a consumer reading at
+    /// `[t]` or `[not t]` of an alternating `t`, with the producer inside
+    /// `^t`, is [`RateRelation::Alternating`] (bound 2) instead of
+    /// unbounded.
+    pub fn between_in(
+        kernel: &KernelProcess,
+        algebra: &mut ClockAlgebra,
+        producer: &ClockExpr,
+        consumer: &ClockExpr,
+    ) -> RateRelation {
+        if !knows_atoms(algebra, producer) || !knows_atoms(algebra, consumer) {
+            return RateRelation::Unbounded;
+        }
+        let relation = RateRelation::classify(algebra, producer, consumer);
+        if relation != RateRelation::Unbounded {
+            return relation;
+        }
+        for state in alternating_states(kernel) {
+            if !algebra.has_signal(state.as_str()) {
+                continue;
+            }
+            let tick = ClockExpr::Atom(Clock::Tick(state.clone()));
+            let phases = [
+                ClockExpr::Atom(Clock::True(state.clone())),
+                ClockExpr::Atom(Clock::False(state.clone())),
+            ];
+            let consumer_is_phase = phases
+                .iter()
+                .any(|phase| algebra.clocks_equal(consumer, phase));
+            if consumer_is_phase && algebra.clock_included(producer, &tick) {
+                return RateRelation::Alternating { state };
+            }
+        }
+        RateRelation::Unbounded
+    }
+}
+
+impl fmt::Display for RateRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateRelation::Synchronous => write!(f, "synchronous"),
+            RateRelation::Subsampled => write!(f, "subsampled"),
+            RateRelation::Alternating { state } => write!(f, "alternating on {state}"),
+            RateRelation::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// The alternating register states of a process: boolean signals `t` with
+/// `s = t $ init v` and `t = not s` — their true and false samplings
+/// strictly interleave instant by instant (the pacemaker of the paper's
+/// one-place buffer).
+pub fn alternating_states(kernel: &KernelProcess) -> BTreeSet<Name> {
+    let mut negations: BTreeSet<(&Name, &Name)> = BTreeSet::new();
+    for eq in kernel.equations() {
+        if let KernelEq::Func { out, op, args } = eq {
+            if *op == PrimOp::Not {
+                if let [Atom::Var(arg)] = args.as_slice() {
+                    negations.insert((out, arg));
+                }
+            }
+        }
+    }
+    kernel
+        .registers()
+        .into_iter()
+        .filter(|(out, arg, _)| negations.contains(&(arg, out)))
+        .map(|(_, arg, _)| arg)
+        .collect()
+}
+
+/// Returns `true` when every atomic clock of the expression names a signal
+/// the algebra knows (encoding an unknown signal would panic).
+fn knows_atoms(algebra: &ClockAlgebra, expr: &ClockExpr) -> bool {
+    let mut atoms = Vec::new();
+    expr.atoms(&mut atoms);
+    atoms
+        .iter()
+        .all(|clock| algebra.has_signal(clock.signal().as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference;
+    use signal_lang::stdlib;
+
+    fn algebra_of(def: &signal_lang::ProcessDef) -> (KernelProcess, ClockAlgebra) {
+        let kernel = def.normalize().unwrap();
+        let relations = inference::infer(&kernel);
+        let algebra = ClockAlgebra::new(&kernel, &relations);
+        (kernel, algebra)
+    }
+
+    #[test]
+    fn bounds_match_the_relation() {
+        assert_eq!(RateRelation::Synchronous.bound(), Some(1));
+        assert_eq!(RateRelation::Subsampled.bound(), Some(1));
+        assert_eq!(
+            RateRelation::Alternating {
+                state: Name::from("t")
+            }
+            .bound(),
+            Some(2)
+        );
+        assert_eq!(RateRelation::Unbounded.bound(), None);
+    }
+
+    #[test]
+    fn the_buffer_state_is_detected_as_alternating() {
+        let kernel = stdlib::buffer().normalize().unwrap();
+        let states = alternating_states(&kernel);
+        assert!(states.contains("t"), "states: {states:?}");
+        // The producer has registers but none alternate.
+        let kernel = stdlib::producer().normalize().unwrap();
+        assert!(alternating_states(&kernel).is_empty());
+    }
+
+    #[test]
+    fn equal_clocks_are_synchronous() {
+        let (_, mut algebra) = algebra_of(&stdlib::producer_consumer());
+        // The composition relates the producer's emission clock [not a] to
+        // the consumer's read clock [b] through the shared signal x.
+        assert_eq!(
+            RateRelation::between(
+                &mut algebra,
+                &ClockExpr::on_false("a"),
+                &ClockExpr::on_true("b"),
+            ),
+            RateRelation::Synchronous
+        );
+    }
+
+    #[test]
+    fn included_clocks_are_subsampled() {
+        let (_, mut algebra) = algebra_of(&stdlib::filter());
+        assert_eq!(
+            RateRelation::between(&mut algebra, &ClockExpr::tick("x"), &ClockExpr::tick("y")),
+            RateRelation::Subsampled
+        );
+        // The other direction is not derivable without more structure.
+        assert_eq!(
+            RateRelation::between(&mut algebra, &ClockExpr::tick("y"), &ClockExpr::tick("x")),
+            RateRelation::Unbounded
+        );
+    }
+
+    #[test]
+    fn alternating_samplings_get_the_two_place_bound() {
+        let (kernel, mut algebra) = algebra_of(&stdlib::buffer());
+        // ^r = ^t is the master; the output x is read at [t], the input y
+        // arrives at [not t]: both phases of the alternating state.
+        for consumer in [ClockExpr::tick("x"), ClockExpr::tick("y")] {
+            let relation =
+                RateRelation::between_in(&kernel, &mut algebra, &ClockExpr::tick("r"), &consumer);
+            assert_eq!(
+                relation,
+                RateRelation::Alternating {
+                    state: Name::from("t")
+                },
+                "consumer {consumer}"
+            );
+            assert_eq!(relation.bound(), Some(2));
+        }
+        // Phase against phase is still derivable through the master.
+        assert_eq!(
+            RateRelation::between_in(
+                &kernel,
+                &mut algebra,
+                &ClockExpr::tick("y"),
+                &ClockExpr::tick("x"),
+            ),
+            RateRelation::Alternating {
+                state: Name::from("t")
+            }
+        );
+    }
+
+    #[test]
+    fn unrelated_clocks_are_unbounded() {
+        let (kernel, mut algebra) = algebra_of(&stdlib::producer_consumer());
+        // ^a and ^b are the two free environment paces: no relation.
+        assert_eq!(
+            RateRelation::between_in(
+                &kernel,
+                &mut algebra,
+                &ClockExpr::tick("a"),
+                &ClockExpr::tick("b"),
+            ),
+            RateRelation::Unbounded
+        );
+    }
+
+    #[test]
+    fn unknown_signals_are_conservatively_unbounded() {
+        let (kernel, mut algebra) = algebra_of(&stdlib::buffer());
+        assert_eq!(
+            RateRelation::between_in(
+                &kernel,
+                &mut algebra,
+                &ClockExpr::tick("nosuch"),
+                &ClockExpr::tick("x"),
+            ),
+            RateRelation::Unbounded
+        );
+    }
+
+    #[test]
+    fn rate_relations_render() {
+        assert_eq!(RateRelation::Synchronous.to_string(), "synchronous");
+        assert_eq!(
+            RateRelation::Alternating {
+                state: Name::from("t")
+            }
+            .to_string(),
+            "alternating on t"
+        );
+        assert_eq!(RateRelation::Unbounded.to_string(), "unbounded");
+    }
+}

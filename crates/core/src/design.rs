@@ -1,10 +1,11 @@
 //! The design API implementing Definition 12 and Theorem 1.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use clocks::{Clock, ClockAnalysis};
+use clocks::{Clock, ClockAlgebra, ClockAnalysis, ClockExpr};
 use codegen::{ClockCode, SequentialRuntime, StepProgram};
-use gals_rt::{Deployment, ReferenceComponent};
+use gals_rt::{CapacityAnalysis, DeployError, Deployment, EdgeClocks, ReferenceComponent};
 use signal_lang::{KernelProcess, Name, ProcessBuilder, ProcessDef, SignalError};
 
 use crate::verdict::Verdict;
@@ -19,6 +20,9 @@ pub enum DesignError {
     /// Deployment was requested on a design that fails the static
     /// weak-hierarchy criterion.
     NotVerified(String),
+    /// Assembling the deployment itself failed (e.g. the interface-derived
+    /// topology is ill-formed).
+    Deploy(DeployError),
 }
 
 impl fmt::Display for DesignError {
@@ -32,6 +36,7 @@ impl fmt::Display for DesignError {
                  only verified designs deploy (use deploy_unchecked to observe \
                  the divergence)"
             ),
+            DesignError::Deploy(e) => write!(f, "{e}"),
         }
     }
 }
@@ -41,6 +46,15 @@ impl std::error::Error for DesignError {}
 impl From<SignalError> for DesignError {
     fn from(e: SignalError) -> Self {
         DesignError::Signal(e)
+    }
+}
+
+impl From<DeployError> for DesignError {
+    fn from(e: DeployError) -> Self {
+        match e {
+            DeployError::NotVerified(name) => DesignError::NotVerified(name),
+            other => DesignError::Deploy(other),
+        }
     }
 }
 
@@ -130,6 +144,37 @@ impl Component {
             }
         }
         activation
+    }
+
+    /// The component-local clock expression of one of its signals: what
+    /// the component's own inferred relations equate with `^signal` (e.g.
+    /// `[not a]` for the producer's emission of `x`), or `^signal` itself
+    /// when no richer equality is recorded.  This is the per-side clock
+    /// the capacity derivation compares across an edge.
+    pub fn clock_expr_of(&self, signal: &Name) -> ClockExpr {
+        let tick = ClockExpr::Atom(Clock::Tick(signal.clone()));
+        let mut fallback: Option<ClockExpr> = None;
+        for (l, r) in &self.analysis.relations().equalities {
+            let other = if l == &tick {
+                r
+            } else if r == &tick {
+                l
+            } else {
+                continue;
+            };
+            if other == &tick {
+                continue;
+            }
+            // Prefer an expression over *other* signals: it says when the
+            // component emits/reads without referring to the edge itself.
+            let mut atoms = Vec::new();
+            other.atoms(&mut atoms);
+            if atoms.iter().all(|c| c.signal() != signal) {
+                return other.clone();
+            }
+            fallback.get_or_insert_with(|| other.clone());
+        }
+        fallback.unwrap_or(tick)
     }
 
     /// The synchronous reference of the component, as registered on a
@@ -336,6 +381,87 @@ impl Design {
         deployment
     }
 
+    /// The clock expressions governing every channel signal of the
+    /// design: for each signal produced by one component and consumed by
+    /// another, the producer-side and consumer-side local clock
+    /// expressions ([`Component::clock_expr_of`]) the capacity derivation
+    /// compares in the algebra of the global composition.
+    pub fn edge_clocks(&self) -> BTreeMap<Name, EdgeClocks> {
+        let mut producer_of: BTreeMap<Name, usize> = BTreeMap::new();
+        for (i, component) in self.components.iter().enumerate() {
+            for output in component.kernel().outputs() {
+                producer_of.insert(output.clone(), i);
+            }
+        }
+        let mut edges: BTreeMap<Name, EdgeClocks> = BTreeMap::new();
+        for (j, component) in self.components.iter().enumerate() {
+            for input in component.kernel().inputs() {
+                let Some(&i) = producer_of.get(input) else {
+                    continue; // environment input
+                };
+                if i == j {
+                    continue; // self-loop: resolved inside the component
+                }
+                let consumer = component.clock_expr_of(input);
+                edges
+                    .entry(input.clone())
+                    .or_insert_with(|| EdgeClocks {
+                        producer: self.components[i].clock_expr_of(input),
+                        consumers: Vec::new(),
+                    })
+                    .consumers
+                    .push(consumer);
+            }
+        }
+        edges
+    }
+
+    /// Derives a channel capacity bound for every edge of the design's
+    /// deployment topology from the clock calculus — the FIFO-sizing half
+    /// of the paper's claim that verification makes deployment safe by
+    /// construction.  Install the result with
+    /// [`Deployment::set_capacity_analysis`] or use
+    /// [`deploy_derived`](Design::deploy_derived) directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion: the relations of an unverified
+    /// design prove nothing, so no bound can be trusted from them.
+    pub fn capacity_analysis(&self) -> Result<CapacityAnalysis, DeployError> {
+        if !self.is_weakly_hierarchic() {
+            return Err(DeployError::NotVerified(self.name.clone()));
+        }
+        let topology = self.deploy_unchecked().topology()?;
+        // A fresh algebra of the global composition: entailment queries
+        // mutate BDD caches, so the shared analysis cannot serve here.
+        let relations = clocks::inference::infer(&self.composition);
+        let mut algebra = ClockAlgebra::new(&self.composition, &relations);
+        Ok(CapacityAnalysis::derive(
+            &topology,
+            &self.composition,
+            &mut algebra,
+            &self.edge_clocks(),
+        ))
+    }
+
+    /// Assembles the deployment of a verified design with **derived**
+    /// channel capacities: every edge's FIFO gets the bound the clock
+    /// calculus proves sufficient ([`capacity_analysis`](Design::capacity_analysis)),
+    /// instead of a hand-tuned default — the last hand-tuned knob of the
+    /// runtime turned into an artifact of the verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion.
+    pub fn deploy_derived(&self) -> Result<Deployment, DesignError> {
+        let mut deployment = self.deploy()?;
+        let analysis = self.capacity_analysis()?;
+        deployment.set_capacity_analysis(&analysis);
+        Ok(deployment)
+    }
+
     /// Composes this design with another component, re-checking the static
     /// criterion — the paper's `main2` extension of Section 5.2.
     pub fn extend(&self, component: ProcessDef) -> Result<Design, DesignError> {
@@ -532,6 +658,64 @@ mod tests {
         // The unchecked path still assembles a deployment for divergence
         // experiments.
         assert_eq!(design.deploy_unchecked().machine_count(), 2);
+    }
+
+    #[test]
+    fn stdlib_designs_derive_finite_bounds_for_every_edge() {
+        for design in [
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).unwrap(),
+            crate::library::buffer_pipeline_design(3).unwrap(),
+            crate::library::ltta_design().unwrap(),
+            Design::compose("chain", chain_of_pairs(2)).unwrap(),
+        ] {
+            let analysis = design.capacity_analysis().expect("verified design");
+            assert!(analysis.is_fully_bounded(), "{}: {analysis}", design.name());
+            assert!(!analysis.bounds().is_empty(), "{}", design.name());
+            for (signal, capacity) in analysis.bounds() {
+                assert!(
+                    (1..=2).contains(&capacity.bound),
+                    "{}: {signal} got bound {}",
+                    design.name(),
+                    capacity.bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_deployment_reports_provenance_and_conforms() {
+        let design =
+            Design::compose("main", [stdlib::producer(), stdlib::consumer()]).expect("builds");
+        let mut deployment = design.deploy_derived().expect("verified");
+        let topology = deployment.topology().expect("bounded");
+        for spec in &topology.channels {
+            assert_eq!(spec.source, gals_rt::CapacitySource::Derived);
+            assert!(spec.derivation.is_some(), "{}", spec.signal);
+        }
+        deployment.feed("a", [true, false, true, false, true]);
+        deployment.feed("b", [false, true, false, true, false]);
+        let outcome = deployment.run().expect("runs");
+        assert_eq!(outcome.stats().sizing, gals_rt::ChannelSizing::Derived);
+        let report = outcome.check_conformance().expect("reference registered");
+        assert!(report.is_isochronous(), "{report}");
+    }
+
+    #[test]
+    fn unverified_designs_cannot_derive_capacities() {
+        use signal_lang::{Expr, ProcessBuilder};
+        let loose = ProcessBuilder::new("loose")
+            .define("d", Expr::var("y").default(Expr::var("z")))
+            .build()
+            .unwrap();
+        let design = Design::compose("bad", [loose, stdlib::filter()]).expect("builds");
+        assert_eq!(
+            design.capacity_analysis().unwrap_err(),
+            gals_rt::DeployError::NotVerified("bad".into())
+        );
+        assert!(matches!(
+            design.deploy_derived(),
+            Err(DesignError::NotVerified(ref n)) if n == "bad"
+        ));
     }
 
     #[test]

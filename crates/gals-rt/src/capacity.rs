@@ -1,0 +1,199 @@
+//! Clock-derived channel capacity bounds.
+//!
+//! The paper's central claim is that the clock calculus makes GALS
+//! deployment safe *by construction*: the relation `R` that proves a
+//! design isochronous also bounds how far each producer can run ahead of
+//! its consumer — so the per-edge FIFO capacities need not be hand-tuned,
+//! they are an artifact of the verification.
+//!
+//! [`CapacityAnalysis::derive`] walks a [`Topology`], looks up the
+//! producer-side and consumer-side clock expressions of every edge signal
+//! (the [`EdgeClocks`] a verified design extracts from its components'
+//! local relations), classifies each pair with
+//! [`clocks::RateRelation::between_in`] in the algebra of the global
+//! composition, and records one [`DerivedCapacity`] per boundable edge —
+//! bound plus provenance — or the reason a bound could not be derived.
+//!
+//! The result is installed on a deployment through
+//! [`ChannelSizing::Derived`](crate::transport::ChannelSizing): edges then
+//! get their derived bound as capacity (explicit per-signal overrides
+//! still win), and an edge with neither is a typed
+//! [`DeployError::UnboundedEdge`](crate::DeployError) instead of a silent
+//! default.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use clocks::algebra::ClockAlgebra;
+use clocks::clock::ClockExpr;
+use clocks::rate::RateRelation;
+use signal_lang::{KernelProcess, Name};
+
+use crate::deploy::Topology;
+
+/// The clock expressions governing one channel signal: the clock at which
+/// the producing component emits it and the clock(s) at which its
+/// consumer(s) read it, both expressed in the components' *local*
+/// relations and interpreted in the algebra of the global composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeClocks {
+    /// The producer-side clock expression of the signal.
+    pub producer: ClockExpr,
+    /// One consumer-side clock expression per consuming component.
+    pub consumers: Vec<ClockExpr>,
+}
+
+/// A per-edge capacity bound derived from the clock calculus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedCapacity {
+    /// The FIFO occupancy bound: the channel never needs more slots.
+    pub bound: usize,
+    /// The rate relation that produced the bound (the weakest one, when
+    /// the signal has several consumers).
+    pub relation: RateRelation,
+    /// Human-readable derivation: which clocks were compared and why the
+    /// bound follows.
+    pub provenance: String,
+}
+
+impl fmt::Display for DerivedCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bound {} ({})", self.bound, self.provenance)
+    }
+}
+
+/// The result of deriving capacity bounds for every edge of a topology:
+/// a bound (with provenance) per boundable signal, and the reason for
+/// every signal the calculus could not bound.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityAnalysis {
+    derived: BTreeMap<Name, DerivedCapacity>,
+    unbounded: BTreeMap<Name, String>,
+}
+
+impl CapacityAnalysis {
+    /// An empty analysis (no edge has a derived bound) — the starting
+    /// point for assembling bounds by hand with
+    /// [`insert`](CapacityAnalysis::insert).
+    pub fn new() -> Self {
+        CapacityAnalysis::default()
+    }
+
+    /// Derives a bound for every edge of `topology`.
+    ///
+    /// `kernel` and `algebra` are the global composition and its
+    /// interpreted relation `R`; `edge_clocks` maps each channel signal to
+    /// its producer/consumer clock expressions.  Signals with no entry, or
+    /// whose rate relation is [`RateRelation::Unbounded`] for some
+    /// consumer, are recorded as unbounded with the reason.
+    pub fn derive(
+        topology: &Topology,
+        kernel: &KernelProcess,
+        algebra: &mut ClockAlgebra,
+        edge_clocks: &BTreeMap<Name, EdgeClocks>,
+    ) -> Self {
+        let mut analysis = CapacityAnalysis::new();
+        for spec in &topology.channels {
+            if analysis.derived.contains_key(&spec.signal)
+                || analysis.unbounded.contains_key(&spec.signal)
+            {
+                continue; // several consumers share the signal: derived once
+            }
+            let Some(clocks) = edge_clocks.get(&spec.signal) else {
+                analysis.unbounded.insert(
+                    spec.signal.clone(),
+                    "no clock information for the signal".to_string(),
+                );
+                continue;
+            };
+            let mut weakest: Option<DerivedCapacity> = None;
+            let mut failure: Option<String> = None;
+            for consumer in &clocks.consumers {
+                let relation =
+                    RateRelation::between_in(kernel, algebra, &clocks.producer, consumer);
+                match relation.bound() {
+                    Some(bound) => {
+                        let candidate = DerivedCapacity {
+                            bound,
+                            provenance: format!(
+                                "{relation}: producer at {} vs consumer at {consumer}",
+                                clocks.producer
+                            ),
+                            relation,
+                        };
+                        weakest = Some(match weakest {
+                            Some(current) if current.bound >= bound => current,
+                            _ => candidate,
+                        });
+                    }
+                    None => {
+                        failure = Some(format!(
+                            "no finite rate relation between producer clock {} \
+                             and consumer clock {consumer}",
+                            clocks.producer
+                        ));
+                        break;
+                    }
+                }
+            }
+            match (failure, weakest) {
+                (Some(reason), _) => {
+                    analysis.unbounded.insert(spec.signal.clone(), reason);
+                }
+                (None, Some(capacity)) => {
+                    analysis.derived.insert(spec.signal.clone(), capacity);
+                }
+                (None, None) => {
+                    analysis.unbounded.insert(
+                        spec.signal.clone(),
+                        "the signal has no consumer-side clock".to_string(),
+                    );
+                }
+            }
+        }
+        analysis
+    }
+
+    /// Records a bound for one signal (replacing any previous entry) —
+    /// the hook for bounds computed outside the built-in derivation, e.g.
+    /// by a custom analysis over hand-rolled machines.
+    pub fn insert(&mut self, signal: impl Into<Name>, capacity: DerivedCapacity) -> &mut Self {
+        let signal = signal.into();
+        self.unbounded.remove(&signal);
+        self.derived.insert(signal, capacity);
+        self
+    }
+
+    /// The derived bound of a signal, when one exists.
+    pub fn bound_for(&self, signal: &Name) -> Option<&DerivedCapacity> {
+        self.derived.get(signal)
+    }
+
+    /// Every derived bound, keyed by signal.
+    pub fn bounds(&self) -> &BTreeMap<Name, DerivedCapacity> {
+        &self.derived
+    }
+
+    /// The signals the calculus could not bound, with the reason.
+    pub fn unbounded(&self) -> &BTreeMap<Name, String> {
+        &self.unbounded
+    }
+
+    /// Returns `true` when every edge of the analyzed topology got a
+    /// finite bound.
+    pub fn is_fully_bounded(&self) -> bool {
+        self.unbounded.is_empty()
+    }
+}
+
+impl fmt::Display for CapacityAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (signal, capacity) in &self.derived {
+            writeln!(f, "{signal}: {capacity}")?;
+        }
+        for (signal, reason) in &self.unbounded {
+            writeln!(f, "{signal}: unbounded ({reason})")?;
+        }
+        Ok(())
+    }
+}

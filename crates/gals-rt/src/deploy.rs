@@ -23,6 +23,7 @@ use std::time::Instant;
 use signal_lang::{Name, Value};
 use sim::Flows;
 
+use crate::capacity::CapacityAnalysis;
 use crate::conformance::{
     replay_reference, ConformanceError, ConformanceReport, ReferenceComponent,
 };
@@ -31,7 +32,8 @@ use crate::ring::RingTransport;
 use crate::sched::{self, ExecutionMode};
 use crate::stats::{CapacityRange, DeploymentStats, PoolWorkerStats};
 use crate::transport::{
-    Backend, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport, ZeroCapacity,
+    Backend, CapacitySource, ChannelPolicy, ChannelSizing, MpscTransport, TokenRx, TokenTx,
+    Transport, ZeroCapacity,
 };
 use crate::worker::{self, Driver, WorkerReport};
 
@@ -76,6 +78,32 @@ pub enum DeployError {
     /// A pool execution mode with a 0-reaction quantum was requested: a
     /// dispatch could never advance its component.
     ZeroQuantum,
+    /// Derived channel sizing was requested for a design that fails the
+    /// static weak-hierarchy criterion: the clock relations of an
+    /// unverified design prove nothing, so no capacity bound can be
+    /// trusted from them.
+    NotVerified(String),
+    /// Under [`ChannelSizing::Derived`], the named edge signal has neither
+    /// a derived bound (the clock calculus could not relate its producer
+    /// and consumer clocks) nor an explicit capacity override.
+    UnboundedEdge(Name),
+    /// Under [`ChannelSizing::Derived`], the named feedback edge of a
+    /// cyclic topology is sized only by an explicit override: the
+    /// calculus did not prove its bound, so the cycle is not provably
+    /// deadlock-free and running it requires the explicit
+    /// `set_allow_cycles(true)` opt-in.
+    UnprovenFeedbackEdge(Name),
+    /// A feedback edge of an (explicitly allowed or derivably safe) cycle
+    /// has a capacity below its derived bound: the cycle could fill the
+    /// channel and deadlock, so the run is refused statically instead.
+    InsufficientFeedbackCapacity {
+        /// The feedback edge's signal.
+        signal: Name,
+        /// The derived bound the edge needs.
+        required: usize,
+        /// The capacity it was given.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -116,6 +144,33 @@ impl fmt::Display for DeployError {
             DeployError::ZeroQuantum => {
                 write!(f, "a quantum of 0 reactions can never advance a component")
             }
+            DeployError::NotVerified(name) => write!(
+                f,
+                "design {name} fails the static weak-hierarchy criterion, so \
+                 no channel bound can be derived from its clock relations"
+            ),
+            DeployError::UnboundedEdge(n) => write!(
+                f,
+                "no finite capacity bound is derivable for channel signal {n} \
+                 (and no explicit override was set); size it with \
+                 set_channel_capacity or use fixed sizing"
+            ),
+            DeployError::UnprovenFeedbackEdge(n) => write!(
+                f,
+                "feedback edge {n} is sized by an explicit override but has \
+                 no derived bound, so the cycle is not provably \
+                 deadlock-free (allow_cycles forces the run)"
+            ),
+            DeployError::InsufficientFeedbackCapacity {
+                signal,
+                required,
+                actual,
+            } => write!(
+                f,
+                "feedback edge {signal} has capacity {actual} but its derived \
+                 bound is {required}: the cycle could fill the channel and \
+                 deadlock"
+            ),
         }
     }
 }
@@ -139,9 +194,15 @@ pub struct ChannelSpec {
     pub producer: usize,
     /// Index of the consuming machine.
     pub consumer: usize,
-    /// The resolved bounded capacity of this edge (the per-signal override
-    /// when one is set, the policy default otherwise).
+    /// The resolved bounded capacity of this edge (a per-signal override
+    /// when one is set, the derived bound under
+    /// [`ChannelSizing::Derived`], the policy default otherwise).
     pub capacity: usize,
+    /// Where the capacity came from (default, override, or derived).
+    pub source: CapacitySource,
+    /// For derived edges, the derivation: the rate relation between the
+    /// producer and consumer clocks that produced the bound.
+    pub derivation: Option<String>,
     /// The name of the transport backend wiring this edge.
     pub backend: &'static str,
 }
@@ -160,37 +221,84 @@ impl Topology {
     /// Returns `true` when the channel graph (machines as nodes, channels
     /// as edges) contains a cycle — a shape on which bounded blocking
     /// channels can deadlock.
+    ///
+    /// The topology has no self-loop edges (a machine reading its own
+    /// output resolves internally), so the graph is cyclic exactly when
+    /// some edge lies on a cycle.
     pub fn has_cycle(&self) -> bool {
-        let mut successors: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-        let mut indegree: BTreeMap<usize, usize> = BTreeMap::new();
+        !self.cycle_signals().is_empty()
+    }
+
+    /// The signals of the edges lying on a communication cycle: edges
+    /// whose producer and consumer belong to the same strongly connected
+    /// component of the channel graph.  These are the edges whose
+    /// capacities decide whether a feedback loop can fill its channels
+    /// and deadlock.
+    pub fn cycle_signals(&self) -> BTreeSet<Name> {
+        // Kosaraju: forward order, then transposed sweep.
+        let mut nodes: BTreeSet<usize> = BTreeSet::new();
+        let mut forward: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut backward: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for spec in &self.channels {
-            indegree.entry(spec.producer).or_default();
-            if successors
+            nodes.insert(spec.producer);
+            nodes.insert(spec.consumer);
+            forward
                 .entry(spec.producer)
                 .or_default()
-                .insert(spec.consumer)
-            {
-                *indegree.entry(spec.consumer).or_default() += 1;
-            }
+                .push(spec.consumer);
+            backward
+                .entry(spec.consumer)
+                .or_default()
+                .push(spec.producer);
         }
-        // Kahn's algorithm: a cycle leaves nodes with nonzero in-degree.
-        let mut ready: Vec<usize> = indegree
-            .iter()
-            .filter(|(_, &d)| d == 0)
-            .map(|(&n, _)| n)
-            .collect();
-        let mut visited = 0usize;
-        while let Some(node) = ready.pop() {
-            visited += 1;
-            for &next in successors.get(&node).into_iter().flatten() {
-                let d = indegree.get_mut(&next).expect("edge target registered");
-                *d -= 1;
-                if *d == 0 {
-                    ready.push(next);
+        let mut order = Vec::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for &start in &nodes {
+            if seen.contains(&start) {
+                continue;
+            }
+            // Iterative post-order DFS.
+            let mut stack = vec![(start, false)];
+            while let Some((node, expanded)) = stack.pop() {
+                if expanded {
+                    order.push(node);
+                    continue;
+                }
+                if !seen.insert(node) {
+                    continue;
+                }
+                stack.push((node, true));
+                for &next in forward.get(&node).into_iter().flatten() {
+                    if !seen.contains(&next) {
+                        stack.push((next, false));
+                    }
                 }
             }
         }
-        visited < indegree.len()
+        let mut component: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut assigned: BTreeSet<usize> = BTreeSet::new();
+        for &root in order.iter().rev() {
+            if assigned.contains(&root) {
+                continue;
+            }
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                if !assigned.insert(node) {
+                    continue;
+                }
+                component.insert(node, root);
+                for &next in backward.get(&node).into_iter().flatten() {
+                    if !assigned.contains(&next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        self.channels
+            .iter()
+            .filter(|spec| component.get(&spec.producer) == component.get(&spec.consumer))
+            .map(|spec| spec.signal.clone())
+            .collect()
     }
 }
 
@@ -302,6 +410,28 @@ impl Deployment {
         self
     }
 
+    /// Installs clock-derived capacity bounds and switches the policy to
+    /// [`ChannelSizing::Derived`]: every edge takes its derived bound as
+    /// capacity (explicit overrides still win), and an edge with neither
+    /// is [`DeployError::UnboundedEdge`] at [`topology`](Self::topology) /
+    /// [`run`](Self::run) time.  `isochron::Design::deploy_derived` wires
+    /// this up from a verified design in one call.
+    pub fn set_capacity_analysis(&mut self, analysis: &CapacityAnalysis) -> &mut Self {
+        self.policy.install_derived(analysis);
+        self
+    }
+
+    /// Selects the channel sizing mode without touching installed bounds.
+    pub fn set_sizing(&mut self, sizing: ChannelSizing) -> &mut Self {
+        self.policy.set_sizing(sizing);
+        self
+    }
+
+    /// The channel sizing mode in effect.
+    pub fn sizing(&self) -> ChannelSizing {
+        self.policy.sizing()
+    }
+
     /// Replaces the whole channel policy (capacities and backend) at once.
     pub fn set_policy(&mut self, policy: ChannelPolicy) -> &mut Self {
         self.policy = policy;
@@ -405,12 +535,15 @@ impl Deployment {
 
     /// Derives the channel topology from the machine interfaces, resolved
     /// against the channel policy: every [`ChannelSpec`] reports the
-    /// capacity and backend its edge will be wired with.
+    /// capacity (with its source and, for derived edges, the derivation)
+    /// and backend its edge will be wired with.
     ///
     /// # Errors
     ///
     /// Returns [`DeployError::DuplicateProducer`] when two machines declare
-    /// the same output signal.
+    /// the same output signal, and — under [`ChannelSizing::Derived`] —
+    /// [`DeployError::UnboundedEdge`] for an edge with neither a derived
+    /// bound nor an explicit override.
     pub fn topology(&self) -> Result<Topology, DeployError> {
         let mut producer_of: BTreeMap<Name, usize> = BTreeMap::new();
         for (i, machine) in self.machines.iter().enumerate() {
@@ -427,12 +560,17 @@ impl Deployment {
             for input in machine.input_signals() {
                 match producer_of.get(&input) {
                     Some(&i) if i != j => {
-                        let capacity = self.policy.capacity_for(&input);
+                        let resolved = self
+                            .policy
+                            .resolve(&input)
+                            .map_err(DeployError::UnboundedEdge)?;
                         topology.channels.push(ChannelSpec {
                             signal: input,
                             producer: i,
                             consumer: j,
-                            capacity,
+                            capacity: resolved.capacity,
+                            source: resolved.source,
+                            derivation: resolved.derivation,
                             backend,
                         });
                     }
@@ -445,6 +583,77 @@ impl Deployment {
         }
         topology.environment = environment.into_iter().collect();
         Ok(topology)
+    }
+
+    /// The static cycle analysis: with bounded blocking channels a
+    /// communication cycle can deadlock, so a cyclic topology must either
+    /// be *proven* safe or explicitly allowed.
+    ///
+    /// Under [`ChannelSizing::Derived`] every feedback edge is checked
+    /// against its derived bound.  An edge whose capacity undercuts the
+    /// bound is refused outright
+    /// ([`DeployError::InsufficientFeedbackCapacity`], even when cycles
+    /// were explicitly allowed — the calculus positively proves the
+    /// channel can fill and wedge the loop).  A cycle whose every edge
+    /// carries a derived bound (at full capacity) is *accepted* without
+    /// [`set_allow_cycles`](Self::set_allow_cycles): the wait cycle
+    /// cannot close on a full channel.  A feedback edge sized only by an
+    /// explicit override is not proven: it still requires
+    /// `set_allow_cycles(true)`, and is otherwise refused with
+    /// [`DeployError::UnprovenFeedbackEdge`] naming the edge (an edge
+    /// with neither a bound nor an override never reaches this check —
+    /// [`topology`](Self::topology) already refused it as
+    /// [`DeployError::UnboundedEdge`]).
+    ///
+    /// Under [`ChannelSizing::Fixed`] the historic behavior is kept:
+    /// cycles are refused ([`DeployError::CyclicTopology`]) unless
+    /// explicitly allowed, and allowed cycles rely on the pool
+    /// scheduler's dynamic deadlock detection.
+    ///
+    /// The capacity proof is about *safety* (the wait cycle cannot close
+    /// on a full channel), not liveness: a loop still needs a priming
+    /// token to start turning.  Verified designs are primed by
+    /// construction (an initialized delay register breaks every
+    /// instantaneous cycle the acyclicity check accepts); installing
+    /// hand-made bounds on machines that never emit first is the caller
+    /// asserting otherwise, and the pool scheduler's dynamic detection
+    /// remains the backstop.
+    fn check_cycles(&self, topology: &Topology) -> Result<(), DeployError> {
+        let cycle_signals = topology.cycle_signals();
+        if cycle_signals.is_empty() {
+            return Ok(());
+        }
+        if self.policy.sizing() == ChannelSizing::Derived {
+            let feedback: Vec<&ChannelSpec> = topology
+                .channels
+                .iter()
+                .filter(|spec| cycle_signals.contains(&spec.signal))
+                .collect();
+            for spec in &feedback {
+                if let Some(derived) = self.policy.derived_for(&spec.signal) {
+                    if spec.capacity < derived.bound {
+                        return Err(DeployError::InsufficientFeedbackCapacity {
+                            signal: spec.signal.clone(),
+                            required: derived.bound,
+                            actual: spec.capacity,
+                        });
+                    }
+                }
+            }
+            let unproven = feedback
+                .iter()
+                .find(|spec| self.policy.derived_for(&spec.signal).is_none());
+            return match unproven {
+                None => Ok(()), // every feedback edge is derivably bounded
+                Some(_) if self.allow_cycles => Ok(()),
+                Some(spec) => Err(DeployError::UnprovenFeedbackEdge(spec.signal.clone())),
+            };
+        }
+        if self.allow_cycles {
+            Ok(())
+        } else {
+            Err(DeployError::CyclicTopology)
+        }
     }
 
     /// Runs the deployment to completion under the selected
@@ -463,9 +672,7 @@ impl Deployment {
             return Err(DeployError::Empty);
         }
         let topology = self.topology()?;
-        if !self.allow_cycles && topology.has_cycle() {
-            return Err(DeployError::CyclicTopology);
-        }
+        self.check_cycles(&topology)?;
 
         // Validate the feeds and paced marks against the derived
         // environment.
@@ -568,6 +775,8 @@ impl Deployment {
                 components,
                 channels: topology.channels.len(),
                 capacity: CapacityRange::of_edges(topology.channels.iter().map(|c| c.capacity)),
+                sizing: self.policy.sizing(),
+                edges: topology.channels.clone(),
                 backend,
                 mode: self.mode,
                 pool_workers,

@@ -87,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod conformance;
 pub mod deploy;
 pub mod machine;
@@ -96,6 +97,7 @@ pub mod stats;
 pub mod transport;
 mod worker;
 
+pub use capacity::{CapacityAnalysis, DerivedCapacity, EdgeClocks};
 pub use conformance::{ConformanceError, ConformanceReport, ReferenceComponent};
 pub use deploy::{
     ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
@@ -105,8 +107,8 @@ pub use ring::{RingReceiver, RingSender, RingTransport};
 pub use sched::ExecutionMode;
 pub use stats::{CapacityRange, ComponentStats, DeploymentStats, PoolWorkerStats, StopReason};
 pub use transport::{
-    Backend, ChannelClosed, ChannelPolicy, MpscTransport, TokenRx, TokenTx, Transport,
-    TryRecvError, TrySendError,
+    Backend, CapacitySource, ChannelClosed, ChannelPolicy, ChannelSizing, MpscTransport,
+    ResolvedCapacity, TokenRx, TokenTx, Transport, TryRecvError, TrySendError,
 };
 
 #[cfg(test)]
@@ -226,10 +228,13 @@ mod tests {
                 producer: 0,
                 consumer: 1,
                 capacity: 1,
+                source: CapacitySource::Default,
+                derivation: None,
                 backend: RingTransport::NAME,
             }
         );
         assert!(!topology.has_cycle());
+        assert!(topology.cycle_signals().is_empty());
     }
 
     #[test]

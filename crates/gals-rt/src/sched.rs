@@ -31,10 +31,11 @@
 //! Because environment streams are preloaded, every wake originates inside
 //! a dispatch; when nothing is queued, nothing is running and components
 //! remain, the blocked components can never make progress again — a true
-//! communication deadlock (only reachable when a cyclic topology was
-//! explicitly allowed).  The pool detects that state and finalizes the
-//! survivors with [`StopReason::Deadlocked`] instead of hanging, which the
-//! dedicated-thread mode would.
+//! communication deadlock (only reachable on a cyclic topology that got
+//! past the static cycle analysis: explicitly allowed, or derivably
+//! bounded but never primed with a first token).  The pool detects that
+//! state and finalizes the survivors with [`StopReason::Deadlocked`]
+//! instead of hanging, which the dedicated-thread mode would.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -410,8 +411,8 @@ fn dispatch(shared: &Shared, me: usize, component: usize, quantum: u64) {
 }
 
 /// Parks an idle worker until work may exist again, detecting the terminal
-/// all-blocked state (a communication deadlock on an explicitly allowed
-/// cyclic topology) instead of sleeping forever on it.
+/// all-blocked state (a communication deadlock on a cyclic topology the
+/// static analysis let through) instead of sleeping forever on it.
 fn park(shared: &Shared) {
     let guard = shared.lock_park();
     // Register as a sleeper *before* re-checking for work: the enqueue

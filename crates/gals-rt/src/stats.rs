@@ -5,7 +5,9 @@ use std::time::Duration;
 
 use signal_lang::Name;
 
+use crate::deploy::ChannelSpec;
 use crate::sched::ExecutionMode;
+use crate::transport::{CapacitySource, ChannelSizing};
 
 /// Why a worker thread stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,9 +24,10 @@ pub enum StopReason {
     Fault(String),
     /// The pool scheduler found every surviving component blocked on a
     /// channel edge with no dispatch in flight: a communication deadlock
-    /// (only reachable when a cyclic topology was explicitly allowed).
-    /// The dedicated-thread mode would hang on the same state; the pool
-    /// detects it and stops.
+    /// (only reachable on a cyclic topology the static cycle analysis let
+    /// through — explicitly allowed, or derivably bounded but never
+    /// primed with a first token).  The dedicated-thread mode would hang
+    /// on the same state; the pool detects it and stops.
     Deadlocked,
 }
 
@@ -169,8 +172,16 @@ pub struct DeploymentStats {
     /// Number of bounded channels wired between the components.
     pub channels: usize,
     /// The range of resolved per-edge capacities (min..max over the
-    /// topology — per-signal overrides make edges differ).
+    /// topology — per-signal overrides and derived bounds make edges
+    /// differ).
     pub capacity: CapacityRange,
+    /// How the channels were sized: hand-tuned or derived from the clock
+    /// calculus.
+    pub sizing: ChannelSizing,
+    /// The resolved per-edge channel specs of the run, each carrying its
+    /// capacity, the capacity's source and (for derived edges) the
+    /// derivation.
+    pub edges: Vec<ChannelSpec>,
     /// Name of the transport backend that carried the channels.
     pub backend: &'static str,
     /// How components were mapped onto OS threads.
@@ -223,11 +234,12 @@ impl fmt::Display for DeploymentStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "deployment of {} component(s), {} channel(s) of capacity {} over {} ({}): \
-             {} reactions, {} blocked reads, {} tokens in {:?}",
+            "deployment of {} component(s), {} channel(s) of capacity {} ({} sizing) \
+             over {} ({}): {} reactions, {} blocked reads, {} tokens in {:?}",
             self.components.len(),
             self.channels,
             self.capacity,
+            self.sizing,
             self.backend,
             self.mode,
             self.total_reactions(),
@@ -237,6 +249,21 @@ impl fmt::Display for DeploymentStats {
         )?;
         for c in &self.components {
             writeln!(f, "  {c}")?;
+        }
+        // Per-edge resolution, when anything deviates from the default.
+        for edge in &self.edges {
+            if edge.source == CapacitySource::Default {
+                continue;
+            }
+            write!(
+                f,
+                "  channel {}: capacity {} ({})",
+                edge.signal, edge.capacity, edge.source
+            )?;
+            if let Some(why) = &edge.derivation {
+                write!(f, " — {why}")?;
+            }
+            writeln!(f)?;
         }
         for w in &self.pool_workers {
             writeln!(f, "  {w}")?;
@@ -271,6 +298,8 @@ mod tests {
             ],
             channels: 1,
             capacity: CapacityRange::exactly(1),
+            sizing: ChannelSizing::Fixed,
+            edges: Vec::new(),
             backend: "spsc-ring",
             mode: ExecutionMode::ThreadPerComponent,
             pool_workers: Vec::new(),

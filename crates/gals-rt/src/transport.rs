@@ -27,6 +27,8 @@ use crossbeam::channel::{
 };
 use signal_lang::{Name, Value};
 
+use crate::capacity::{CapacityAnalysis, DerivedCapacity};
+
 /// The peer endpoint of a channel is gone: a send can never be delivered,
 /// or a receive can never be satisfied (the buffer is drained and the
 /// producer dropped its endpoint).
@@ -202,16 +204,74 @@ impl fmt::Display for ZeroCapacity {
 
 impl std::error::Error for ZeroCapacity {}
 
+/// Where the capacities of a deployment's channels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelSizing {
+    /// Hand-tuned: the policy default, with per-signal overrides (the
+    /// historic behavior, and still the default).
+    #[default]
+    Fixed,
+    /// Derived from the clock calculus: every edge takes the bound of an
+    /// installed [`CapacityAnalysis`] (explicit overrides still win); an
+    /// edge with neither is a typed error instead of a silent default.
+    Derived,
+}
+
+impl fmt::Display for ChannelSizing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelSizing::Fixed => write!(f, "fixed"),
+            ChannelSizing::Derived => write!(f, "derived"),
+        }
+    }
+}
+
+/// How one edge's capacity was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacitySource {
+    /// The policy default capacity.
+    Default,
+    /// A per-signal override set by the caller.
+    Override,
+    /// A bound derived from the clock calculus.
+    Derived,
+}
+
+impl fmt::Display for CapacitySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacitySource::Default => write!(f, "default"),
+            CapacitySource::Override => write!(f, "override"),
+            CapacitySource::Derived => write!(f, "derived"),
+        }
+    }
+}
+
+/// The capacity one edge resolves to under the policy, with its origin
+/// and (for derived edges) the derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedCapacity {
+    /// The number of buffer slots the edge's channel gets.
+    pub capacity: usize,
+    /// Where the number came from.
+    pub source: CapacitySource,
+    /// The derivation provenance, for [`CapacitySource::Derived`] edges.
+    pub derivation: Option<String>,
+}
+
 /// How the channels of a deployment are sized and which backend carries
-/// them: a default capacity, per-signal overrides, and a [`Backend`]
-/// selection.
+/// them: a sizing mode ([`ChannelSizing`]), a default capacity, per-signal
+/// overrides, the derived bounds of an installed [`CapacityAnalysis`],
+/// and a [`Backend`] selection.
 ///
-/// The per-edge resolution (override, or default) is reported by
-/// `Deployment::topology()` in each `ChannelSpec`.
+/// The per-edge resolution (override, derived bound, or default) is
+/// reported by `Deployment::topology()` in each `ChannelSpec`.
 #[derive(Debug, Clone)]
 pub struct ChannelPolicy {
+    sizing: ChannelSizing,
     default_capacity: usize,
     overrides: BTreeMap<Name, usize>,
+    derived: BTreeMap<Name, DerivedCapacity>,
     backend: Backend,
 }
 
@@ -220,8 +280,10 @@ impl ChannelPolicy {
     /// one-place buffer, carried by the automatically selected backend.
     pub fn new() -> Self {
         ChannelPolicy {
+            sizing: ChannelSizing::Fixed,
             default_capacity: 1,
             overrides: BTreeMap::new(),
+            derived: BTreeMap::new(),
             backend: Backend::Auto,
         }
     }
@@ -286,12 +348,70 @@ impl ChannelPolicy {
         &self.overrides
     }
 
-    /// The resolved capacity for the channels carrying `signal`.
+    /// The resolved capacity for the channels carrying `signal` under
+    /// [`ChannelSizing::Fixed`] semantics (override, or default) — derived
+    /// bounds are only consulted by [`resolve`](ChannelPolicy::resolve).
     pub fn capacity_for(&self, signal: &Name) -> usize {
         self.overrides
             .get(signal)
             .copied()
             .unwrap_or(self.default_capacity)
+    }
+
+    /// Selects how edges are sized: hand-tuned ([`ChannelSizing::Fixed`],
+    /// the default) or from installed derived bounds
+    /// ([`ChannelSizing::Derived`]).
+    pub fn set_sizing(&mut self, sizing: ChannelSizing) -> &mut Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// The sizing mode in effect.
+    pub fn sizing(&self) -> ChannelSizing {
+        self.sizing
+    }
+
+    /// Installs the bounds of a [`CapacityAnalysis`] and switches the
+    /// policy to [`ChannelSizing::Derived`].
+    pub fn install_derived(&mut self, analysis: &CapacityAnalysis) -> &mut Self {
+        self.derived = analysis.bounds().clone();
+        self.sizing = ChannelSizing::Derived;
+        self
+    }
+
+    /// The derived bound installed for a signal, if any.
+    pub fn derived_for(&self, signal: &Name) -> Option<&DerivedCapacity> {
+        self.derived.get(signal)
+    }
+
+    /// Resolves the capacity of the channels carrying `signal` under the
+    /// sizing mode: an explicit override always wins; under
+    /// [`ChannelSizing::Derived`] the installed bound is used next, and an
+    /// edge with neither is an error (the unboundable signal is returned
+    /// so the deployment can raise `DeployError::UnboundedEdge`).
+    pub fn resolve(&self, signal: &Name) -> Result<ResolvedCapacity, Name> {
+        if let Some(&capacity) = self.overrides.get(signal) {
+            return Ok(ResolvedCapacity {
+                capacity,
+                source: CapacitySource::Override,
+                derivation: None,
+            });
+        }
+        match self.sizing {
+            ChannelSizing::Fixed => Ok(ResolvedCapacity {
+                capacity: self.default_capacity,
+                source: CapacitySource::Default,
+                derivation: None,
+            }),
+            ChannelSizing::Derived => match self.derived.get(signal) {
+                Some(derived) => Ok(ResolvedCapacity {
+                    capacity: derived.bound,
+                    source: CapacitySource::Derived,
+                    derivation: Some(derived.provenance.clone()),
+                }),
+                None => Err(signal.clone()),
+            },
+        }
     }
 }
 
@@ -411,6 +531,46 @@ mod tests {
         assert_eq!(tx.try_send(Value::Int(3)), Ok(()));
         drop(rx);
         assert_eq!(tx.try_send(Value::Int(4)), Err(TrySendError::Closed));
+    }
+
+    #[test]
+    fn derived_sizing_resolves_bounds_and_flags_unbounded_edges() {
+        use clocks::rate::RateRelation;
+        let mut analysis = CapacityAnalysis::new();
+        analysis.insert(
+            "x",
+            DerivedCapacity {
+                bound: 2,
+                relation: RateRelation::Alternating {
+                    state: Name::from("t"),
+                },
+                provenance: "alternating on t".into(),
+            },
+        );
+        let mut policy = ChannelPolicy::new();
+        assert_eq!(policy.sizing(), ChannelSizing::Fixed);
+        policy.install_derived(&analysis);
+        assert_eq!(policy.sizing(), ChannelSizing::Derived);
+        let x = policy.resolve(&Name::from("x")).expect("bounded");
+        assert_eq!(x.capacity, 2);
+        assert_eq!(x.source, CapacitySource::Derived);
+        assert!(x.derivation.as_deref().unwrap().contains("alternating"));
+        // An edge without a bound is an error under derived sizing...
+        assert_eq!(policy.resolve(&Name::from("y")), Err(Name::from("y")));
+        // ...unless an explicit override steps in, which also wins over a
+        // derived bound.
+        policy.set_channel_capacity("y", 7).expect("nonzero");
+        policy.set_channel_capacity("x", 5).expect("nonzero");
+        for (signal, capacity) in [("y", 7), ("x", 5)] {
+            let resolved = policy.resolve(&Name::from(signal)).expect("bounded");
+            assert_eq!(resolved.capacity, capacity);
+            assert_eq!(resolved.source, CapacitySource::Override);
+        }
+        // Fixed sizing ignores the derived map entirely.
+        policy.set_sizing(ChannelSizing::Fixed);
+        let z = policy.resolve(&Name::from("z")).expect("default");
+        assert_eq!(z.capacity, policy.default_capacity());
+        assert_eq!(z.source, CapacitySource::Default);
     }
 
     #[test]

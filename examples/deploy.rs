@@ -8,6 +8,11 @@
 //! sizes each channel individually — the resolved per-edge capacity and
 //! backend are reported by `topology()`.
 //!
+//! Capacities need not be hand-tuned at all: `Design::deploy_derived`
+//! sizes every channel from the clock calculus — the same relations that
+//! prove the design isochronous bound its FIFOs (`ChannelSizing::Derived`,
+//! provenance reported per edge).
+//!
 //! The thread mapping is selectable too: the default
 //! `ExecutionMode::ThreadPerComponent` dedicates one OS thread per stage,
 //! while `ExecutionMode::Pool { workers, quantum }` multiplexes every
@@ -41,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Channel topology (policy resolved per edge) ==");
     for spec in &deployment.topology()?.channels {
         println!(
-            "  {} -> {}  signal {:<3} capacity {:>3}  backend {}",
-            spec.producer, spec.consumer, spec.signal, spec.capacity, spec.backend
+            "  {} -> {}  signal {:<3} capacity {:>3} ({})  backend {}",
+            spec.producer, spec.consumer, spec.signal, spec.capacity, spec.source, spec.backend
         );
     }
 
@@ -90,5 +95,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Pool scheduler ==");
     println!("{}", pooled_outcome.stats());
     assert!(pooled_outcome.check_conformance()?.is_isochronous());
+
+    // The capacities above were hand-tuned (8, with p2 deepened to 32).
+    // The clock calculus can derive them instead: every edge of the
+    // verified pipeline is provably a one-place buffer — the same
+    // relations that prove isochrony bound the FIFOs, each edge reporting
+    // its bound and why.
+    let mut derived = design.deploy_derived()?;
+    println!("== Derived capacities (ChannelSizing::Derived) ==");
+    for spec in &derived.topology()?.channels {
+        println!(
+            "  signal {:<3} capacity {} ({}) — {}",
+            spec.signal,
+            spec.capacity,
+            spec.source,
+            spec.derivation.as_deref().unwrap_or("-")
+        );
+    }
+    derived.feed("p0", stream.iter().copied());
+    let derived_outcome = derived.run()?;
+    assert_eq!(derived_outcome.flow("p4"), outcome.flow("p4"));
+    assert!(derived_outcome.check_conformance()?.is_isochronous());
+    println!("{}", derived_outcome.stats());
     Ok(())
 }

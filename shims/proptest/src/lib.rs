@@ -24,8 +24,25 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, like the real proptest — and, also like the real
+        /// proptest, the `PROPTEST_CASES` environment variable overrides
+        /// the default so CI lanes can scale fuzz depth without code
+        /// changes.
         fn default() -> Self {
-            Config { cases: 256 }
+            Config {
+                cases: Config::cases_from_env(256),
+            }
+        }
+    }
+
+    impl Config {
+        /// The case count from `PROPTEST_CASES`, or `default` when the
+        /// variable is unset or unparsable.
+        pub fn cases_from_env(default: u32) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         }
     }
 

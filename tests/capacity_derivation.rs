@@ -1,0 +1,436 @@
+//! The capacity-derivation and cycle-analysis subsystem end to end.
+//!
+//! The clock calculus that proves a design isochronous also bounds its
+//! FIFOs: `Design::capacity_analysis` derives a per-edge capacity from the
+//! rate relation between the producer's and consumer's clocks, and
+//! `ChannelSizing::Derived` turns the bounds into the deployment's actual
+//! channel capacities.  This suite checks the two directions of that
+//! claim:
+//!
+//! * **sufficiency** — a replay with derived capacities never hits
+//!   `StopReason::Deadlocked` and conforms to the synchronous reference
+//!   (property-tested over generated pipelines and streams);
+//! * **tightness-ish** — one below the derived bound is statically
+//!   refused: capacity `bound - 1` on a sampled (bound 1) edge is the
+//!   rejected zero capacity, and undercutting a feedback edge's derived
+//!   bound is `InsufficientFeedbackCapacity`;
+//!
+//! plus the typed-error boundary: `UnboundedEdge` for edges the calculus
+//! cannot bound, `NotVerified` for unverified designs, and the
+//! refuse-or-prove cycle analysis (a derivably bounded feedback loop runs
+//! to completion without `set_allow_cycles`; an underivable one is
+//! refused naming the edge).
+
+use polychrony::clocks::RateRelation;
+use polychrony::gals_rt::{
+    Backend, CapacityAnalysis, CapacitySource, ChannelSizing, DeployError, Deployment,
+    DerivedCapacity, ExecutionMode, StepFault, StepMachine, StopReason,
+};
+use polychrony::isochron::{design::chain_of_pairs, library, Design};
+use polychrony::moc::Value;
+use polychrony::signal_lang::Name;
+use proptest::prelude::*;
+
+const MODES: [ExecutionMode; 2] = [
+    ExecutionMode::ThreadPerComponent,
+    ExecutionMode::Pool {
+        workers: 2,
+        quantum: 4,
+    },
+];
+
+/// The closed half of a feedback loop: consumes one `seed` (environment)
+/// and one `q` (feedback) token per reaction and emits the seed on `p`.
+struct Ping {
+    seeds: Vec<Value>,
+    qs: Vec<Value>,
+    produced: Vec<Value>,
+}
+
+impl StepMachine for Ping {
+    fn machine_name(&self) -> &str {
+        "ping"
+    }
+    fn input_signals(&self) -> Vec<Name> {
+        vec![Name::from("seed"), Name::from("q")]
+    }
+    fn output_signals(&self) -> Vec<Name> {
+        vec![Name::from("p")]
+    }
+    fn feed_value(&mut self, signal: &str, value: Value) {
+        if signal == "seed" {
+            self.seeds.push(value);
+        } else {
+            self.qs.push(value);
+        }
+    }
+    fn try_step(&mut self) -> Result<(), StepFault> {
+        if self.qs.is_empty() {
+            return Err(StepFault::NeedInput(Name::from("q")));
+        }
+        if self.seeds.is_empty() {
+            return Err(StepFault::NeedInput(Name::from("seed")));
+        }
+        self.qs.remove(0);
+        let seed = self.seeds.remove(0);
+        self.produced.push(seed);
+        Ok(())
+    }
+    fn produced(&self, _signal: &str) -> &[Value] {
+        &self.produced
+    }
+}
+
+/// The primed half of the loop: emits one initial `q` token before ever
+/// consuming — the channel-level image of an initialized delay register
+/// breaking the instantaneous cycle — then relays `p` back to `q`.
+struct Pong {
+    primed: bool,
+    queue: Vec<Value>,
+    produced: Vec<Value>,
+}
+
+impl StepMachine for Pong {
+    fn machine_name(&self) -> &str {
+        "pong"
+    }
+    fn input_signals(&self) -> Vec<Name> {
+        vec![Name::from("p")]
+    }
+    fn output_signals(&self) -> Vec<Name> {
+        vec![Name::from("q")]
+    }
+    fn feed_value(&mut self, _signal: &str, value: Value) {
+        self.queue.push(value);
+    }
+    fn try_step(&mut self) -> Result<(), StepFault> {
+        if self.primed {
+            self.primed = false;
+            self.produced.push(Value::Int(0));
+            return Ok(());
+        }
+        if self.queue.is_empty() {
+            return Err(StepFault::NeedInput(Name::from("p")));
+        }
+        let value = self.queue.remove(0);
+        self.produced.push(value);
+        Ok(())
+    }
+    fn produced(&self, _signal: &str) -> &[Value] {
+        &self.produced
+    }
+}
+
+/// A primed feedback loop: ping -> p -> pong -> q -> ping.
+fn ping_pong(seeds: usize) -> Deployment {
+    let mut deployment = Deployment::new();
+    deployment.add_machine(Box::new(Ping {
+        seeds: Vec::new(),
+        qs: Vec::new(),
+        produced: Vec::new(),
+    }));
+    deployment.add_machine(Box::new(Pong {
+        primed: true,
+        queue: Vec::new(),
+        produced: Vec::new(),
+    }));
+    deployment.feed("seed", (1..=seeds as i64).map(Value::Int));
+    deployment
+}
+
+/// Derived two-place bounds for the loop's edges, as the calculus would
+/// produce for strictly alternating phases of a primed register.
+fn alternating_bounds(signals: &[&str]) -> CapacityAnalysis {
+    let mut analysis = CapacityAnalysis::new();
+    for signal in signals {
+        analysis.insert(
+            *signal,
+            DerivedCapacity {
+                bound: 2,
+                relation: RateRelation::Alternating {
+                    state: Name::from("t"),
+                },
+                provenance: format!("alternating on t: one {signal} in flight plus the primer"),
+            },
+        );
+    }
+    analysis
+}
+
+#[test]
+fn every_stdlib_edge_gets_a_finite_derived_bound() {
+    for design in [
+        library::producer_consumer_design().unwrap(),
+        library::buffer_pipeline_design(4).unwrap(),
+        library::ltta_design().unwrap(),
+        Design::compose("chain2", chain_of_pairs(2)).unwrap(),
+    ] {
+        let analysis = design.capacity_analysis().expect("verified design");
+        assert!(analysis.is_fully_bounded(), "{}: {analysis}", design.name());
+        let deployment = design.deploy_derived().expect("verified design");
+        assert_eq!(deployment.sizing(), ChannelSizing::Derived);
+        let topology = deployment.topology().expect("every edge bounded");
+        assert!(!topology.channels.is_empty(), "{}", design.name());
+        for spec in &topology.channels {
+            assert_eq!(spec.source, CapacitySource::Derived, "{}", spec.signal);
+            assert!(spec.capacity >= 1, "{}", spec.signal);
+            let why = spec.derivation.as_deref().expect("derivation recorded");
+            assert!(
+                why.contains("producer at"),
+                "{}: derivation {why}",
+                spec.signal
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(ProptestConfig::cases_from_env(16)))]
+
+    /// Sufficiency: whatever the stream and pipeline depth, the derived
+    /// capacities never deadlock and the deployment conforms — under both
+    /// backends and both execution modes.
+    #[test]
+    fn derived_capacities_are_sufficient(
+        n in 1usize..5,
+        stream in prop::collection::vec(any::<bool>(), 0..24),
+    ) {
+        let design = library::buffer_pipeline_design(n).expect("builds");
+        // Derive once per case: the clock inference + BDD work is a
+        // per-design cost, not a per-combination one.
+        let analysis = design.capacity_analysis().expect("verified design");
+        let stream: Vec<Value> = stream.into_iter().map(Value::Bool).collect();
+        for mode in MODES {
+            for backend in [Backend::Mpsc, Backend::SpscRing] {
+                let mut deployment = design.deploy().expect("verified design");
+                deployment.set_capacity_analysis(&analysis);
+                deployment.set_execution_mode(mode).expect("valid mode");
+                deployment.set_backend(backend);
+                deployment.feed("p0", stream.iter().copied());
+                let outcome = deployment.run().expect("the deployment runs");
+                for component in &outcome.stats().components {
+                    prop_assert_ne!(
+                        &component.stop,
+                        &StopReason::Deadlocked,
+                        "derived capacities deadlocked ({mode}, {backend})"
+                    );
+                }
+                prop_assert_eq!(outcome.flow(&format!("p{n}")), stream.as_slice());
+                let report = outcome.check_conformance().expect("reference registered");
+                prop_assert!(report.is_isochronous(), "{}", report);
+            }
+        }
+    }
+}
+
+#[test]
+fn bound_minus_one_on_a_sampled_edge_is_statically_blocked() {
+    // Every edge of the buffer pipeline derives the paper's one-place
+    // bound; one less is the zero capacity, which is refused up front (a
+    // rendezvous would deadlock the worker loop).
+    let design = library::buffer_pipeline_design(2).unwrap();
+    let analysis = design.capacity_analysis().unwrap();
+    let bound = analysis
+        .bound_for(&Name::from("p1"))
+        .expect("bounded")
+        .bound;
+    assert_eq!(bound, 1);
+    let mut deployment = design.deploy_derived().unwrap();
+    assert_eq!(
+        deployment
+            .set_channel_capacity("p1", bound - 1)
+            .unwrap_err(),
+        DeployError::ZeroCapacity(Some(Name::from("p1")))
+    );
+}
+
+#[test]
+fn a_derivably_bounded_cycle_runs_to_completion() {
+    // The feedback loop is primed and both edges carry their derived
+    // two-place bound: the cycle is *proven* safe, so no
+    // `set_allow_cycles` is needed and no run ends `Deadlocked` — in
+    // either execution mode.
+    for mode in MODES {
+        let mut deployment = ping_pong(8);
+        deployment.set_capacity_analysis(&alternating_bounds(&["p", "q"]));
+        deployment.set_execution_mode(mode).expect("valid mode");
+        let topology = deployment.topology().expect("bounded");
+        assert!(topology.has_cycle());
+        assert_eq!(
+            topology.cycle_signals(),
+            [Name::from("p"), Name::from("q")].into_iter().collect()
+        );
+        let outcome = deployment.run().expect("the proven cycle runs");
+        for component in &outcome.stats().components {
+            assert_ne!(component.stop, StopReason::Deadlocked, "{mode}");
+        }
+        // Every seed made it around the loop, after the priming token.
+        let p: Vec<i64> = outcome
+            .flow("p")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(p, (1..=8).collect::<Vec<_>>(), "{mode}");
+        let q = outcome.flow("q");
+        assert_eq!(q.len(), 9, "{mode}");
+        assert_eq!(q[0], Value::Int(0), "{mode}");
+    }
+}
+
+#[test]
+fn feedback_capacity_below_the_derived_bound_is_refused() {
+    // Tightness of the cycle criterion: undercutting the derived bound on
+    // a feedback edge is refused statically — even when cycles were
+    // explicitly allowed, because here the calculus positively proves the
+    // channel can fill and wedge the loop.
+    for allow in [false, true] {
+        let mut deployment = ping_pong(4);
+        deployment.set_capacity_analysis(&alternating_bounds(&["p", "q"]));
+        deployment.set_channel_capacity("q", 1).expect("nonzero");
+        deployment.set_allow_cycles(allow);
+        assert_eq!(
+            deployment.run().unwrap_err(),
+            DeployError::InsufficientFeedbackCapacity {
+                signal: Name::from("q"),
+                required: 2,
+                actual: 1,
+            }
+        );
+    }
+}
+
+#[test]
+fn an_underivable_cycle_is_refused_naming_the_edge() {
+    // Only p has a derived bound: the q edge resolves to nothing under
+    // derived sizing and the topology itself is refused.
+    let mut deployment = ping_pong(4);
+    deployment.set_capacity_analysis(&alternating_bounds(&["p"]));
+    assert_eq!(
+        deployment.run().unwrap_err(),
+        DeployError::UnboundedEdge(Name::from("q"))
+    );
+
+    // An explicit override sizes the q edge, but does not *prove* it: the
+    // cycle still needs the explicit opt-in, and the refusal names the
+    // unproven edge (a distinct error from UnboundedEdge — the remedy is
+    // set_allow_cycles, not set_channel_capacity).
+    let mut deployment = ping_pong(4);
+    deployment.set_capacity_analysis(&alternating_bounds(&["p"]));
+    deployment.set_channel_capacity("q", 4).expect("nonzero");
+    let err = deployment.run().unwrap_err();
+    assert_eq!(err, DeployError::UnprovenFeedbackEdge(Name::from("q")));
+    assert!(err.to_string().contains("allow_cycles"), "{err}");
+
+    // With the opt-in, the override-sized loop runs (dynamic detection
+    // remains the safety net in pool mode).
+    let mut deployment = ping_pong(4);
+    deployment.set_capacity_analysis(&alternating_bounds(&["p"]));
+    deployment.set_channel_capacity("q", 4).expect("nonzero");
+    deployment.set_allow_cycles(true);
+    let outcome = deployment.run().expect("allowed cycle runs");
+    assert_eq!(outcome.flow("p").len(), 4);
+}
+
+/// A one-in/one-out relay, for acyclic hand-rolled topologies.
+struct Relay {
+    name: String,
+    input: Name,
+    output: Name,
+    queue: Vec<Value>,
+    produced: Vec<Value>,
+}
+
+impl Relay {
+    fn boxed(name: &str, input: &str, output: &str) -> Box<Self> {
+        Box::new(Relay {
+            name: name.into(),
+            input: Name::from(input),
+            output: Name::from(output),
+            queue: Vec::new(),
+            produced: Vec::new(),
+        })
+    }
+}
+
+impl StepMachine for Relay {
+    fn machine_name(&self) -> &str {
+        &self.name
+    }
+    fn input_signals(&self) -> Vec<Name> {
+        vec![self.input.clone()]
+    }
+    fn output_signals(&self) -> Vec<Name> {
+        vec![self.output.clone()]
+    }
+    fn feed_value(&mut self, _signal: &str, value: Value) {
+        self.queue.push(value);
+    }
+    fn try_step(&mut self) -> Result<(), StepFault> {
+        if self.queue.is_empty() {
+            return Err(StepFault::NeedInput(self.input.clone()));
+        }
+        let value = self.queue.remove(0);
+        self.produced.push(value);
+        Ok(())
+    }
+    fn produced(&self, _signal: &str) -> &[Value] {
+        &self.produced
+    }
+}
+
+#[test]
+fn unbounded_edges_are_typed_errors_on_acyclic_topologies_too() {
+    // Hand-rolled machines carry no clock information: under derived
+    // sizing, an edge without an installed bound or an override is a
+    // typed error naming the signal — at topology() and at run().
+    let acyclic = || {
+        let mut deployment = Deployment::new();
+        deployment.add_machine(Relay::boxed("a", "s0", "s1"));
+        deployment.add_machine(Relay::boxed("b", "s1", "s2"));
+        deployment.feed("s0", (1..=3).map(Value::Int));
+        deployment.set_sizing(ChannelSizing::Derived);
+        deployment
+    };
+    assert_eq!(
+        acyclic().topology().unwrap_err(),
+        DeployError::UnboundedEdge(Name::from("s1"))
+    );
+    assert_eq!(
+        acyclic().run().unwrap_err(),
+        DeployError::UnboundedEdge(Name::from("s1"))
+    );
+    // An explicit override unblocks the edge.
+    let mut deployment = acyclic();
+    deployment.set_channel_capacity("s1", 2).expect("nonzero");
+    let outcome = deployment.run().expect("runs");
+    assert_eq!(outcome.flow("s2").len(), 3);
+}
+
+#[test]
+fn unverified_designs_cannot_derive_bounds() {
+    use polychrony::signal_lang::{stdlib, Expr, ProcessBuilder};
+    let loose = ProcessBuilder::new("loose")
+        .define("d", Expr::var("y").default(Expr::var("z")))
+        .build()
+        .unwrap();
+    let design = Design::compose("bad", [loose, stdlib::filter()]).expect("builds");
+    assert_eq!(
+        design.capacity_analysis().unwrap_err(),
+        DeployError::NotVerified("bad".into())
+    );
+}
+
+#[test]
+fn fixed_sizing_keeps_the_legacy_cycle_behavior() {
+    // Without derived bounds the historic contract holds: cycles are
+    // refused unless explicitly allowed, and an allowed primed cycle
+    // still completes.
+    let deployment = ping_pong(3);
+    assert_eq!(deployment.run().unwrap_err(), DeployError::CyclicTopology);
+    let mut deployment = ping_pong(3);
+    deployment.set_allow_cycles(true);
+    deployment.set_capacity(2).expect("nonzero");
+    let outcome = deployment.run().expect("allowed cycle runs");
+    assert_eq!(outcome.stats().sizing, ChannelSizing::Fixed);
+    assert_eq!(outcome.flow("p").len(), 3);
+}

@@ -271,3 +271,69 @@ fn backpressure_is_observable_at_capacity_one() {
     let report = outcome.check_conformance().unwrap();
     assert!(report.is_isochronous(), "{report}");
 }
+
+#[test]
+fn derived_capacities_conform_across_modes_and_backends() {
+    // The capacity-derivation story on the stdlib designs: every edge
+    // gets a clock-derived bound and every (mode x backend) combination
+    // still observes the synchronous flows — the hand-tuned capacity knob
+    // replaced by an artifact of the verification, with no loss of
+    // conformance.
+    use polychrony::gals_rt::{CapacitySource, ChannelSizing};
+    type Scenario = (Design, Vec<(&'static str, Vec<Value>)>);
+    let scenarios: Vec<Scenario> = vec![
+        (
+            library::producer_consumer_design().unwrap(),
+            vec![
+                ("a", bools(&[true, false, false, true, false, true])),
+                ("b", bools(&[false, true, true, false, true, false])),
+            ],
+        ),
+        (
+            library::buffer_pipeline_design(4).unwrap(),
+            vec![("p0", bools(&[true, false, true, true, false, false]))],
+        ),
+        (
+            library::ltta_design().unwrap(),
+            vec![
+                ("xw", ints(1..=6)),
+                ("cw", bools(&[true; 36])),
+                ("cr", bools(&[true; 36])),
+            ],
+        ),
+    ];
+    for (design, feeds) in &scenarios {
+        for mode in MODES {
+            for backend in [Backend::Mpsc, Backend::SpscRing] {
+                let mut deployment = design.deploy_derived().expect("verified design");
+                deployment.set_execution_mode(mode).expect("valid mode");
+                deployment.set_backend(backend);
+                for (signal, values) in feeds {
+                    deployment.feed(*signal, values.iter().copied());
+                }
+                let outcome = deployment.run().expect("the deployment runs");
+                let stats = outcome.stats();
+                assert_eq!(stats.sizing, ChannelSizing::Derived);
+                for edge in &stats.edges {
+                    assert_eq!(
+                        edge.source,
+                        CapacitySource::Derived,
+                        "{}: {}",
+                        design.name(),
+                        edge.signal
+                    );
+                    assert!(edge.derivation.is_some());
+                }
+                for component in &stats.components {
+                    assert_ne!(component.stop, StopReason::Deadlocked);
+                }
+                let report = outcome.check_conformance().expect("reference registered");
+                assert!(
+                    report.is_isochronous(),
+                    "{} ({mode}, {backend}): {report}",
+                    design.name()
+                );
+            }
+        }
+    }
+}
