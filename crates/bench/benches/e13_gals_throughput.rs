@@ -292,11 +292,124 @@ fn bench_derived_sizing(c: &mut Criterion) {
     group.finish();
 }
 
+/// One row of the machine-readable report: a named configuration, its
+/// topology, and the measured (plus, for verified designs, predicted)
+/// throughput.
+struct ReportRow {
+    name: String,
+    topology: String,
+    components: usize,
+    backend: &'static str,
+    mode: &'static str,
+    reactions_per_second: f64,
+    predicted_reactions_per_input: Option<f64>,
+}
+
+/// Measures representative E13 configurations and writes `BENCH_e13.json`
+/// at the workspace root — the same numbers the criterion groups print,
+/// but in a machine-readable shape (name, topology, reactions/sec) so CI
+/// and the throughput-prediction tests can diff runs over time.
+fn emit_machine_readable_report(_c: &mut Criterion) {
+    let stream: Vec<Value> = boolean_flow(STREAM_LEN, 0xE13)
+        .into_iter()
+        .map(Value::Bool)
+        .collect();
+    let mut rows: Vec<ReportRow> = Vec::new();
+
+    // Verified buffer pipelines under derived sizing, both backends.
+    for components in [1usize, 2, 4, 8] {
+        let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
+        let predicted = design
+            .performance_prediction()
+            .ok()
+            .map(|p| p.reactions_per_input());
+        for (label, backend) in [("mpsc", Backend::Mpsc), ("ring", Backend::SpscRing)] {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let mut deployment = design.deploy_derived().expect("the pipeline is verified");
+                deployment.set_backend(backend);
+                deployment.feed("p0", stream.iter().copied());
+                let outcome = deployment.run().expect("the deployment runs");
+                if let Some(rps) = outcome.stats().reactions_per_second() {
+                    best = best.max(rps);
+                }
+            }
+            rows.push(ReportRow {
+                name: format!("pipe{components}/{label}/derived"),
+                topology: "buffer-pipeline".into(),
+                components,
+                backend: label,
+                mode: "thread",
+                reactions_per_second: best,
+                predicted_reactions_per_input: predicted,
+            });
+        }
+    }
+
+    // Relay shapes under the work-stealing pool.
+    for (shape, build, env) in [
+        ("pipeline", pipeline_shape as fn(usize) -> Deployment, "s0"),
+        ("fan", fan_shape as fn(usize) -> Deployment, "in"),
+    ] {
+        for components in [8usize, 64] {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let mut deployment = build(components);
+                deployment
+                    .set_execution_mode(ExecutionMode::pool_per_core())
+                    .expect("valid mode");
+                deployment.set_capacity(16).expect("nonzero");
+                deployment.feed(env, stream.iter().copied());
+                let outcome = deployment.run().expect("the deployment runs");
+                if let Some(rps) = outcome.stats().reactions_per_second() {
+                    best = best.max(rps);
+                }
+            }
+            rows.push(ReportRow {
+                name: format!("{shape}{components}/pool"),
+                topology: format!("relay-{shape}"),
+                components,
+                backend: "auto",
+                mode: "pool",
+                reactions_per_second: best,
+                predicted_reactions_per_input: None,
+            });
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"e13_gals_throughput\",\n");
+    json.push_str(&format!("  \"stream_len\": {STREAM_LEN},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let predicted = row
+            .predicted_reactions_per_input
+            .map_or("null".into(), |p| format!("{p:.2}"));
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"topology\": \"{}\", \"components\": {}, \
+             \"backend\": \"{}\", \"mode\": \"{}\", \"reactions_per_second\": {:.0}, \
+             \"predicted_reactions_per_input\": {}}}{}\n",
+            row.name,
+            row.topology,
+            row.components,
+            row.backend,
+            row.mode,
+            row.reactions_per_second,
+            predicted,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e13.json");
+    std::fs::write(path, &json).expect("writable workspace root");
+    println!("wrote {} ({} rows)", path, rows.len());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_backends, bench_schedulers, bench_derived_sizing
+    targets = bench_backends, bench_schedulers, bench_derived_sizing,
+        emit_machine_readable_report
 }
 criterion_main!(benches);

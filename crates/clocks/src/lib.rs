@@ -14,8 +14,10 @@
 //!   Definition 8 ([`schedule`]),
 //! * the aggregated verdicts — well-clocked, compilable, hierarchic,
 //!   endochronous — of Section 4 ([`analysis`]),
-//! * and the rate relations deriving FIFO bounds between clock domains
-//!   from the same algebra ([`rate`]).
+//! * the rate relations deriving FIFO bounds between clock domains
+//!   from the same algebra ([`rate`]),
+//! * and k-periodic clock words extending those bounds to decimator- and
+//!   burst-shaped edges ([`word`]).
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod inference;
 pub mod rate;
 pub mod relation;
 pub mod schedule;
+pub mod word;
 
 pub use algebra::{ClockAlgebra, VariableOrder};
 pub use analysis::ClockAnalysis;
@@ -53,3 +56,4 @@ pub use hierarchy::{ClassId, ClockHierarchy};
 pub use rate::RateRelation;
 pub use relation::{SchedEdge, SchedNode, TimingRelations};
 pub use schedule::{Acyclicity, SchedulingGraph};
+pub use word::{periodic_systems, word_of_expr, ClockWord, PeriodicSystem};

@@ -22,6 +22,12 @@
 //!   strictly interleave, so at most one token accumulates per phase plus
 //!   the one priming the register — bound **2** (the bound that lets a
 //!   register-broken feedback loop absorb its initializing token);
+//! * [`RateRelation::KPeriodic`] — producer and consumer clocks both
+//!   resolve to k-periodic [`ClockWord`]s over the registers' phase
+//!   structure (one-hot delay rings, alternating states — see
+//!   [`crate::word`]): the bound is the maximum backlog of the producer
+//!   word against the consumer word, which classifies decimator- and
+//!   burst-shaped edges with finite bounds beyond 2;
 //! * [`RateRelation::Unbounded`] — `R` proves none of the above: the
 //!   producer can emit arbitrarily many tokens between consumer
 //!   presences, and no finite capacity can be derived.
@@ -36,6 +42,7 @@ use signal_lang::{Atom, KernelEq, KernelProcess, Name, PrimOp};
 
 use crate::algebra::ClockAlgebra;
 use crate::clock::{Clock, ClockExpr};
+use crate::word::ClockWord;
 
 /// How a producer clock relates to a consumer clock under the relation `R`
 /// of a process — and hence how many tokens can sit in a FIFO from one to
@@ -57,6 +64,18 @@ pub enum RateRelation {
         /// The alternating boolean state whose samplings pace the edge.
         state: Name,
     },
+    /// Producer and consumer clocks resolve to k-periodic words over a
+    /// register-determined phase structure; the bound is the words' max
+    /// backlog under aligned reaction sequences (at least one slot).
+    KPeriodic {
+        /// The producer's emission word.
+        producer: ClockWord,
+        /// The consumer's read word.
+        consumer: ClockWord,
+        /// `sup_n producer(n) − consumer(n−1)`: the aligned-schedule
+        /// FIFO occupancy.
+        backlog: usize,
+    },
     /// `R` entails no finite relation between the clocks: the producer can
     /// run arbitrarily far ahead of the consumer.
     Unbounded,
@@ -70,7 +89,24 @@ impl RateRelation {
         match self {
             RateRelation::Synchronous | RateRelation::Subsampled => Some(1),
             RateRelation::Alternating { .. } => Some(2),
+            RateRelation::KPeriodic { backlog, .. } => Some((*backlog).max(1)),
             RateRelation::Unbounded => None,
+        }
+    }
+
+    /// Classifies a producer/consumer pair of k-periodic words directly:
+    /// the word-level backlog with no algebra in the loop.  Used when the
+    /// two words come from *different* components' local analyses (the
+    /// global algebra of a partially-analyzed composition knows neither
+    /// side's phase registers).
+    pub fn between_words(producer: &ClockWord, consumer: &ClockWord) -> RateRelation {
+        match ClockWord::backlog(producer, consumer) {
+            Some(backlog) => RateRelation::KPeriodic {
+                producer: producer.clone(),
+                consumer: consumer.clone(),
+                backlog,
+            },
+            None => RateRelation::Unbounded,
         }
     }
 
@@ -114,7 +150,10 @@ impl RateRelation {
     /// alternating-register states of `kernel`: a consumer reading at
     /// `[t]` or `[not t]` of an alternating `t`, with the producer inside
     /// `^t`, is [`RateRelation::Alternating`] (bound 2) instead of
-    /// unbounded.
+    /// unbounded.  When that refinement does not apply either, both
+    /// clocks are resolved against the kernel's k-periodic phase systems
+    /// ([`crate::word::periodic_systems`]): a pair of resolvable words
+    /// with a finite backlog is [`RateRelation::KPeriodic`].
     pub fn between_in(
         kernel: &KernelProcess,
         algebra: &mut ClockAlgebra,
@@ -144,6 +183,19 @@ impl RateRelation {
                 return RateRelation::Alternating { state };
             }
         }
+        let systems = crate::word::periodic_systems(kernel);
+        if let (Some(producer_word), Some(consumer_word)) = (
+            crate::word::word_of_expr(producer, &systems, algebra),
+            crate::word::word_of_expr(consumer, &systems, algebra),
+        ) {
+            if let Some(backlog) = ClockWord::backlog(&producer_word, &consumer_word) {
+                return RateRelation::KPeriodic {
+                    producer: producer_word,
+                    consumer: consumer_word,
+                    backlog,
+                };
+            }
+        }
         RateRelation::Unbounded
     }
 }
@@ -154,6 +206,15 @@ impl fmt::Display for RateRelation {
             RateRelation::Synchronous => write!(f, "synchronous"),
             RateRelation::Subsampled => write!(f, "subsampled"),
             RateRelation::Alternating { state } => write!(f, "alternating on {state}"),
+            RateRelation::KPeriodic {
+                producer,
+                consumer,
+                backlog,
+            } => write!(
+                f,
+                "k-periodic: producer word {producer}, consumer word {consumer}, \
+                 backlog {backlog}"
+            ),
             RateRelation::Unbounded => write!(f, "unbounded"),
         }
     }
@@ -183,8 +244,12 @@ pub fn alternating_states(kernel: &KernelProcess) -> BTreeSet<Name> {
 }
 
 /// Returns `true` when every atomic clock of the expression names a signal
-/// the algebra knows (encoding an unknown signal would panic).
-fn knows_atoms(algebra: &ClockAlgebra, expr: &ClockExpr) -> bool {
+/// the algebra knows (encoding an unknown signal would panic) — the guard
+/// every classification entry point applies before touching the BDD, and
+/// the one callers deriving over *partially-analyzed* compositions rely
+/// on: an interface-abstracted composite's algebra does not know the
+/// components' internal signals.
+pub fn knows_atoms(algebra: &ClockAlgebra, expr: &ClockExpr) -> bool {
     let mut atoms = Vec::new();
     expr.atoms(&mut atoms);
     atoms

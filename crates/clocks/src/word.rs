@@ -1,0 +1,552 @@
+//! K-periodic clock words: the n-synchronous side of the rate calculus.
+//!
+//! A [`ClockWord`] is an ultimately periodic binary word `u(v)^ω` over a
+//! component's reaction instants: position `n` (1-indexed) is `1` when the
+//! clock is present at the component's `n`-th reaction.  The existing
+//! [`RateRelation`](crate::rate::RateRelation) classes are the words'
+//! degenerate cases — `(1)` for a synchronous edge, `(01)`/`(10)` for the
+//! two phases of an alternating register — and the general backlog of a
+//! producer word against a consumer word extends the same buffer-sizing
+//! argument to decimators and bursty samplers (à la Lucy-n's n-synchronous
+//! clock envelopes and SDF buffer sizing).
+//!
+//! Words are *derived*, never assumed: [`periodic_systems`] recognizes the
+//! two syntactic pacemakers whose phase structure is fully determined by
+//! register initializations alone —
+//!
+//! * a **one-hot ring** of `k ≥ 2` boolean delay registers (`r2 := r1 $
+//!   init false | … | r1 := rk $ init true`) carrying a single `true`
+//!   around, so `[ri]` is exactly phase `i` of a `k`-periodic schedule;
+//! * an **alternating register** (`s := t $ init v | t := not s`), the
+//!   paper's one-place-buffer pacemaker, whose samplings `[t]`/`[not t]`
+//!   are the two phases of a 2-periodic schedule;
+//!
+//! and [`word_of_expr`] resolves an arbitrary clock expression against
+//! those phases *semantically*, through the relation `R` held by a
+//! [`ClockAlgebra`]: an expression gets the union of the phase words it
+//! provably covers, provided `R` also proves it covers nothing else.
+//!
+//! The backlog of a producer word against a consumer word assumes the two
+//! components' reaction sequences are aligned from the start and advance
+//! at the same pace — exactly the steady state a rate-matched GALS
+//! deployment converges to, and the alignment under which the synchronous
+//! reference itself executes.
+
+use std::fmt;
+
+use signal_lang::{KernelProcess, Name, Value};
+
+use crate::algebra::ClockAlgebra;
+use crate::clock::ClockExpr;
+
+/// An ultimately periodic binary word `u(v)^ω`: `prefix` is read once,
+/// then `period` repeats forever.  Normalized on construction (primitive
+/// period, shortest prefix), so equal schedules compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockWord {
+    prefix: Vec<bool>,
+    period: Vec<bool>,
+}
+
+impl ClockWord {
+    /// The word `u(v)^ω`, normalized.  Returns `None` for an empty
+    /// period (a word must say something about the infinite future).
+    pub fn from_parts(prefix: Vec<bool>, period: Vec<bool>) -> Option<ClockWord> {
+        if period.is_empty() {
+            return None;
+        }
+        let mut word = ClockWord { prefix, period };
+        word.normalize();
+        Some(word)
+    }
+
+    /// The purely periodic word `(v)^ω`.
+    pub fn periodic(period: Vec<bool>) -> Option<ClockWord> {
+        ClockWord::from_parts(Vec::new(), period)
+    }
+
+    /// Phase `index` (1-indexed) of a `length`-periodic schedule: a `1`
+    /// at position `index` of every period, `0` elsewhere.
+    pub fn phase(index: usize, length: usize) -> Option<ClockWord> {
+        if index == 0 || index > length {
+            return None;
+        }
+        ClockWord::periodic((1..=length).map(|i| i == index).collect())
+    }
+
+    /// The always-present word `(1…1)^ω` of the given period length.
+    pub fn always(length: usize) -> Option<ClockWord> {
+        ClockWord::periodic(vec![true; length.max(1)])
+    }
+
+    fn normalize(&mut self) {
+        // Fold the prefix tail into the period: `u·a (v·a)^ω = u (a·v)^ω`.
+        while let (Some(&p), Some(&q)) = (self.prefix.last(), self.period.last()) {
+            if p != q {
+                break;
+            }
+            self.prefix.pop();
+            if let Some(last) = self.period.pop() {
+                self.period.insert(0, last);
+            }
+        }
+        // Reduce the period to its primitive root.
+        let len = self.period.len();
+        for d in 1..len {
+            if !len.is_multiple_of(d) {
+                continue;
+            }
+            if (d..len).all(|i| self.period[i] == self.period[i % d]) {
+                self.period.truncate(d);
+                break;
+            }
+        }
+    }
+
+    /// Is the clock present at instant `n` (1-indexed)?  Instant 0 (or
+    /// below) is before time starts: absent.
+    pub fn at(&self, n: usize) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let i = n - 1;
+        if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            self.period[(i - self.prefix.len()) % self.period.len()]
+        }
+    }
+
+    /// How many presences in instants `1..=n` (the cumulative one-count
+    /// `O(n)` of the n-synchronous literature).
+    pub fn ones_before(&self, n: usize) -> usize {
+        let in_prefix: usize = self
+            .prefix
+            .iter()
+            .take(n)
+            .filter(|&&present| present)
+            .count();
+        if n <= self.prefix.len() {
+            return in_prefix;
+        }
+        let rest = n - self.prefix.len();
+        let per_period: usize = self.period.iter().filter(|&&present| present).count();
+        let tail: usize = self
+            .period
+            .iter()
+            .take(rest % self.period.len())
+            .filter(|&&present| present)
+            .count();
+        in_prefix + (rest / self.period.len()) * per_period + tail
+    }
+
+    /// The first present instant (1-indexed), or `None` for the never
+    /// word `(0)^ω`.
+    pub fn first_one(&self) -> Option<usize> {
+        (1..=self.prefix.len() + self.period.len()).find(|&n| self.at(n))
+    }
+
+    /// The asymptotic rate as `(ones per period, period length)`.
+    pub fn rate(&self) -> (usize, usize) {
+        (
+            self.period.iter().filter(|&&present| present).count(),
+            self.period.len(),
+        )
+    }
+
+    /// The prefix length `|u|`.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// The (primitive) period length `|v|`.
+    pub fn period_len(&self) -> usize {
+        self.period.len()
+    }
+
+    fn zip_with(&self, other: &ClockWord, f: impl Fn(bool, bool) -> bool) -> ClockWord {
+        let prefix_len = self.prefix.len().max(other.prefix.len());
+        let period_len = lcm(self.period.len(), other.period.len());
+        let prefix = (1..=prefix_len)
+            .map(|n| f(self.at(n), other.at(n)))
+            .collect();
+        let period = (prefix_len + 1..=prefix_len + period_len)
+            .map(|n| f(self.at(n), other.at(n)))
+            .collect();
+        let mut word = ClockWord { prefix, period };
+        word.normalize();
+        word
+    }
+
+    /// The pointwise union (presence in either word).
+    pub fn union(&self, other: &ClockWord) -> ClockWord {
+        self.zip_with(other, |a, b| a || b)
+    }
+
+    /// The pointwise intersection (presence in both words).
+    pub fn intersection(&self, other: &ClockWord) -> ClockWord {
+        self.zip_with(other, |a, b| a && b)
+    }
+
+    /// The pointwise complement (presence where this word is absent).
+    pub fn complement(&self) -> ClockWord {
+        let mut word = ClockWord {
+            prefix: self.prefix.iter().map(|&present| !present).collect(),
+            period: self.period.iter().map(|&present| !present).collect(),
+        };
+        word.normalize();
+        word
+    }
+
+    /// The maximum backlog of a `producer` word against a `consumer`
+    /// word under aligned reaction sequences: `sup_n  P(n) − C(n−1)`,
+    /// the number of tokens emitted by instant `n` that the consumer has
+    /// not yet had a read opportunity for.  This is the FIFO occupancy
+    /// the aligned schedule needs — the k-periodic generalization of the
+    /// synchronous bound 1 and the alternating bound 2.
+    ///
+    /// Returns `None` when the producer's asymptotic rate exceeds the
+    /// consumer's: the gap grows without bound.
+    pub fn backlog(producer: &ClockWord, consumer: &ClockWord) -> Option<usize> {
+        let (p_ones, p_len) = producer.rate();
+        let (c_ones, c_len) = consumer.rate();
+        if p_ones * c_len > c_ones * p_len {
+            return None;
+        }
+        let horizon = producer.prefix_len().max(consumer.prefix_len())
+            + 2 * lcm(producer.period_len(), consumer.period_len());
+        let gap = (1..=horizon)
+            .map(|n| {
+                let produced = producer.ones_before(n) as isize;
+                let readable = consumer.ones_before(n - 1) as isize;
+                produced - readable
+            })
+            .max()
+            .unwrap_or(0);
+        Some(gap.max(0) as usize)
+    }
+}
+
+impl fmt::Display for ClockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &present in &self.prefix {
+            write!(f, "{}", u8::from(present))?;
+        }
+        write!(f, "(")?;
+        for &present in &self.period {
+            write!(f, "{}", u8::from(present))?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A syntactically recognized periodic pacemaker of a kernel process: a
+/// period length plus the clock expressions whose words the register
+/// structure fully determines.
+#[derive(Debug, Clone)]
+pub struct PeriodicSystem {
+    /// The period of the system's schedule.
+    pub period: usize,
+    /// `(clock, word)` pairs: the tick of the system and the value
+    /// samplings of its phase signals.
+    pub atoms: Vec<(ClockExpr, ClockWord)>,
+}
+
+/// Recognizes the periodic pacemakers of `kernel`: one-hot delay rings
+/// (`k`-periodic) and alternating registers (2-periodic).  See the module
+/// docs for the exact shapes.
+pub fn periodic_systems(kernel: &KernelProcess) -> Vec<PeriodicSystem> {
+    let mut systems = one_hot_rings(kernel);
+    systems.extend(alternating_systems(kernel));
+    systems
+}
+
+/// One-hot delay rings: cycles `r1 → r2 → … → rk → r1` of boolean delay
+/// registers (`r_{i+1} := r_i $ init …`) with exactly one `true`
+/// initialization.  The single token walks the ring, so the signal
+/// initialized `true` is true exactly at instants `1, k+1, 2k+1, …` —
+/// phase 1 — and each successor register holds the next phase.
+fn one_hot_rings(kernel: &KernelProcess) -> Vec<PeriodicSystem> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let registers = kernel.registers();
+    let outs: BTreeSet<&Name> = registers.iter().map(|(out, _, _)| out).collect();
+    // arg → (out, init), only when the arg is itself a ring register and
+    // feeds exactly one delay (a ring node has one successor).
+    let mut next: BTreeMap<&Name, (&Name, &Value)> = BTreeMap::new();
+    let mut fan_out: BTreeMap<&Name, usize> = BTreeMap::new();
+    for (out, arg, init) in &registers {
+        *fan_out.entry(arg).or_insert(0) += 1;
+        if outs.contains(arg) {
+            next.insert(arg, (out, init));
+        }
+    }
+    let mut systems = Vec::new();
+    let mut visited: BTreeSet<&Name> = BTreeSet::new();
+    for (start, _, _) in &registers {
+        if visited.contains(start) {
+            continue;
+        }
+        // Walk the successor chain; a ring comes back to its start.
+        let mut chain = vec![start];
+        let mut chain_set: BTreeSet<&Name> = [start].into();
+        let mut node = start;
+        let ring = loop {
+            if fan_out.get(node).copied().unwrap_or(0) != 1 {
+                break None;
+            }
+            let Some(&(succ, _)) = next.get(node) else {
+                break None;
+            };
+            if succ == start {
+                break Some(chain.clone());
+            }
+            if !chain_set.insert(succ) {
+                break None; // re-entered the chain elsewhere: not a simple ring
+            }
+            chain.push(succ);
+            node = succ;
+        };
+        visited.extend(chain.iter().copied());
+        let Some(ring) = ring else { continue };
+        if ring.len() < 2 {
+            continue;
+        }
+        // Boolean registers, exactly one initialized true.
+        let init_of: BTreeMap<&Name, bool> = registers
+            .iter()
+            .filter_map(|(out, _, init)| match init {
+                Value::Bool(b) => Some((out, *b)),
+                _ => None,
+            })
+            .collect();
+        if !ring.iter().all(|signal| init_of.contains_key(*signal)) {
+            continue;
+        }
+        let true_inits: Vec<usize> = ring
+            .iter()
+            .enumerate()
+            .filter(|(_, signal)| init_of.get(**signal).copied().unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        let [seed] = true_inits.as_slice() else {
+            continue;
+        };
+        // Rotate so the true-initialized register is phase 1; the token
+        // then moves to its *successor* register at the next instant.
+        let k = ring.len();
+        let ordered: Vec<&Name> = (0..k).map(|i| ring[(seed + i) % k]).collect();
+        let mut atoms = Vec::new();
+        if let Some(tick) = ClockWord::always(k) {
+            atoms.push((ClockExpr::tick(ordered[0].as_str()), tick));
+        }
+        for (i, signal) in ordered.iter().enumerate() {
+            if let Some(word) = ClockWord::phase(i + 1, k) {
+                atoms.push((ClockExpr::on_true(signal.as_str()), word.clone()));
+                atoms.push((ClockExpr::on_false(signal.as_str()), word.complement()));
+            }
+        }
+        systems.push(PeriodicSystem { period: k, atoms });
+    }
+    systems
+}
+
+/// Alternating registers as 2-periodic systems: for `s := t $ init v | t
+/// := not s`, the state `t` is `¬v` at instant 1 and flips every
+/// instant, so `[t]` and `[not t]` are the two phases.
+fn alternating_systems(kernel: &KernelProcess) -> Vec<PeriodicSystem> {
+    let mut systems = Vec::new();
+    for state in crate::rate::alternating_states(kernel) {
+        let init = kernel.registers().into_iter().find_map(|(_, arg, init)| {
+            if arg == state {
+                match init {
+                    Value::Bool(b) => Some(b),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        });
+        let Some(init) = init else { continue };
+        // t(1) = ¬init, then alternates.
+        let Some(word_true) = ClockWord::periodic(vec![!init, init]) else {
+            continue;
+        };
+        let mut atoms = Vec::new();
+        if let Some(tick) = ClockWord::always(2) {
+            atoms.push((ClockExpr::tick(state.as_str()), tick));
+        }
+        atoms.push((ClockExpr::on_true(state.as_str()), word_true.clone()));
+        atoms.push((ClockExpr::on_false(state.as_str()), word_true.complement()));
+        systems.push(PeriodicSystem { period: 2, atoms });
+    }
+    systems
+}
+
+/// Resolves a clock expression to a k-periodic word through the relation
+/// `R` held by `algebra`: the expression gets the union of the system
+/// phase words it provably includes, provided `R` also proves the
+/// expression is covered by those phases (so the word is exact, not a
+/// lower envelope).  Expressions mentioning signals unknown to the
+/// algebra resolve to `None` — the conservative direction.
+pub fn word_of_expr(
+    expr: &ClockExpr,
+    systems: &[PeriodicSystem],
+    algebra: &mut ClockAlgebra,
+) -> Option<ClockWord> {
+    if !crate::rate::knows_atoms(algebra, expr) {
+        return None;
+    }
+    for system in systems {
+        let known = system.atoms.iter().all(|(clock, _)| {
+            let mut atoms = Vec::new();
+            clock.atoms(&mut atoms);
+            atoms
+                .iter()
+                .all(|atom| algebra.has_signal(atom.signal().as_str()))
+        });
+        if !known {
+            continue;
+        }
+        let included: Vec<&(ClockExpr, ClockWord)> = system
+            .atoms
+            .iter()
+            .filter(|(clock, _)| algebra.clock_included(clock, expr))
+            .collect();
+        let Some(((first_clock, first_word), rest)) = included.split_first() else {
+            continue;
+        };
+        let cover = rest
+            .iter()
+            .fold(first_clock.clone(), |acc, (clock, _)| acc.or(clock.clone()));
+        if !algebra.clock_included(expr, &cover) {
+            continue;
+        }
+        let word = rest
+            .iter()
+            .fold(first_word.clone(), |acc, (_, w)| acc.union(w));
+        return Some(word);
+    }
+    None
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.max(1)
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    let (a, b) = (a.max(1), b.max(1));
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference;
+    use signal_lang::stdlib;
+
+    fn w(prefix: &str, period: &str) -> ClockWord {
+        let bits = |s: &str| s.chars().map(|c| c == '1').collect::<Vec<bool>>();
+        ClockWord::from_parts(bits(prefix), bits(period)).expect("nonempty period")
+    }
+
+    #[test]
+    fn words_normalize_to_primitive_periods() {
+        assert_eq!(w("", "1010"), w("", "10"));
+        assert_eq!(w("10", "10"), w("", "10"));
+        assert_eq!(w("1", "01"), w("", "10"));
+        assert_eq!(w("", "100100").to_string(), "(100)");
+        assert_eq!(w("110", "0").to_string(), "11(0)");
+    }
+
+    #[test]
+    fn cumulative_counts_and_rates() {
+        let word = w("", "111000");
+        assert_eq!(word.rate(), (3, 6));
+        assert_eq!(word.ones_before(0), 0);
+        assert_eq!(word.ones_before(3), 3);
+        assert_eq!(word.ones_before(6), 3);
+        assert_eq!(word.ones_before(8), 5);
+        assert_eq!(word.first_one(), Some(1));
+        assert_eq!(w("", "000111").first_one(), Some(4));
+        assert_eq!(w("", "0").first_one(), None);
+        assert!(word.at(2) && !word.at(4) && word.at(7));
+    }
+
+    #[test]
+    fn set_operations_align_periods() {
+        let a = w("", "10");
+        let b = w("", "100");
+        assert_eq!(a.union(&b), w("", "101110"));
+        assert_eq!(a.intersection(&b), w("", "100000"));
+        assert_eq!(a.complement(), w("", "01"));
+    }
+
+    #[test]
+    fn backlog_reproduces_the_degenerate_bounds() {
+        // Synchronous: identical words need one slot.
+        assert_eq!(ClockWord::backlog(&w("", "1"), &w("", "1")), Some(1));
+        // Alternating phases: producer (01) against consumer (10) — the
+        // consumer is always a step ahead, zero backlog accumulates.
+        assert_eq!(ClockWord::backlog(&w("", "01"), &w("", "10")), Some(0));
+        // Emit at odd instants, read at even instants: one slot carries
+        // each token across.
+        assert_eq!(ClockWord::backlog(&w("", "10"), &w("", "01")), Some(1));
+        // A full-tick producer against a half-rate consumer diverges —
+        // the word model is sharper than the alternating bound here.
+        assert_eq!(ClockWord::backlog(&w("", "1"), &w("", "01")), None);
+    }
+
+    #[test]
+    fn burst_words_get_finite_bounds_beyond_two() {
+        // 3-burst producer against a 3-burst consumer half a period later.
+        assert_eq!(
+            ClockWord::backlog(&w("", "111000"), &w("", "000111")),
+            Some(3)
+        );
+        // The reversed alignment never accumulates.
+        assert_eq!(
+            ClockWord::backlog(&w("", "000111"), &w("", "111000")),
+            Some(0)
+        );
+        // A producer faster than its consumer diverges.
+        assert_eq!(ClockWord::backlog(&w("", "110"), &w("", "100")), None);
+    }
+
+    #[test]
+    fn the_buffer_alternating_state_is_a_two_periodic_system() {
+        let kernel = stdlib::buffer().normalize().expect("normalizes");
+        let systems = periodic_systems(&kernel);
+        assert_eq!(systems.len(), 1, "systems: {systems:?}");
+        assert_eq!(systems[0].period, 2);
+        let relations = inference::infer(&kernel);
+        let mut algebra = ClockAlgebra::new(&kernel, &relations);
+        // x is emitted at [t] with s := t $ init true, so t starts false:
+        // the emission word is (01), the read word (10).
+        let x = word_of_expr(&ClockExpr::tick("x"), &systems, &mut algebra);
+        assert_eq!(x, Some(w("", "01")));
+        let y = word_of_expr(&ClockExpr::tick("y"), &systems, &mut algebra);
+        assert_eq!(y, Some(w("", "10")));
+        // The master tick resolves to the always word.
+        let r = word_of_expr(&ClockExpr::tick("r"), &systems, &mut algebra);
+        assert_eq!(r, Some(w("", "1")));
+    }
+
+    #[test]
+    fn unknown_signals_resolve_to_none() {
+        let kernel = stdlib::buffer().normalize().expect("normalizes");
+        let systems = periodic_systems(&kernel);
+        let relations = inference::infer(&kernel);
+        let mut algebra = ClockAlgebra::new(&kernel, &relations);
+        assert_eq!(
+            word_of_expr(&ClockExpr::tick("nosuch"), &systems, &mut algebra),
+            None
+        );
+    }
+}

@@ -385,7 +385,14 @@ impl Design {
     /// design: for each signal produced by one component and consumed by
     /// another, the producer-side and consumer-side local clock
     /// expressions ([`Component::clock_expr_of`]) the capacity derivation
-    /// compares in the algebra of the global composition.
+    /// compares in the algebra of the global composition — plus, when a
+    /// component's kernel exposes a periodic phase system (a one-hot
+    /// delay ring or an alternating register), the k-periodic
+    /// [`clocks::ClockWord`] of its side of the edge, resolved in the
+    /// component's *local* relation.  The words survive interface
+    /// abstraction ([`Design::from_parts`]): a composite hiding the
+    /// components' internals strips them from the global algebra, but
+    /// each component still knows its own phase structure.
     pub fn edge_clocks(&self) -> BTreeMap<Name, EdgeClocks> {
         let mut producer_of: BTreeMap<Name, usize> = BTreeMap::new();
         for (i, component) in self.components.iter().enumerate() {
@@ -393,6 +400,7 @@ impl Design {
                 producer_of.insert(output.clone(), i);
             }
         }
+        let mut local = LocalWords::new(&self.components);
         let mut edges: BTreeMap<Name, EdgeClocks> = BTreeMap::new();
         for (j, component) in self.components.iter().enumerate() {
             for input in component.kernel().inputs() {
@@ -403,17 +411,72 @@ impl Design {
                     continue; // self-loop: resolved inside the component
                 }
                 let consumer = component.clock_expr_of(input);
-                edges
-                    .entry(input.clone())
-                    .or_insert_with(|| EdgeClocks {
-                        producer: self.components[i].clock_expr_of(input),
+                let consumer_word = local.word_of(j, &consumer);
+                let entry = edges.entry(input.clone()).or_insert_with(|| {
+                    let producer = self.components[i].clock_expr_of(input);
+                    let producer_word = local.word_of(i, &producer);
+                    EdgeClocks {
+                        producer,
                         consumers: Vec::new(),
-                    })
-                    .consumers
-                    .push(consumer);
+                        producer_word,
+                        consumer_words: Vec::new(),
+                    }
+                });
+                entry.consumers.push(consumer);
+                entry.consumer_words.push(consumer_word);
             }
         }
         edges
+    }
+
+    /// Derives the static performance prediction of the design's
+    /// deployment from the same k-periodic clock words that bound its
+    /// channels: per-component steady-state reactions per environment
+    /// token, per-edge traffic, pipeline-fill latency and the bottleneck
+    /// edge — before any reaction runs.  Install it on a deployment with
+    /// [`gals_rt::Deployment::set_prediction`] so the run's stats report
+    /// predicted and measured paces side by side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when the interface-derived topology is
+    /// ill-formed (e.g. two components produce the same signal).
+    pub fn performance_prediction(&self) -> Result<gals_rt::PerformancePrediction, DeployError> {
+        // Resolve the topology under derived sizing when the analysis
+        // succeeds, so the per-edge capacities in the prediction are the
+        // ones a `deploy_derived` run will actually wire; designs the
+        // calculus cannot fully bound fall back to the default policy.
+        let mut deployment = self.deploy_unchecked();
+        if let Ok(analysis) = self.capacity_analysis() {
+            if analysis.is_fully_bounded() {
+                deployment.set_capacity_analysis(&analysis);
+            }
+        }
+        let topology = deployment.topology()?;
+        let edge_clocks = self.edge_clocks();
+        let environment: std::collections::BTreeSet<&Name> = topology.environment.iter().collect();
+        let mut local = LocalWords::new(&self.components);
+        let mut env_reads = Vec::new();
+        for (j, component) in self.components.iter().enumerate() {
+            for input in component.kernel().inputs() {
+                if !environment.contains(input) {
+                    continue; // channel-fed: covered by the edge words
+                }
+                let expr = component.clock_expr_of(input);
+                env_reads.push((j, local.word_of(j, &expr)));
+            }
+        }
+        let names: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        Ok(gals_rt::PerformancePrediction::derive(
+            &topology,
+            &edge_clocks,
+            &env_reads,
+            &names,
+        ))
     }
 
     /// Derives a channel capacity bound for every edge of the design's
@@ -428,6 +491,12 @@ impl Design {
     /// Returns [`DeployError::NotVerified`] when the design fails the
     /// static weak-hierarchy criterion: the relations of an unverified
     /// design prove nothing, so no bound can be trusted from them.
+    /// Returns [`DeployError::UnprimedCycle`] when the priming-liveness
+    /// pass proves a feedback loop can never start turning — every
+    /// component on it waits on its first read strictly before its first
+    /// emission — refusing statically the exact wait cycle the pool
+    /// scheduler's dynamic `Deadlocked` detection would otherwise only
+    /// report at run time.
     pub fn capacity_analysis(&self) -> Result<CapacityAnalysis, DeployError> {
         if !self.is_weakly_hierarchic() {
             return Err(DeployError::NotVerified(self.name.clone()));
@@ -437,12 +506,16 @@ impl Design {
         // mutate BDD caches, so the shared analysis cannot serve here.
         let relations = clocks::inference::infer(&self.composition);
         let mut algebra = ClockAlgebra::new(&self.composition, &relations);
-        Ok(CapacityAnalysis::derive(
+        let analysis = CapacityAnalysis::derive(
             &topology,
             &self.composition,
             &mut algebra,
             &self.edge_clocks(),
-        ))
+        );
+        if let Some(cycle) = analysis.unprimed_cycles().first() {
+            return Err(DeployError::UnprimedCycle(cycle.clone()));
+        }
+        Ok(analysis)
     }
 
     /// Assembles the deployment of a verified design with **derived**
@@ -472,6 +545,39 @@ impl Design {
             .collect();
         defs.push(component);
         Design::compose(format!("{}+", self.name), defs)
+    }
+}
+
+/// One phase-system + local-algebra pair per component, built lazily:
+/// word resolution mutates BDD caches, so the shared (immutable)
+/// component analyses cannot serve, and most components never need one.
+struct LocalWords<'a> {
+    components: &'a [Component],
+    cache: Vec<Option<(Vec<clocks::PeriodicSystem>, ClockAlgebra)>>,
+}
+
+impl<'a> LocalWords<'a> {
+    fn new(components: &'a [Component]) -> Self {
+        LocalWords {
+            components,
+            cache: components.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// The k-periodic word of `expr` over component `index`'s local
+    /// reactions, when its kernel exposes a periodic phase system that
+    /// resolves the expression.
+    fn word_of(&mut self, index: usize, expr: &clocks::ClockExpr) -> Option<clocks::ClockWord> {
+        let component = &self.components[index];
+        let (systems, algebra) = self.cache[index].get_or_insert_with(|| {
+            let kernel = component.kernel();
+            let relations = clocks::inference::infer(kernel);
+            (
+                clocks::periodic_systems(kernel),
+                ClockAlgebra::new(kernel, &relations),
+            )
+        });
+        clocks::word_of_expr(expr, systems, algebra)
     }
 }
 

@@ -66,6 +66,40 @@ pub fn buffer_pipeline_design(n: usize) -> Result<Design, DesignError> {
     Design::compose(format!("pipe{n}"), buffer_pipeline(n))
 }
 
+/// The multi-rate burst design: a [`burst_source`] emitting `x` on phases
+/// 1–3 of its 6-phase ring feeds a [`burst_sink`] reading on phases 4–6,
+/// under the [`burst_main`] interface abstraction that hides `x` and both
+/// rings.  The global algebra of the composite proves nothing about the
+/// edge (the phase registers are hidden), so the channel bound — backlog
+/// 3, strictly beyond what the alternation-based rate classes can express
+/// — comes entirely from the components' local k-periodic words.
+pub fn multirate_design() -> Result<Design, DesignError> {
+    Design::from_parts(burst_main(), [burst_source(), burst_sink()])
+}
+
+/// Two ordinary one-place buffers in a feedback loop: each waits on its
+/// first read strictly before its first emission, so the loop can never
+/// start turning.  Every edge still derives a finite bound — the
+/// priming-liveness pass is what refuses this design statically
+/// ([`gals_rt::DeployError::UnprimedCycle`]) instead of leaving it to the
+/// pool scheduler's dynamic `Deadlocked` detection.
+pub fn unprimed_loop_design() -> Result<Design, DesignError> {
+    let b0 = buffer().instantiate("b0", &[("y", "p0"), ("x", "p1")]);
+    let b1 = buffer().instantiate("b1", &[("y", "p1"), ("x", "p0")]);
+    Design::compose("unprimed_loop", [b0, b1])
+}
+
+/// The same feedback loop with one buffer replaced by a [`primed_buffer`]
+/// (its alternating state starts flipped): that component emits before it
+/// reads, the loop is primed with a first token, and the design deploys
+/// and turns forever — the minimal liveness contrast to
+/// [`unprimed_loop_design`].
+pub fn primed_loop_design() -> Result<Design, DesignError> {
+    let b0 = buffer().instantiate("b0", &[("y", "p0"), ("x", "p1")]);
+    let b1 = primed_buffer().instantiate("b1", &[("y", "p1"), ("x", "p0")]);
+    Design::compose("primed_loop", [b0, b1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

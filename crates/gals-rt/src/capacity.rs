@@ -27,6 +27,7 @@ use std::fmt;
 use clocks::algebra::ClockAlgebra;
 use clocks::clock::ClockExpr;
 use clocks::rate::RateRelation;
+use clocks::word::ClockWord;
 use signal_lang::{KernelProcess, Name};
 
 use crate::deploy::Topology;
@@ -35,12 +36,25 @@ use crate::deploy::Topology;
 /// the producing component emits it and the clock(s) at which its
 /// consumer(s) read it, both expressed in the components' *local*
 /// relations and interpreted in the algebra of the global composition.
+///
+/// When a component's kernel exposes a periodic phase system (a one-hot
+/// delay ring or an alternating register — see [`clocks::word`]), its
+/// side of the edge additionally carries the k-periodic [`ClockWord`] of
+/// the clock over the component's *local* reactions.  The words survive
+/// interface abstraction: a composite that hides a component's internals
+/// strips the global algebra of its phase registers, but the local word
+/// was resolved in the component's own relation and still classifies the
+/// edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeClocks {
     /// The producer-side clock expression of the signal.
     pub producer: ClockExpr,
     /// One consumer-side clock expression per consuming component.
     pub consumers: Vec<ClockExpr>,
+    /// The producer's local emission word, when derivable.
+    pub producer_word: Option<ClockWord>,
+    /// Per-consumer local read words, parallel to `consumers`.
+    pub consumer_words: Vec<Option<ClockWord>>,
 }
 
 /// A per-edge capacity bound derived from the clock calculus.
@@ -62,13 +76,44 @@ impl fmt::Display for DerivedCapacity {
     }
 }
 
+/// A feedback loop the priming-liveness analysis proved can never start
+/// turning: every component on the loop waits on its first read strictly
+/// before its first emission, so each blocks forever on an empty channel
+/// — the static form of the wait cycle the pool scheduler's dynamic
+/// `Deadlocked` detection would otherwise only catch at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnprimedCycle {
+    /// The channel signals of the unprimed loop.
+    pub signals: Vec<Name>,
+    /// Per-component first-emission vs first-read instants, for the
+    /// error message.
+    pub detail: String,
+}
+
+impl fmt::Display for UnprimedCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unprimed feedback loop through {}: {}",
+            self.signals
+                .iter()
+                .map(Name::as_str)
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.detail
+        )
+    }
+}
+
 /// The result of deriving capacity bounds for every edge of a topology:
-/// a bound (with provenance) per boundable signal, and the reason for
-/// every signal the calculus could not bound.
+/// a bound (with provenance) per boundable signal, the reason for every
+/// signal the calculus could not bound, and the feedback loops the
+/// priming-liveness analysis proved unable to start.
 #[derive(Debug, Clone, Default)]
 pub struct CapacityAnalysis {
     derived: BTreeMap<Name, DerivedCapacity>,
     unbounded: BTreeMap<Name, String>,
+    unprimed: Vec<UnprimedCycle>,
 }
 
 impl CapacityAnalysis {
@@ -108,17 +153,38 @@ impl CapacityAnalysis {
             };
             let mut weakest: Option<DerivedCapacity> = None;
             let mut failure: Option<String> = None;
-            for consumer in &clocks.consumers {
-                let relation =
+            for (index, consumer) in clocks.consumers.iter().enumerate() {
+                let mut relation =
                     RateRelation::between_in(kernel, algebra, &clocks.producer, consumer);
+                let mut local_words = false;
+                if relation == RateRelation::Unbounded {
+                    // The global algebra proved nothing — fall back to the
+                    // components' local k-periodic words, which survive
+                    // interface abstraction.
+                    if let (Some(producer_word), Some(consumer_word)) = (
+                        clocks.producer_word.as_ref(),
+                        clocks.consumer_words.get(index).and_then(Option::as_ref),
+                    ) {
+                        relation = RateRelation::between_words(producer_word, consumer_word);
+                        local_words = relation != RateRelation::Unbounded;
+                    }
+                }
                 match relation.bound() {
                     Some(bound) => {
-                        let candidate = DerivedCapacity {
-                            bound,
-                            provenance: format!(
+                        let provenance = if local_words {
+                            format!(
+                                "{relation} (components' local phase words; the \
+                                 composition algebra does not see the phase registers)"
+                            )
+                        } else {
+                            format!(
                                 "{relation}: producer at {} vs consumer at {consumer}",
                                 clocks.producer
-                            ),
+                            )
+                        };
+                        let candidate = DerivedCapacity {
+                            bound,
+                            provenance,
                             relation,
                         };
                         weakest = Some(match weakest {
@@ -151,6 +217,7 @@ impl CapacityAnalysis {
                 }
             }
         }
+        analysis.unprimed = unprimed_cycles(topology, edge_clocks);
         analysis
     }
 
@@ -184,6 +251,105 @@ impl CapacityAnalysis {
     pub fn is_fully_bounded(&self) -> bool {
         self.unbounded.is_empty()
     }
+
+    /// The feedback loops the priming-liveness analysis proved can never
+    /// start (see [`UnprimedCycle`]); empty when every cycle either has a
+    /// priming component or could not be fully word-resolved.
+    pub fn unprimed_cycles(&self) -> &[UnprimedCycle] {
+        &self.unprimed
+    }
+
+    /// Records an unprimed feedback loop (replacing none) — the hook for
+    /// liveness verdicts computed outside the built-in derivation.
+    pub fn record_unprimed(&mut self, cycle: UnprimedCycle) -> &mut Self {
+        self.unprimed.push(cycle);
+        self
+    }
+}
+
+/// The priming-liveness pass: for every strongly connected group of the
+/// channel graph, proves the loop dead when *every* machine on it
+/// provably waits on its first read strictly before its first emission.
+///
+/// The proof needs, per machine, the local k-periodic words of all its
+/// cycle out-edges (a lower bound on its earliest emission) and of at
+/// least one cycle in-edge (an upper bound on its earliest read).  Any
+/// missing word makes the machine potentially priming and the group is
+/// left to the existing refuse-or-prove capacity path plus the dynamic
+/// backstop — the analysis only ever refuses what it can prove.
+fn unprimed_cycles(
+    topology: &Topology,
+    edge_clocks: &BTreeMap<Name, EdgeClocks>,
+) -> Vec<UnprimedCycle> {
+    let mut unprimed = Vec::new();
+    for group in topology.cycle_groups() {
+        let specs: Vec<_> = topology
+            .channels
+            .iter()
+            .filter(|spec| group.contains(&spec.signal))
+            .collect();
+        let machines: std::collections::BTreeSet<usize> = specs
+            .iter()
+            .flat_map(|spec| [spec.producer, spec.consumer])
+            .collect();
+        let mut details = Vec::new();
+        let all_proven_waiting = machines.iter().all(|&machine| {
+            // Lower bound on the machine's earliest cycle emission: the
+            // min first-one over its out-edge words, all of which must be
+            // known.
+            let mut first_emit = usize::MAX;
+            for spec in specs.iter().filter(|spec| spec.producer == machine) {
+                let word = edge_clocks
+                    .get(&spec.signal)
+                    .and_then(|clocks| clocks.producer_word.as_ref());
+                match word.and_then(ClockWord::first_one) {
+                    Some(instant) => first_emit = first_emit.min(instant),
+                    None if word.is_some() => {} // never emits: no priming here
+                    None => return false,        // unknown word: maybe primes
+                }
+            }
+            // Upper bound on its earliest cycle read: any known in-edge
+            // word will do (an unambiguous one — single-consumer edges).
+            let first_read = specs
+                .iter()
+                .filter(|spec| spec.consumer == machine)
+                .filter_map(|spec| {
+                    let clocks = edge_clocks.get(&spec.signal)?;
+                    match clocks.consumer_words.as_slice() {
+                        [only] => only.as_ref()?.first_one(),
+                        _ => None,
+                    }
+                })
+                .min();
+            match first_read {
+                Some(read) if first_emit >= read => {
+                    details.push(format!(
+                        "machine #{machine} first reads at instant {read} but first \
+                         emits at instant {}",
+                        if first_emit == usize::MAX {
+                            "∞".to_string()
+                        } else {
+                            first_emit.to_string()
+                        }
+                    ));
+                    true
+                }
+                _ => false,
+            }
+        });
+        if all_proven_waiting && !machines.is_empty() {
+            unprimed.push(UnprimedCycle {
+                signals: group.iter().cloned().collect(),
+                detail: format!(
+                    "every component waits on a read before it can emit ({}), so the \
+                     loop never starts — flip a register initialization so one \
+                     component emits first",
+                    details.join("; ")
+                ),
+            });
+        }
+    }
+    unprimed
 }
 
 impl fmt::Display for CapacityAnalysis {
@@ -193,6 +359,9 @@ impl fmt::Display for CapacityAnalysis {
         }
         for (signal, reason) in &self.unbounded {
             writeln!(f, "{signal}: unbounded ({reason})")?;
+        }
+        for cycle in &self.unprimed {
+            writeln!(f, "{cycle}")?;
         }
         Ok(())
     }

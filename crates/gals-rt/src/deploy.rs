@@ -104,6 +104,12 @@ pub enum DeployError {
         /// The capacity it was given.
         actual: usize,
     },
+    /// The priming-liveness analysis proved a feedback loop can never
+    /// start: every component on it waits on its first read strictly
+    /// before its first emission, so the loop would sit in the exact wait
+    /// cycle the pool scheduler's dynamic `Deadlocked` detection reports —
+    /// refused statically instead.
+    UnprimedCycle(crate::capacity::UnprimedCycle),
 }
 
 impl fmt::Display for DeployError {
@@ -171,6 +177,7 @@ impl fmt::Display for DeployError {
                  bound is {required}: the cycle could fill the channel and \
                  deadlock"
             ),
+            DeployError::UnprimedCycle(cycle) => write!(f, "{cycle}"),
         }
     }
 }
@@ -235,6 +242,45 @@ impl Topology {
     /// capacities decide whether a feedback loop can fill its channels
     /// and deadlock.
     pub fn cycle_signals(&self) -> BTreeSet<Name> {
+        self.scc_assignment()
+            .map(|component| {
+                self.channels
+                    .iter()
+                    .filter(|spec| component.get(&spec.producer) == component.get(&spec.consumer))
+                    .map(|spec| spec.signal.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The cycle signals grouped per strongly connected component of the
+    /// channel graph: one set per independent feedback loop (nest of
+    /// loops), so per-loop analyses — like the priming-liveness pass —
+    /// can judge each loop on its own.
+    pub fn cycle_groups(&self) -> Vec<BTreeSet<Name>> {
+        let Some(component) = self.scc_assignment() else {
+            return Vec::new();
+        };
+        let mut groups: BTreeMap<usize, BTreeSet<Name>> = BTreeMap::new();
+        for spec in &self.channels {
+            if let (Some(&p), Some(&c)) =
+                (component.get(&spec.producer), component.get(&spec.consumer))
+            {
+                if p == c {
+                    groups.entry(p).or_default().insert(spec.signal.clone());
+                }
+            }
+        }
+        groups.into_values().collect()
+    }
+
+    /// Kosaraju's strongly-connected-components assignment over the
+    /// channel graph: machine index → SCC root.  `None` when the graph
+    /// has no edges at all.
+    fn scc_assignment(&self) -> Option<BTreeMap<usize, usize>> {
+        if self.channels.is_empty() {
+            return None;
+        }
         // Kosaraju: forward order, then transposed sweep.
         let mut nodes: BTreeSet<usize> = BTreeSet::new();
         let mut forward: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -294,11 +340,7 @@ impl Topology {
                 }
             }
         }
-        self.channels
-            .iter()
-            .filter(|spec| component.get(&spec.producer) == component.get(&spec.consumer))
-            .map(|spec| spec.signal.clone())
-            .collect()
+        Some(component)
     }
 }
 
@@ -313,6 +355,7 @@ pub struct Deployment {
     mode: ExecutionMode,
     max_steps: u64,
     allow_cycles: bool,
+    prediction: Option<crate::predict::PerformancePrediction>,
 }
 
 impl Deployment {
@@ -330,7 +373,20 @@ impl Deployment {
             mode: ExecutionMode::ThreadPerComponent,
             max_steps: DEFAULT_MAX_STEPS,
             allow_cycles: false,
+            prediction: None,
         }
+    }
+
+    /// Installs a static performance prediction
+    /// ([`crate::PerformancePrediction`], e.g. from
+    /// `isochron::Design::performance_prediction`) so the run's
+    /// [`DeploymentStats`] report it next to the measured counters.
+    pub fn set_prediction(
+        &mut self,
+        prediction: crate::predict::PerformancePrediction,
+    ) -> &mut Self {
+        self.prediction = Some(prediction);
+        self
     }
 
     /// Selects how components are mapped onto OS threads:
@@ -611,19 +667,30 @@ impl Deployment {
     /// scheduler's dynamic deadlock detection.
     ///
     /// The capacity proof is about *safety* (the wait cycle cannot close
-    /// on a full channel), not liveness: a loop still needs a priming
-    /// token to start turning.  Verified designs are primed by
-    /// construction (an initialized delay register breaks every
-    /// instantaneous cycle the acyclicity check accepts); installing
-    /// hand-made bounds on machines that never emit first is the caller
-    /// asserting otherwise, and the pool scheduler's dynamic detection
-    /// remains the backstop.
+    /// on a full channel); *liveness* — the loop needs a priming token to
+    /// start turning — is covered by the priming-liveness pass: when the
+    /// installed [`CapacityAnalysis`] carries the k-periodic words of
+    /// every component on a loop and proves each one waits on its first
+    /// read strictly before its first emission, the run is refused with
+    /// [`DeployError::UnprimedCycle`] — even when cycles were explicitly
+    /// allowed, the analysis positively proves the loop can never start.
+    /// Hand-made bounds installed on machines without word information
+    /// stay outside the proof, and the pool scheduler's dynamic detection
+    /// remains the backstop for them.
     fn check_cycles(&self, topology: &Topology) -> Result<(), DeployError> {
         let cycle_signals = topology.cycle_signals();
         if cycle_signals.is_empty() {
             return Ok(());
         }
         if self.policy.sizing() == ChannelSizing::Derived {
+            if let Some(cycle) = self
+                .policy
+                .unprimed_cycles()
+                .iter()
+                .find(|cycle| cycle.signals.iter().any(|s| cycle_signals.contains(s)))
+            {
+                return Err(DeployError::UnprimedCycle(cycle.clone()));
+            }
             let feedback: Vec<&ChannelSpec> = topology
                 .channels
                 .iter()
@@ -781,6 +848,7 @@ impl Deployment {
                 mode: self.mode,
                 pool_workers,
                 elapsed,
+                prediction: self.prediction,
             },
             feeds: self.feeds,
             reference: self.reference,

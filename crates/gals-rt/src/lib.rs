@@ -91,18 +91,20 @@ pub mod capacity;
 pub mod conformance;
 pub mod deploy;
 pub mod machine;
+pub mod predict;
 pub mod ring;
 pub mod sched;
 pub mod stats;
 pub mod transport;
 mod worker;
 
-pub use capacity::{CapacityAnalysis, DerivedCapacity, EdgeClocks};
+pub use capacity::{CapacityAnalysis, DerivedCapacity, EdgeClocks, UnprimedCycle};
 pub use conformance::{ConformanceError, ConformanceReport, ReferenceComponent};
 pub use deploy::{
     ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
 };
 pub use machine::{StepFault, StepMachine};
+pub use predict::{ComponentPrediction, EdgePrediction, PerformancePrediction};
 pub use ring::{RingReceiver, RingSender, RingTransport};
 pub use sched::ExecutionMode;
 pub use stats::{CapacityRange, ComponentStats, DeploymentStats, PoolWorkerStats, StopReason};

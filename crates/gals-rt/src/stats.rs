@@ -6,6 +6,7 @@ use std::time::Duration;
 use signal_lang::Name;
 
 use crate::deploy::ChannelSpec;
+use crate::predict::PerformancePrediction;
 use crate::sched::ExecutionMode;
 use crate::transport::{CapacitySource, ChannelSizing};
 
@@ -191,6 +192,10 @@ pub struct DeploymentStats {
     pub pool_workers: Vec<PoolWorkerStats>,
     /// Wall-clock duration of the run (spawn to last join).
     pub elapsed: Duration,
+    /// The static performance prediction installed before the run, when
+    /// one was ([`crate::Deployment::set_prediction`]) — carried into the
+    /// report so predicted and measured paces sit side by side.
+    pub prediction: Option<PerformancePrediction>,
 }
 
 impl DeploymentStats {
@@ -268,6 +273,11 @@ impl fmt::Display for DeploymentStats {
         for w in &self.pool_workers {
             writeln!(f, "  {w}")?;
         }
+        if let Some(prediction) = &self.prediction {
+            for line in prediction.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -304,6 +314,7 @@ mod tests {
             mode: ExecutionMode::ThreadPerComponent,
             pool_workers: Vec::new(),
             elapsed: Duration::from_millis(2),
+            prediction: None,
         }
     }
 

@@ -27,7 +27,7 @@ use crossbeam::channel::{
 };
 use signal_lang::{Name, Value};
 
-use crate::capacity::{CapacityAnalysis, DerivedCapacity};
+use crate::capacity::{CapacityAnalysis, DerivedCapacity, UnprimedCycle};
 
 /// The peer endpoint of a channel is gone: a send can never be delivered,
 /// or a receive can never be satisfied (the buffer is drained and the
@@ -272,6 +272,7 @@ pub struct ChannelPolicy {
     default_capacity: usize,
     overrides: BTreeMap<Name, usize>,
     derived: BTreeMap<Name, DerivedCapacity>,
+    unprimed: Vec<UnprimedCycle>,
     backend: Backend,
 }
 
@@ -284,6 +285,7 @@ impl ChannelPolicy {
             default_capacity: 1,
             overrides: BTreeMap::new(),
             derived: BTreeMap::new(),
+            unprimed: Vec::new(),
             backend: Backend::Auto,
         }
     }
@@ -371,10 +373,12 @@ impl ChannelPolicy {
         self.sizing
     }
 
-    /// Installs the bounds of a [`CapacityAnalysis`] and switches the
-    /// policy to [`ChannelSizing::Derived`].
+    /// Installs the bounds of a [`CapacityAnalysis`] — and its
+    /// priming-liveness verdicts — and switches the policy to
+    /// [`ChannelSizing::Derived`].
     pub fn install_derived(&mut self, analysis: &CapacityAnalysis) -> &mut Self {
         self.derived = analysis.bounds().clone();
+        self.unprimed = analysis.unprimed_cycles().to_vec();
         self.sizing = ChannelSizing::Derived;
         self
     }
@@ -382,6 +386,11 @@ impl ChannelPolicy {
     /// The derived bound installed for a signal, if any.
     pub fn derived_for(&self, signal: &Name) -> Option<&DerivedCapacity> {
         self.derived.get(signal)
+    }
+
+    /// The unprimed feedback loops of the installed analysis, if any.
+    pub fn unprimed_cycles(&self) -> &[UnprimedCycle] {
+        &self.unprimed
     }
 
     /// Resolves the capacity of the channels carrying `signal` under the

@@ -86,7 +86,7 @@ pub fn endochronous(name: &str, size: usize, seed: u64) -> ProcessDef {
     // Boolean signals that may pace further samplings, starting with the
     // root input.  Each entry also records the signal it was sampled from
     // and the polarity, so complementary siblings can be merged.
-    let mut booleans: Vec<Name> = vec![root.clone()];
+    let mut booleans: Vec<Name> = vec![root];
     let mut outputs: Vec<Name> = Vec::new();
     let mut sampled: Vec<(Name, Name, bool)> = Vec::new();
 

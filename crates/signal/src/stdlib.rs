@@ -334,6 +334,100 @@ pub fn controller() -> ProcessDef {
         .expect("controller is well-formed")
 }
 
+/// A one-hot ring of `k` boolean registers named `{prefix}1..{prefix}k`:
+/// `{prefix}1` is true at the first instant and the single `true` walks
+/// the ring, so `[{prefix}i]` is the k-periodic phase word with a one at
+/// position `i` — the syntactic shape `clocks::periodic_systems`
+/// recognizes.
+pub fn one_hot_ring(builder: ProcessBuilder, prefix: &str, k: usize) -> ProcessBuilder {
+    let mut builder = builder;
+    for i in 2..=k {
+        builder = builder.define(
+            format!("{prefix}{i}"),
+            Expr::var(format!("{prefix}{}", i - 1)).pre(false),
+        );
+    }
+    builder.define(
+        format!("{prefix}1"),
+        Expr::var(format!("{prefix}{k}")).pre(true),
+    )
+}
+
+/// A bursty producer: reads its input `a` at every tick of a 6-phase
+/// one-hot ring and forwards it as `x` only during phases 1–3 — the
+/// emission word of `x` over the component's local reactions is
+/// `(111000)`.
+pub fn burst_source() -> ProcessDef {
+    let builder = one_hot_ring(ProcessBuilder::new("burst_source"), "p", 6);
+    builder
+        .synchro("a", "w")
+        .define("w", Expr::var("p1").or(Expr::var("p2")).or(Expr::var("p3")))
+        .define("x", Expr::var("a").when(Expr::var("w")))
+        .hide(["p1", "p2", "p3", "p4", "p5", "p6", "w"])
+        .input("a")
+        .output("x")
+        .build()
+        .expect("burst_source is well-formed")
+}
+
+/// The matching bursty consumer: reads `x` during phases 4–6 of its own
+/// 6-phase ring (read word `(000111)`) and decimates it to `y` on phase 6
+/// — the producer can run up to three tokens ahead, which is exactly the
+/// k-periodic backlog bound the capacity derivation computes.
+pub fn burst_sink() -> ProcessDef {
+    let builder = one_hot_ring(ProcessBuilder::new("burst_sink"), "c", 6);
+    builder
+        .define("v", Expr::var("c4").or(Expr::var("c5")).or(Expr::var("c6")))
+        .constraint_eq("x", ClockAst::when_true("v"))
+        .define("y", Expr::var("x").when(Expr::var("c6")))
+        .hide(["c1", "c2", "c3", "c4", "c5", "c6", "v"])
+        .input("x")
+        .output("y")
+        .build()
+        .expect("burst_sink is well-formed")
+}
+
+/// The interface abstraction of `burst_source | burst_sink`: its own
+/// 6-phase ring reproduces the end-to-end behavior (`y` is every third
+/// `x`) while hiding the shared signal `x` and both components' phase
+/// registers — so the *global* algebra of a design assembled from these
+/// parts (`isochron::Design::from_parts`) cannot relate the edge clocks,
+/// and only the components' local k-periodic words bound the channel.
+pub fn burst_main() -> ProcessDef {
+    let builder = one_hot_ring(ProcessBuilder::new("burst_main"), "m", 6);
+    builder
+        .synchro("a", "g")
+        .define("g", Expr::var("m1").or(Expr::var("m2")).or(Expr::var("m3")))
+        .define("x", Expr::var("a").when(Expr::var("g")))
+        .define("y", Expr::var("x").when(Expr::var("m3")))
+        .hide(["m1", "m2", "m3", "m4", "m5", "m6", "g", "x"])
+        .input("a")
+        .output("y")
+        .build()
+        .expect("burst_main is well-formed")
+}
+
+/// A one-place buffer whose alternating state starts *flipped* relative
+/// to [`buffer`]: it emits its register initialization on its first
+/// reaction and reads only on its second, so it primes a feedback loop
+/// with a first token instead of waiting — the one-component fix the
+/// priming-liveness analysis suggests for an unprimed loop.
+pub fn primed_buffer() -> ProcessDef {
+    ProcessBuilder::new("primed_buffer")
+        .define("s", Expr::var("t").pre(false))
+        .define("t", Expr::var("s").not())
+        .constraint_eq("x", ClockAst::when_true("t"))
+        .constraint_eq("y", ClockAst::when_false("t"))
+        .define("r", Expr::var("y").default(Expr::var("r").pre(false)))
+        .define("x", Expr::var("r").when(Expr::var("t")))
+        .constraint(ClockAst::of("r"), ClockAst::of("x").or(ClockAst::of("y")))
+        .hide(["s", "t", "r"])
+        .input("y")
+        .output("x")
+        .build()
+        .expect("primed_buffer is well-formed")
+}
+
 /// Every paper process, for data-driven tests and benchmarks.
 pub fn all_paper_processes() -> Vec<ProcessDef> {
     vec![

@@ -202,7 +202,7 @@ impl AsyncNetwork {
             } else if let Some((mode, queue)) = self.environment.get(input) {
                 match (mode, queue.front()) {
                     (FeedMode::Demand, Some(v)) => {
-                        drives.push((input.clone(), Drive::Available(*v)))
+                        drives.push((input.clone(), Drive::Available(*v)));
                     }
                     (FeedMode::Paced, Some(v)) => drives.push((input.clone(), Drive::Present(*v))),
                     (_, None) => drives.push((input.clone(), Drive::Absent)),

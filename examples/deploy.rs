@@ -112,6 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spec.derivation.as_deref().unwrap_or("-")
         );
     }
+    // The same clock words also predict the run before it starts: each
+    // stage's steady-state reactions per input token, the per-edge
+    // traffic, the pipeline-fill latency and the bottleneck edge.
+    // Installing the prediction on the deployment carries it into the
+    // stats, so predicted and measured paces print side by side.
+    let prediction = design.performance_prediction()?;
+    println!("== Static performance prediction ==");
+    println!("{prediction}");
+    derived.set_prediction(prediction);
     derived.feed("p0", stream.iter().copied());
     let derived_outcome = derived.run()?;
     assert_eq!(derived_outcome.flow("p4"), outcome.flow("p4"));

@@ -421,6 +421,235 @@ fn unverified_designs_cannot_derive_bounds() {
 }
 
 #[test]
+fn the_multirate_design_derives_a_kperiodic_bound_beyond_the_alternating_classes() {
+    // The burst design is a partially-analyzed composition: its composite
+    // hides the shared signal and both phase rings, so the global algebra
+    // cannot relate the edge clocks at all — under PR 5's rate classes the
+    // edge was `UnboundedEdge`.  The components' local k-periodic words
+    // classify it: producer (111000) against consumer (000111) has
+    // backlog 3, a bound no alternation-based class (max 2) can express.
+    let design = library::multirate_design().expect("builds");
+    assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+    let analysis = design.capacity_analysis().expect("verified design");
+    let capacity = analysis.bound_for(&Name::from("x")).expect("bounded");
+    assert_eq!(capacity.bound, 3);
+    assert!(capacity.bound > 2, "beyond every alternating class");
+    assert!(
+        capacity.provenance.contains("k-periodic")
+            && capacity.provenance.contains("local phase words"),
+        "{}",
+        capacity.provenance
+    );
+
+    // And the derived deployment actually runs and conforms, under both
+    // backends and both execution modes.
+    let a: Vec<Value> = (0..18).map(|i| Value::Bool(i % 2 == 0)).collect();
+    // `x` carries `a` on phases 1-3 of the 6-phase ring and `y` keeps every
+    // third `x` token, so `y` sees `a` at instants 3, 9, 15, ...
+    let expected_y: Vec<Value> = a.iter().skip(2).step_by(6).copied().collect();
+    for mode in MODES {
+        for backend in [Backend::Mpsc, Backend::SpscRing] {
+            let mut deployment = design.deploy().expect("verified design");
+            deployment.set_capacity_analysis(&analysis);
+            deployment.set_execution_mode(mode).expect("valid mode");
+            deployment.set_backend(backend);
+            deployment.feed("a", a.iter().copied());
+            let outcome = deployment.run().expect("the deployment runs");
+            for component in &outcome.stats().components {
+                assert_ne!(component.stop, StopReason::Deadlocked, "{mode}, {backend}");
+            }
+            assert_eq!(
+                outcome.flow("y"),
+                expected_y.as_slice(),
+                "y decimates every third x ({mode}, {backend})"
+            );
+            let report = outcome.check_conformance().expect("reference registered");
+            assert!(report.is_isochronous(), "{mode}, {backend}: {report}");
+        }
+    }
+}
+
+#[test]
+fn a_partially_analyzed_composition_without_words_fails_cleanly() {
+    // Regression for the `has_signal` guards: an interface-abstracted
+    // composite whose algebra knows neither side's gating signals — and
+    // whose components expose no periodic phase system — must produce a
+    // typed unbounded verdict, not a panic inside the BDD encoding.
+    use polychrony::signal_lang::{stdlib, ClockAst, Expr, ProcessBuilder};
+    let abstraction = ProcessBuilder::new("pc_abs")
+        .constraint_eq("u", ClockAst::when_true("a"))
+        .define("u", Expr::cst(1).add(Expr::var("u").pre(0)))
+        .synchro("v", "b")
+        .define("v", Expr::var("v").pre(0).add(Expr::cst(1)))
+        .inputs(["a", "b"])
+        .outputs(["u", "v"])
+        .build()
+        .expect("well-formed");
+    let design =
+        Design::from_parts(abstraction, [stdlib::producer(), stdlib::consumer()]).expect("builds");
+    assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+    let analysis = design.capacity_analysis().expect("analysis completes");
+    assert!(!analysis.is_fully_bounded());
+    assert!(analysis.unbounded().contains_key(&Name::from("x")));
+    // Under derived sizing the unbounded edge is the usual typed error,
+    // surfaced when the deployment resolves its channel topology.
+    let deployment = design.deploy_derived().expect("assembles");
+    let err = deployment.topology().unwrap_err();
+    assert!(
+        matches!(err, DeployError::UnboundedEdge(ref n) if n == &Name::from("x")),
+        "{err}"
+    );
+}
+
+#[test]
+fn an_unprimed_loop_is_refused_statically_with_a_typed_error() {
+    // Two ordinary buffers in a feedback loop: verified, every edge
+    // derives a finite bound — and yet the loop can never start, because
+    // each buffer waits on its first read strictly before its first
+    // emission.  PR 5's refuse-or-prove cycle path accepted this shape
+    // (all feedback edges derivably bounded) and left the wait cycle to
+    // the pool's dynamic `Deadlocked` detection; the priming-liveness
+    // pass now refuses it statically.
+    let design = library::unprimed_loop_design().expect("builds");
+    assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+    let err = design.capacity_analysis().unwrap_err();
+    let DeployError::UnprimedCycle(cycle) = &err else {
+        panic!("expected UnprimedCycle, got {err}");
+    };
+    assert_eq!(cycle.signals, vec![Name::from("p0"), Name::from("p1")]);
+    assert!(err.to_string().contains("unprimed feedback loop"), "{err}");
+    // deploy_derived goes through the same pass.
+    assert!(matches!(
+        design.deploy_derived().unwrap_err(),
+        polychrony::isochron::DesignError::Deploy(DeployError::UnprimedCycle(_))
+    ));
+}
+
+#[test]
+fn an_installed_unprimed_verdict_refuses_the_run_before_it_starts() {
+    // The run path honors a recorded liveness verdict even on hand-rolled
+    // machines: the refusal happens before any thread spawns, instead of
+    // the dynamic `Deadlocked` stop after the fact.
+    use polychrony::gals_rt::UnprimedCycle;
+    let mut analysis = alternating_bounds(&["p", "q"]);
+    analysis.record_unprimed(UnprimedCycle {
+        signals: vec![Name::from("p"), Name::from("q")],
+        detail: "both relays wait on their first read".into(),
+    });
+    let mut deployment = ping_pong(4);
+    deployment.set_capacity_analysis(&analysis);
+    assert!(matches!(
+        deployment.run().unwrap_err(),
+        DeployError::UnprimedCycle(ref cycle) if cycle.signals.contains(&Name::from("p"))
+    ));
+}
+
+#[test]
+fn a_primed_loop_passes_the_liveness_pass_and_turns_forever() {
+    // Flipping one register initialization (the primed buffer emits
+    // before it reads) is exactly the fix the refusal message suggests:
+    // the same topology now derives, deploys and turns until the step
+    // budget — never `Deadlocked`.
+    let design = library::primed_loop_design().expect("builds");
+    assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+    let analysis = design.capacity_analysis().expect("the primed loop is live");
+    assert!(analysis.is_fully_bounded(), "{analysis}");
+    assert!(analysis.unprimed_cycles().is_empty());
+    let mut deployment = design.deploy().expect("verified design");
+    deployment.set_capacity_analysis(&analysis);
+    deployment
+        .set_execution_mode(ExecutionMode::Pool {
+            workers: 2,
+            quantum: 3,
+        })
+        .expect("valid mode");
+    deployment.set_max_steps(40).expect("nonzero");
+    let outcome = deployment.run().expect("the primed loop runs");
+    for component in &outcome.stats().components {
+        assert_eq!(component.stop, StopReason::StepLimit, "{component}");
+        assert_eq!(component.reactions, 40, "{component}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(ProptestConfig::cases_from_env(32)))]
+
+    /// Tightness of the k-periodic backlog: for arbitrary ultimately
+    /// periodic words it equals the exact supremum of the producer/consumer
+    /// prefix-sum gap (simulated far beyond the analysis's own horizon),
+    /// and it exists exactly when the producer's rate does not exceed the
+    /// consumer's.
+    #[test]
+    fn kperiodic_backlogs_are_tight_against_simulation(
+        p_prefix in prop::collection::vec(any::<bool>(), 0..4),
+        p_period in prop::collection::vec(any::<bool>(), 1..7),
+        c_prefix in prop::collection::vec(any::<bool>(), 0..4),
+        c_period in prop::collection::vec(any::<bool>(), 1..7),
+    ) {
+        use polychrony::clocks::ClockWord;
+        let producer = ClockWord::from_parts(p_prefix, p_period).expect("nonempty period");
+        let consumer = ClockWord::from_parts(c_prefix, c_period).expect("nonempty period");
+        let (p_ones, p_len) = producer.rate();
+        let (c_ones, c_len) = consumer.rate();
+        // A horizon several periods past where the analysis stops looking:
+        // the gap sequence is eventually periodic, so if the bound were
+        // ever exceeded it would be exceeded here too.
+        let horizon = producer.prefix_len().max(consumer.prefix_len())
+            + 8 * producer.period_len() * consumer.period_len()
+            + 8;
+        let simulated_sup = (1..=horizon)
+            .map(|n| {
+                let sent = producer.ones_before(n);
+                let consumed = consumer.ones_before(n - 1);
+                sent.saturating_sub(consumed)
+            })
+            .max()
+            .unwrap_or(0);
+        match ClockWord::backlog(&producer, &consumer) {
+            Some(bound) => {
+                prop_assert!(
+                    p_ones * c_len <= c_ones * p_len,
+                    "a finite backlog requires rate_p <= rate_c"
+                );
+                prop_assert_eq!(
+                    bound, simulated_sup,
+                    "backlog of {} against {}", producer, consumer
+                );
+            }
+            None => prop_assert!(
+                p_ones * c_len > c_ones * p_len,
+                "backlog refused only on a genuine rate mismatch: {} vs {}",
+                producer, consumer
+            ),
+        }
+    }
+
+    /// Sufficiency of the k-periodic bound end to end: whatever the
+    /// environment stream, the multi-rate burst design runs to completion
+    /// and conforms under its derived capacity.
+    #[test]
+    fn the_multirate_design_conforms_on_arbitrary_streams(
+        stream in prop::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let design = library::multirate_design().expect("builds");
+        let analysis = design.capacity_analysis().expect("verified design");
+        let stream: Vec<Value> = stream.into_iter().map(Value::Bool).collect();
+        for mode in MODES {
+            let mut deployment = design.deploy().expect("verified design");
+            deployment.set_capacity_analysis(&analysis);
+            deployment.set_execution_mode(mode).expect("valid mode");
+            deployment.feed("a", stream.iter().copied());
+            let outcome = deployment.run().expect("the deployment runs");
+            for component in &outcome.stats().components {
+                prop_assert_ne!(&component.stop, &StopReason::Deadlocked, "{}", mode);
+            }
+            let report = outcome.check_conformance().expect("reference registered");
+            prop_assert!(report.is_isochronous(), "{}", report);
+        }
+    }
+}
+
+#[test]
 fn fixed_sizing_keeps_the_legacy_cycle_behavior() {
     // Without derived bounds the historic contract holds: cycles are
     // refused unless explicitly allowed, and an allowed primed cycle

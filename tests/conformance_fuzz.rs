@@ -83,6 +83,58 @@ fn assert_conformant_everywhere(design: &Design, feeds: &[(&str, Vec<Value>)], c
     }
 }
 
+/// A parametric multi-rate burst pair under interface abstraction: the
+/// source reads `a` every tick of a `k`-phase one-hot ring and emits `x`
+/// during phases `1..=h` (word `1^h 0^(k-h)`), the sink reads `x` during
+/// phases `k-h+1..=k` (word `0^(k-h) 1^h`) and decimates to `y` on the
+/// last phase.  The abstraction hides `x` and every ring, so the global
+/// algebra proves nothing about the edge — its bound (`h`, the full
+/// burst) comes from the components' local k-periodic words alone.
+fn burst_design(k: usize, h: usize) -> Design {
+    use polychrony::signal_lang::{stdlib::one_hot_ring, ClockAst, Expr, ProcessBuilder};
+    assert!(0 < h && h <= k && 2 <= k);
+    let phase_or = |prefix: &str, lo: usize, hi: usize| {
+        (lo + 1..=hi).fold(Expr::var(format!("{prefix}{lo}")), |e, i| {
+            e.or(Expr::var(format!("{prefix}{i}")))
+        })
+    };
+    let hidden = |prefix: &str, extra: &[&str]| {
+        (1..=k)
+            .map(|i| format!("{prefix}{i}"))
+            .chain(extra.iter().map(|s| (*s).to_string()))
+            .collect::<Vec<_>>()
+    };
+    let source = one_hot_ring(ProcessBuilder::new("burst_source"), "p", k)
+        .synchro("a", "w")
+        .define("w", phase_or("p", 1, h))
+        .define("x", Expr::var("a").when(Expr::var("w")))
+        .hide(hidden("p", &["w"]))
+        .input("a")
+        .output("x")
+        .build()
+        .expect("well-formed");
+    let sink = one_hot_ring(ProcessBuilder::new("burst_sink"), "c", k)
+        .define("v", phase_or("c", k - h + 1, k))
+        .constraint_eq("x", ClockAst::when_true("v"))
+        .define("y", Expr::var("x").when(Expr::var(format!("c{k}"))))
+        .hide(hidden("c", &["v"]))
+        .input("x")
+        .output("y")
+        .build()
+        .expect("well-formed");
+    let main = one_hot_ring(ProcessBuilder::new("burst_main"), "m", k)
+        .synchro("a", "g")
+        .define("g", phase_or("m", 1, h))
+        .define("x", Expr::var("a").when(Expr::var("g")))
+        .define("y", Expr::var("x").when(Expr::var(format!("m{h}"))))
+        .hide(hidden("m", &["g", "x"]))
+        .input("a")
+        .output("y")
+        .build()
+        .expect("well-formed");
+    Design::from_parts(main, [source, sink]).expect("weakly hierarchic")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(ProptestConfig::cases_from_env(16)))]
 
@@ -96,6 +148,23 @@ proptest! {
     ) {
         let design = library::buffer_pipeline_design(n).expect("builds");
         assert_conformant_everywhere(&design, &[("p0", bools(&stream))], capacity);
+    }
+
+    /// Multi-rate burst pipelines of fuzzed ring length and burst width
+    /// conform on fuzzed streams: the edge bound is the k-periodic
+    /// backlog (the full burst), derivable only from the local words,
+    /// and the decimated output must still match the synchronous
+    /// reference under every mode, backend and sizing.
+    #[test]
+    fn multirate_burst_pipelines_conform(
+        k in 2usize..7,
+        width in 1usize..6,
+        stream in prop::collection::vec(any::<bool>(), 0..24),
+        capacity in 1usize..5,
+    ) {
+        let h = width.min(k);
+        let design = burst_design(k, h);
+        assert_conformant_everywhere(&design, &[("a", bools(&stream))], capacity);
     }
 
     /// The producer/consumer pair conforms on every environment stream
