@@ -303,6 +303,30 @@ struct ReportRow {
     mode: &'static str,
     reactions_per_second: f64,
     predicted_reactions_per_input: Option<f64>,
+    /// Blocked reads per reaction over the measured (untraced) runs — the
+    /// fraction of steps that parked on an empty upstream channel.
+    blocked_read_ratio: f64,
+    /// Highest instantaneous channel occupancy across all edges, witnessed
+    /// by a separate traced run on the ring transport (`null` when no
+    /// transport in the row's configuration reports occupancy).
+    max_edge_occupancy: Option<usize>,
+}
+
+/// Runs one traced probe of the configuration and returns the maximum
+/// per-edge occupancy high-water mark, if any transport reported one.
+/// Kept separate from the measured runs so the throughput numbers stay
+/// untraced.
+fn probe_max_occupancy(mut deployment: Deployment, env: &str, stream: &[Value]) -> Option<usize> {
+    deployment.set_tracing(true);
+    deployment.feed(env, stream.iter().copied());
+    let outcome = deployment.run().expect("the deployment runs");
+    let trace = outcome.trace().expect("tracing was enabled");
+    trace
+        .summary()
+        .edges
+        .iter()
+        .filter_map(|edge| edge.high_water)
+        .max()
 }
 
 /// Measures representative E13 configurations and writes `BENCH_e13.json`
@@ -325,15 +349,25 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
             .map(|p| p.reactions_per_input());
         for (label, backend) in [("mpsc", Backend::Mpsc), ("ring", Backend::SpscRing)] {
             let mut best = 0.0f64;
+            let mut blocked = 0u64;
+            let mut reactions = 0u64;
             for _ in 0..3 {
                 let mut deployment = design.deploy_derived().expect("the pipeline is verified");
                 deployment.set_backend(backend);
                 deployment.feed("p0", stream.iter().copied());
                 let outcome = deployment.run().expect("the deployment runs");
-                if let Some(rps) = outcome.stats().reactions_per_second() {
+                let stats = outcome.stats();
+                blocked += stats.total_blocked_reads();
+                reactions += stats.total_reactions();
+                if let Some(rps) = stats.reactions_per_second() {
                     best = best.max(rps);
                 }
             }
+            // Occupancy witness from one traced probe of the same config
+            // (only the ring transport reports instantaneous occupancy).
+            let mut probe = design.deploy_derived().expect("the pipeline is verified");
+            probe.set_backend(backend);
+            let max_edge_occupancy = probe_max_occupancy(probe, "p0", &stream);
             rows.push(ReportRow {
                 name: format!("pipe{components}/{label}/derived"),
                 topology: "buffer-pipeline".into(),
@@ -342,6 +376,12 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
                 mode: "thread",
                 reactions_per_second: best,
                 predicted_reactions_per_input: predicted,
+                blocked_read_ratio: if reactions == 0 {
+                    0.0
+                } else {
+                    blocked as f64 / reactions as f64
+                },
+                max_edge_occupancy,
             });
         }
     }
@@ -353,6 +393,8 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
     ] {
         for components in [8usize, 64] {
             let mut best = 0.0f64;
+            let mut blocked = 0u64;
+            let mut reactions = 0u64;
             for _ in 0..3 {
                 let mut deployment = build(components);
                 deployment
@@ -361,10 +403,22 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
                 deployment.set_capacity(16).expect("nonzero");
                 deployment.feed(env, stream.iter().copied());
                 let outcome = deployment.run().expect("the deployment runs");
-                if let Some(rps) = outcome.stats().reactions_per_second() {
+                let stats = outcome.stats();
+                blocked += stats.total_blocked_reads();
+                reactions += stats.total_reactions();
+                if let Some(rps) = stats.reactions_per_second() {
                     best = best.max(rps);
                 }
             }
+            // The occupancy probe pins the ring transport: the default
+            // mpsc channel cannot witness instantaneous occupancy.
+            let mut probe = build(components);
+            probe
+                .set_execution_mode(ExecutionMode::pool_per_core())
+                .expect("valid mode");
+            probe.set_capacity(16).expect("nonzero");
+            probe.set_backend(Backend::SpscRing);
+            let max_edge_occupancy = probe_max_occupancy(probe, env, &stream);
             rows.push(ReportRow {
                 name: format!("{shape}{components}/pool"),
                 topology: format!("relay-{shape}"),
@@ -372,7 +426,17 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
                 backend: "auto",
                 mode: "pool",
                 reactions_per_second: best,
-                predicted_reactions_per_input: None,
+                // Relay machines sit outside the clock calculus, but their
+                // rate is analytic all the same: every relay (and the fan's
+                // collector) performs exactly one reaction per environment
+                // token — `bench_schedulers` asserts exactly that total.
+                predicted_reactions_per_input: Some(components as f64),
+                blocked_read_ratio: if reactions == 0 {
+                    0.0
+                } else {
+                    blocked as f64 / reactions as f64
+                },
+                max_edge_occupancy,
             });
         }
     }
@@ -384,10 +448,14 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
         let predicted = row
             .predicted_reactions_per_input
             .map_or("null".into(), |p| format!("{p:.2}"));
+        let occupancy = row
+            .max_edge_occupancy
+            .map_or("null".into(), |o| o.to_string());
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"topology\": \"{}\", \"components\": {}, \
              \"backend\": \"{}\", \"mode\": \"{}\", \"reactions_per_second\": {:.0}, \
-             \"predicted_reactions_per_input\": {}}}{}\n",
+             \"predicted_reactions_per_input\": {}, \"blocked_read_ratio\": {:.4}, \
+             \"max_edge_occupancy\": {}}}{}\n",
             row.name,
             row.topology,
             row.components,
@@ -395,6 +463,8 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
             row.mode,
             row.reactions_per_second,
             predicted,
+            row.blocked_read_ratio,
+            occupancy,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

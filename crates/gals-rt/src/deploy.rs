@@ -31,6 +31,7 @@ use crate::machine::StepMachine;
 use crate::ring::RingTransport;
 use crate::sched::{self, ExecutionMode};
 use crate::stats::{CapacityRange, DeploymentStats, PoolWorkerStats};
+use crate::trace::{Trace, TraceBuffer, TraceConfig};
 use crate::transport::{
     Backend, CapacitySource, ChannelPolicy, ChannelSizing, MpscTransport, TokenRx, TokenTx,
     Transport, ZeroCapacity,
@@ -356,6 +357,7 @@ pub struct Deployment {
     max_steps: u64,
     allow_cycles: bool,
     prediction: Option<crate::predict::PerformancePrediction>,
+    trace: Option<TraceConfig>,
 }
 
 impl Deployment {
@@ -374,7 +376,30 @@ impl Deployment {
             max_steps: DEFAULT_MAX_STEPS,
             allow_cycles: false,
             prediction: None,
+            trace: None,
         }
+    }
+
+    /// Turns per-event tracing on (with the default [`TraceConfig`]) or
+    /// off.  A traced run records every reaction, block, token movement
+    /// and scheduling event into per-thread bounded buffers and surfaces
+    /// them as a [`Trace`] on the outcome plus a
+    /// [`crate::TraceSummary`] on the stats.  Off (the default) costs
+    /// nothing on the hot path.
+    pub fn set_tracing(&mut self, enabled: bool) -> &mut Self {
+        self.trace = enabled.then(TraceConfig::default);
+        self
+    }
+
+    /// Turns tracing on with an explicit [`TraceConfig`].
+    pub fn set_trace_config(&mut self, config: TraceConfig) -> &mut Self {
+        self.trace = Some(config);
+        self
+    }
+
+    /// Whether per-event tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Installs a static performance prediction
@@ -809,8 +834,24 @@ impl Deployment {
                 max_steps,
             ));
         }
+        // The trace epoch doubles as the wall-clock start: every buffer
+        // timestamps against this one `Instant`, which is what makes the
+        // merged per-thread timelines comparable.
         let started = Instant::now();
-        let (reports, pool_workers): (Vec<WorkerReport>, Vec<PoolWorkerStats>) = match self.mode {
+        if let Some(config) = &self.trace {
+            for driver in &mut drivers {
+                driver.set_trace(TraceBuffer::new(started, config.buffer_capacity));
+            }
+        }
+        let sched_trace = self
+            .trace
+            .as_ref()
+            .map(|config| (started, config.buffer_capacity));
+        let (reports, pool_workers, worker_traces): (
+            Vec<WorkerReport>,
+            Vec<PoolWorkerStats>,
+            Vec<TraceBuffer>,
+        ) = match self.mode {
             ExecutionMode::ThreadPerComponent => {
                 let reports = std::thread::scope(|scope| {
                     let handles: Vec<_> = drivers
@@ -822,20 +863,28 @@ impl Deployment {
                         .map(|h| h.join().expect("worker thread panicked"))
                         .collect()
                 });
-                (reports, Vec::new())
+                (reports, Vec::new(), Vec::new())
             }
             ExecutionMode::Pool { workers, quantum } => {
-                sched::run_pool(drivers, &topology, workers, quantum)
+                sched::run_pool(drivers, &topology, workers, quantum, sched_trace)
             }
         };
         let elapsed = started.elapsed();
 
         let mut flows: Flows = Flows::new();
         let mut components = Vec::with_capacity(reports.len());
+        let mut component_traces = Vec::new();
         for report in reports {
             flows.extend(report.flows);
+            if let Some(buffer) = report.trace {
+                component_traces.push((report.stats.name.clone(), buffer));
+            }
             components.push(report.stats);
         }
+        let trace = self
+            .trace
+            .is_some()
+            .then(|| Trace::assemble(component_traces, worker_traces, topology.channels.clone()));
         Ok(DeploymentOutcome {
             flows,
             stats: DeploymentStats {
@@ -849,10 +898,12 @@ impl Deployment {
                 pool_workers,
                 elapsed,
                 prediction: self.prediction,
+                trace: trace.as_ref().map(Trace::summary),
             },
             feeds: self.feeds,
             reference: self.reference,
             paced: self.paced,
+            trace,
         })
     }
 }
@@ -885,6 +936,7 @@ pub struct DeploymentOutcome {
     feeds: BTreeMap<Name, Vec<Value>>,
     reference: Vec<ReferenceComponent>,
     paced: BTreeSet<Name>,
+    trace: Option<Trace>,
 }
 
 impl DeploymentOutcome {
@@ -909,6 +961,12 @@ impl DeploymentOutcome {
     /// The environment streams the run consumed (as fed).
     pub fn feeds(&self) -> &BTreeMap<Name, Vec<Value>> {
         &self.feeds
+    }
+
+    /// The merged event timeline of the run, when the deployment ran with
+    /// tracing on ([`Deployment::set_tracing`]); `None` otherwise.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
     }
 
     /// Replays the same environment streams through the synchronous

@@ -95,6 +95,7 @@ pub mod predict;
 pub mod ring;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 pub mod transport;
 mod worker;
 
@@ -108,6 +109,10 @@ pub use predict::{ComponentPrediction, EdgePrediction, PerformancePrediction};
 pub use ring::{RingReceiver, RingSender, RingTransport};
 pub use sched::ExecutionMode;
 pub use stats::{CapacityRange, ComponentStats, DeploymentStats, PoolWorkerStats, StopReason};
+pub use trace::{
+    BlockDirection, ComponentActivity, ComponentDrift, ComponentTrace, DriftReport, EdgeBlocking,
+    EdgeDrift, EdgeOccupancy, Trace, TraceConfig, TraceEvent, TraceRecord, TraceSummary,
+};
 pub use transport::{
     Backend, CapacitySource, ChannelClosed, ChannelPolicy, ChannelSizing, MpscTransport,
     ResolvedCapacity, TokenRx, TokenTx, Transport, TryRecvError, TrySendError,

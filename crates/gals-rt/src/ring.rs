@@ -314,6 +314,13 @@ impl TokenTx for RingSender {
     fn try_send(&self, token: Value) -> Result<(), TrySendError> {
         RingSender::try_send(self, token)
     }
+
+    fn occupancy(&self) -> Option<usize> {
+        // `tail` is this thread's private counter and `head` only grows,
+        // so the snapshot is exact-or-stale-high on the head side and can
+        // never exceed the ring capacity.
+        Some(self.len())
+    }
 }
 
 /// The consuming endpoint of an SPSC ring.  Deliberately neither `Clone`
@@ -437,6 +444,14 @@ impl TokenRx for RingReceiver {
 
     fn try_recv(&self) -> Result<Value, TryRecvError> {
         RingReceiver::try_recv(self)
+    }
+
+    fn occupancy(&self) -> Option<usize> {
+        // Mirror of the sender-side argument: `head` is private here, and
+        // the producer only advances `tail` while `tail - head < capacity`
+        // against a head it read at or before ours, so `len()` is a true
+        // occupancy bounded by the capacity.
+        Some(self.len())
     }
 }
 

@@ -42,10 +42,11 @@ use std::fmt;
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::atomic::{fence, AtomicU8, AtomicUsize};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::deploy::Topology;
 use crate::stats::{PoolWorkerStats, StopReason};
+use crate::trace::TraceBuffer;
 use crate::worker::{DriveOutcome, Driver, WorkerReport};
 
 /// How a deployment maps components onto OS threads.
@@ -223,14 +224,17 @@ impl Shared {
 }
 
 /// Runs `drivers` to completion on a pool of `workers` OS threads and
-/// returns the per-component reports (in component order) plus the
-/// per-worker scheduling counters.
+/// returns the per-component reports (in component order), the per-worker
+/// scheduling counters, and — when `trace` carries the deployment's trace
+/// epoch and buffer limit — one scheduling-event buffer per worker (empty
+/// `Vec` otherwise).
 pub(crate) fn run_pool(
     drivers: Vec<Driver>,
     topology: &Topology,
     workers: usize,
     quantum: u64,
-) -> (Vec<WorkerReport>, Vec<PoolWorkerStats>) {
+    trace: Option<(Instant, usize)>,
+) -> (Vec<WorkerReport>, Vec<PoolWorkerStats>, Vec<TraceBuffer>) {
     let n = drivers.len();
     let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
     for spec in &topology.channels {
@@ -261,10 +265,10 @@ pub(crate) fn run_pool(
         idle: Condvar::new(),
     };
 
-    let worker_stats: Vec<PoolWorkerStats> = std::thread::scope(|scope| {
+    let outcomes: Vec<(PoolWorkerStats, Option<TraceBuffer>)> = std::thread::scope(|scope| {
         let shared = &shared;
         let handles: Vec<_> = (0..workers)
-            .map(|w| scope.spawn(move || worker_loop(shared, w, quantum)))
+            .map(|w| scope.spawn(move || worker_loop(shared, w, quantum, trace)))
             .collect();
         handles
             .into_iter()
@@ -281,11 +285,28 @@ pub(crate) fn run_pool(
                 .expect("every component finished")
         })
         .collect();
-    (reports, worker_stats)
+    let mut worker_stats = Vec::with_capacity(outcomes.len());
+    let mut worker_traces = Vec::new();
+    for (stats, buffer) in outcomes {
+        worker_stats.push(stats);
+        if let Some(buffer) = buffer {
+            worker_traces.push(buffer);
+        }
+    }
+    (reports, worker_stats, worker_traces)
 }
 
-fn worker_loop(shared: &Shared, me: usize, quantum: u64) -> PoolWorkerStats {
+fn worker_loop(
+    shared: &Shared,
+    me: usize,
+    quantum: u64,
+    trace: Option<(Instant, usize)>,
+) -> (PoolWorkerStats, Option<TraceBuffer>) {
     let mut stats = PoolWorkerStats::new(me);
+    // The worker's private scheduling-event recorder: dispatches, steals
+    // and parks land here (component events ride in the drivers' own
+    // buffers), so the hot path never shares a buffer between threads.
+    let mut recorder = trace.map(|(epoch, limit)| TraceBuffer::new(epoch, limit));
     while shared.remaining.load(SeqCst) > 0 {
         match pop_task(shared, me) {
             Some((component, stolen)) => {
@@ -293,10 +314,16 @@ fn worker_loop(shared: &Shared, me: usize, quantum: u64) -> PoolWorkerStats {
                 if stolen {
                     stats.steals += 1;
                 }
+                if let Some(recorder) = recorder.as_mut() {
+                    recorder.dispatch(component, stolen);
+                }
                 dispatch(shared, me, component, quantum);
             }
             None => {
                 stats.parks += 1;
+                if let Some(recorder) = recorder.as_mut() {
+                    recorder.park();
+                }
                 park(shared);
             }
         }
@@ -306,7 +333,7 @@ fn worker_loop(shared: &Shared, me: usize, quantum: u64) -> PoolWorkerStats {
     let _guard = shared.lock_park();
     shared.idle.notify_all();
     drop(_guard);
-    stats
+    (stats, recorder)
 }
 
 /// Pops the next ready component: own deque from the back first, then each

@@ -8,6 +8,7 @@ use signal_lang::Name;
 use crate::deploy::ChannelSpec;
 use crate::predict::PerformancePrediction;
 use crate::sched::ExecutionMode;
+use crate::trace::TraceSummary;
 use crate::transport::{CapacitySource, ChannelSizing};
 
 /// Why a worker thread stopped.
@@ -196,6 +197,10 @@ pub struct DeploymentStats {
     /// one was ([`crate::Deployment::set_prediction`]) — carried into the
     /// report so predicted and measured paces sit side by side.
     pub prediction: Option<PerformancePrediction>,
+    /// The per-event trace analysis (busy/blocked time, edge occupancy
+    /// high-water marks, bottleneck ranking), when the run was traced
+    /// ([`crate::Deployment::set_tracing`]).
+    pub trace: Option<TraceSummary>,
 }
 
 impl DeploymentStats {
@@ -209,9 +214,19 @@ impl DeploymentStats {
         self.components.iter().map(|c| c.blocked_reads).sum()
     }
 
-    /// Total tokens exchanged through the channels.
+    /// Total tokens delivered *into* the channels, counted at the sending
+    /// side.  On a clean, fully drained run this equals
+    /// [`total_tokens_received`](Self::total_tokens_received); a component
+    /// that stops with tokens still buffered upstream (e.g. its own
+    /// environment stream ran dry first) leaves the sent count ahead.
     pub fn total_tokens(&self) -> u64 {
         self.components.iter().map(|c| c.tokens_sent).sum()
+    }
+
+    /// Total tokens consumed *out of* the channels, counted at the
+    /// receiving side.  Never exceeds [`total_tokens`](Self::total_tokens).
+    pub fn total_tokens_received(&self) -> u64 {
+        self.components.iter().map(|c| c.tokens_received).sum()
     }
 
     /// Total dispatches across the pool workers (0 in thread-per-component
@@ -278,6 +293,11 @@ impl fmt::Display for DeploymentStats {
                 writeln!(f, "  {line}")?;
             }
         }
+        if let Some(trace) = &self.trace {
+            for line in trace.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -315,6 +335,7 @@ mod tests {
             pool_workers: Vec::new(),
             elapsed: Duration::from_millis(2),
             prediction: None,
+            trace: None,
         }
     }
 

@@ -105,6 +105,15 @@ pub trait TokenTx: Send {
     /// Returns [`TrySendError::Full`] when the buffer has no free slot and
     /// [`TrySendError::Closed`] when the receiving endpoint is gone.
     fn try_send(&self, token: Value) -> Result<(), TrySendError>;
+
+    /// How many tokens the channel currently buffers, when the medium can
+    /// tell (`None` otherwise — e.g. the mpsc shim hides its queue).  An
+    /// implementation returning `Some` must report an *instantaneous*
+    /// snapshot that never exceeds the channel capacity; the tracing layer
+    /// records it as the per-edge occupancy witness.
+    fn occupancy(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The receiving endpoint of one bounded token channel.
@@ -127,6 +136,12 @@ pub trait TokenRx: Send {
     /// Returns [`TryRecvError::Empty`] when no token is buffered yet and
     /// [`TryRecvError::Closed`] once the channel is drained and closed.
     fn try_recv(&self) -> Result<Value, TryRecvError>;
+
+    /// How many tokens the channel currently buffers, when the medium can
+    /// tell (`None` otherwise).  Same contract as [`TokenTx::occupancy`].
+    fn occupancy(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A connected endpoint pair for one edge of the topology.

@@ -25,6 +25,7 @@ use sim::Flows;
 
 use crate::machine::{StepFault, StepMachine};
 use crate::stats::{ComponentStats, StopReason};
+use crate::trace::{BlockDirection, TraceBuffer};
 use crate::transport::{TokenRx, TokenTx, TryRecvError, TrySendError};
 
 /// The edge a cooperative driver is blocked on.
@@ -71,12 +72,17 @@ pub(crate) struct Driver {
     blocked_reads: u64,
     tokens_sent: u64,
     tokens_received: u64,
+    /// The component's private event recorder, when tracing is on.  It
+    /// travels with the driver across pool workers, so recording never
+    /// takes a lock; when `None` every record site is one branch.
+    trace: Option<Box<TraceBuffer>>,
 }
 
 /// What a finished driver reports back.
 pub(crate) struct WorkerReport {
     pub(crate) stats: ComponentStats,
     pub(crate) flows: Flows,
+    pub(crate) trace: Option<TraceBuffer>,
 }
 
 impl Driver {
@@ -107,7 +113,13 @@ impl Driver {
             blocked_reads: 0,
             tokens_sent: 0,
             tokens_received: 0,
+            trace: None,
         }
+    }
+
+    /// Installs the event recorder (tracing on).
+    pub(crate) fn set_trace(&mut self, buffer: TraceBuffer) {
+        self.trace = Some(Box::new(buffer));
     }
 
     /// How many tokens this driver has moved over its channels so far —
@@ -134,13 +146,34 @@ impl Driver {
                 let value = produced[*cursor];
                 for (idx, slot) in senders.iter_mut().enumerate().skip(next_sink) {
                     let Some(tx) = slot else { continue };
-                    let sent = if blocking {
+                    let sent = if !blocking {
+                        tx.try_send(value)
+                    } else if self.trace.is_none() {
                         tx.send(value).map_err(|_closed| TrySendError::Closed)
                     } else {
-                        tx.try_send(value)
+                        // Traced blocking send: probe first so the wait on
+                        // a full buffer surfaces as a blocked episode.
+                        match tx.try_send(value) {
+                            Err(TrySendError::Full) => {
+                                if let Some(trace) = self.trace.as_deref_mut() {
+                                    trace.blocked(signal, BlockDirection::Downstream);
+                                }
+                                let result = tx.send(value).map_err(|_closed| TrySendError::Closed);
+                                if let Some(trace) = self.trace.as_deref_mut() {
+                                    trace.unblocked(signal);
+                                }
+                                result
+                            }
+                            other => other,
+                        }
                     };
                     match sent {
-                        Ok(()) => self.tokens_sent += 1,
+                        Ok(()) => {
+                            self.tokens_sent += 1;
+                            if let Some(trace) = self.trace.as_deref_mut() {
+                                trace.sent(signal, idx, tx.occupancy());
+                            }
+                        }
                         Err(TrySendError::Closed) => *slot = None,
                         Err(TrySendError::Full) => {
                             self.resume_sink.insert(signal.clone(), idx);
@@ -155,13 +188,27 @@ impl Driver {
         None
     }
 
+    /// [`Driver::flush`], non-blocking, with the blocked-episode
+    /// bookkeeping of the cooperative path: a stall opens (or moves) a
+    /// downstream episode, a completed flush closes any open one.
+    fn flush_cooperative(&mut self) -> Option<Name> {
+        let stalled = self.flush(false);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            match &stalled {
+                Some(signal) => trace.blocked(signal, BlockDirection::Downstream),
+                None => trace.unblocked_downstream(),
+            }
+        }
+        stalled
+    }
+
     /// Advances the machine by up to `quantum` reactions without ever
     /// blocking the OS thread: a full or empty channel edge surfaces as
     /// [`DriveOutcome::Pending`] instead of a parked wait.  Outstanding
     /// unpublished tokens are flushed before new reactions are attempted,
     /// so a resumed driver first completes the broadcast it stalled in.
     pub(crate) fn drive(&mut self, quantum: u64) -> DriveOutcome {
-        if let Some(signal) = self.flush(false) {
+        if let Some(signal) = self.flush_cooperative() {
             return DriveOutcome::Pending(Pending::Downstream(signal));
         }
         let mut steps = 0u64;
@@ -172,11 +219,15 @@ impl Driver {
             if steps >= quantum {
                 return DriveOutcome::Yielded;
             }
+            let begin = self.trace.as_ref().map(|trace| trace.now());
             match self.machine.try_step() {
                 Ok(()) => {
                     self.reactions += 1;
                     steps += 1;
-                    if let Some(signal) = self.flush(false) {
+                    if let (Some(trace), Some(begin)) = (self.trace.as_deref_mut(), begin) {
+                        trace.reaction(begin);
+                    }
+                    if let Some(signal) = self.flush_cooperative() {
                         return DriveOutcome::Pending(Pending::Downstream(signal));
                     }
                 }
@@ -193,6 +244,10 @@ impl Driver {
                             self.machine.feed_value(signal.as_str(), value);
                             self.tokens_received += 1;
                             self.waiting_on = None;
+                            if let Some(trace) = self.trace.as_deref_mut() {
+                                trace.received(&signal, rx.occupancy());
+                                trace.unblocked(&signal);
+                            }
                         }
                         Err(TryRecvError::Closed) => {
                             return DriveOutcome::Done(StopReason::UpstreamClosed(signal));
@@ -204,6 +259,9 @@ impl Driver {
                             if self.waiting_on.as_ref() != Some(&signal) {
                                 self.blocked_reads += 1;
                                 self.waiting_on = Some(signal.clone());
+                            }
+                            if let Some(trace) = self.trace.as_deref_mut() {
+                                trace.blocked(&signal, BlockDirection::Upstream);
                             }
                             return DriveOutcome::Pending(Pending::Upstream(signal));
                         }
@@ -226,6 +284,10 @@ impl Driver {
                 self.machine.feed_value(signal.as_str(), value);
                 self.tokens_received += 1;
                 self.waiting_on = None;
+                if let Some(trace) = self.trace.as_deref_mut() {
+                    trace.received(signal, rx.occupancy());
+                    trace.unblocked(signal);
+                }
                 None
             }
             Err(_closed) => Some(StopReason::UpstreamClosed(signal.clone())),
@@ -235,7 +297,10 @@ impl Driver {
     /// Finalizes the driver: snapshots the produced flows and counters and
     /// drops the endpoints, which closes every adjacent channel (blocked
     /// peers observe the close instead of hanging).
-    pub(crate) fn finish(self, stop: StopReason) -> WorkerReport {
+    pub(crate) fn finish(mut self, stop: StopReason) -> WorkerReport {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.stopped(&stop);
+        }
         let name = self.machine.machine_name().to_string();
         let flows: Flows = self
             .machine
@@ -253,6 +318,7 @@ impl Driver {
                 stop,
             },
             flows,
+            trace: self.trace.map(|buffer| *buffer),
         }
     }
 }

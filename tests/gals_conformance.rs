@@ -38,6 +38,10 @@ fn assert_conformant(
     feeds: &[(&str, Vec<Value>)],
     capacity: usize,
 ) -> DeploymentOutcome {
+    // The release-mode stress lane sets GALS_TRACE_DIR: every run is then
+    // traced, and a failing interleaving leaves its timeline behind as the
+    // repro artifact.
+    let trace_dir = std::env::var_os("GALS_TRACE_DIR");
     let mut outcomes = Vec::new();
     for mode in MODES {
         for backend in [Backend::Mpsc, Backend::SpscRing] {
@@ -45,17 +49,43 @@ fn assert_conformant(
             deployment.set_execution_mode(mode).expect("valid mode");
             deployment.set_backend(backend);
             deployment.set_capacity(capacity).expect("nonzero");
+            deployment.set_tracing(trace_dir.is_some());
             for (signal, values) in feeds {
                 deployment.feed(*signal, values.iter().copied());
             }
             let outcome = deployment.run().expect("the deployment runs");
-            let report = outcome.check_conformance().expect("reference registered");
+            let stats = outcome.stats();
+            // Token conservation: a token is counted sent when it enters a
+            // channel and received when it leaves, so the receiving side
+            // can never lead (a component stopping early only strands
+            // tokens, leaving the sent side ahead).
             assert!(
-                report.is_isochronous(),
-                "{} ({mode}, backend {backend}, capacity {capacity}): {report}\nstats:\n{}",
-                design.name(),
-                outcome.stats()
+                stats.total_tokens_received() <= stats.total_tokens(),
+                "{} ({mode}, backend {backend}, capacity {capacity}): received more \
+                 tokens than were sent\nstats:\n{stats}",
+                design.name()
             );
+            let report = outcome.check_conformance().expect("reference registered");
+            if !report.is_isochronous() {
+                let saved = trace_dir.as_ref().and_then(|dir| {
+                    let trace = outcome.trace()?;
+                    let stem = format!("{}-{mode}-{backend}-cap{capacity}", design.name())
+                        .replace(|c: char| !c.is_ascii_alphanumeric() && c != '-', "_");
+                    let file = std::path::Path::new(dir).join(format!("{stem}.trace.json"));
+                    std::fs::create_dir_all(dir).ok()?;
+                    std::fs::write(&file, trace.to_chrome_json()).ok()?;
+                    Some(file)
+                });
+                panic!(
+                    "{} ({mode}, backend {backend}, capacity {capacity}): {report}\n\
+                     stats:\n{}\ntrace: {}",
+                    design.name(),
+                    outcome.stats(),
+                    saved
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "not captured (set GALS_TRACE_DIR)".into())
+                );
+            }
             outcomes.push(outcome);
         }
     }
@@ -270,6 +300,57 @@ fn backpressure_is_observable_at_capacity_one() {
     );
     let report = outcome.check_conformance().unwrap();
     assert!(report.is_isochronous(), "{report}");
+}
+
+#[test]
+fn clean_runs_exchange_exactly_as_many_tokens_as_they_send() {
+    // On a drain-complete run — every consumer keeps reading its channels
+    // until the producers close — "tokens exchanged" is one number:
+    // what was sent is what was received.  The pipelines and the
+    // producer/consumer pair drain completely (each consumer's stop is
+    // observing its upstream close, or its pacing stream and the channel
+    // run dry together), so sent == received must hold exactly, per run,
+    // under every mode x backend combination.
+    type Scenario = (Design, Vec<(&'static str, Vec<Value>)>);
+    let scenarios: Vec<Scenario> = vec![
+        (
+            library::producer_consumer_design().unwrap(),
+            vec![
+                (
+                    "a",
+                    bools(&[true, false, false, true, false, true, true, false]),
+                ),
+                (
+                    "b",
+                    bools(&[false, true, true, false, true, false, false, true]),
+                ),
+            ],
+        ),
+        (
+            library::buffer_pipeline_design(4).unwrap(),
+            vec![("p0", bools(&[true, false, true, true, false, false]))],
+        ),
+    ];
+    for (design, feeds) in &scenarios {
+        for mode in MODES {
+            for backend in [Backend::Mpsc, Backend::SpscRing] {
+                let mut deployment = design.deploy().expect("verified");
+                deployment.set_execution_mode(mode).expect("valid mode");
+                deployment.set_backend(backend);
+                for (signal, values) in feeds {
+                    deployment.feed(*signal, values.iter().copied());
+                }
+                let outcome = deployment.run().expect("runs");
+                let stats = outcome.stats();
+                assert_eq!(
+                    stats.total_tokens(),
+                    stats.total_tokens_received(),
+                    "{} ({mode}, {backend}): tokens stranded in a channel\n{stats}",
+                    design.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]
