@@ -1,0 +1,547 @@
+//! A shared-memory transport: the SPSC ring lifted onto a file.
+//!
+//! `gals-rt`'s in-process ring is index-based — two monotonic head/tail
+//! counters over a fixed slot array, each slot a `(tag, bits)` word pair.
+//! That layout needs nothing but loads and stores on shared memory, so
+//! this module lifts it verbatim onto a *file* two processes open: the
+//! producer publishes a token by writing the slot payload and then
+//! advancing the head word; the consumer pops by reading the slot and
+//! advancing the tail word.
+//!
+//! The workspace forbids `unsafe` and vendors no `libc`, so the file is
+//! shared through `pread`/`pwrite` ([`std::os::unix::fs::FileExt`])
+//! rather than `mmap`.  On Linux both go through the same page cache, so
+//! the two processes observe one coherent byte array — the same
+//! coherence domain an `mmap` of the file would give — at the price of a
+//! syscall per access instead of a load.  The ordering argument is the
+//! ring's: the payload `pwrite` returns (the bytes are in the shared
+//! page) before the head-advancing `pwrite` starts, so a consumer that
+//! observes the new head also observes the payload.  8-byte counter
+//! reads are not formally atomic across processes, but the counters are
+//! monotonic and single-writer, so a torn read can only look stale —
+//! which fails safe into a retry.
+//!
+//! Close semantics match the in-process ring exactly: each side owns a
+//! closed flag in the header; a closed producer is observed only after
+//! the buffer is drained (close-then-drain), a closed consumer fails the
+//! producer's sends immediately.
+//!
+//! [`ShmTransport`] mints connected pairs over fresh files in a
+//! directory, so an ordinary in-process `Deployment` can run every edge
+//! through the file ring (the medium witness); [`FileRingSender::open`] /
+//! [`FileRingReceiver::open`] attach the two halves from *different*
+//! processes to one ring created with [`create`].
+
+use std::cell::Cell;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use gals_rt::{
+    ChannelClosed, Endpoints, TokenRx, TokenTx, Transport, TransportError, TryRecvError,
+    TrySendError,
+};
+use signal_lang::Value;
+
+/// "GALSRING" — written last during [`create`], so an opener that sees it
+/// knows every other header word is already in place.
+const MAGIC: u64 = 0x4741_4C53_5249_4E47;
+const LAYOUT_VERSION: u64 = 1;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_VERSION: u64 = 8;
+const OFF_CAPACITY: u64 = 16;
+const OFF_HEAD: u64 = 24;
+const OFF_TAIL: u64 = 32;
+const OFF_TX_CLOSED: u64 = 40;
+const OFF_RX_CLOSED: u64 = 48;
+const HEADER_LEN: u64 = 64;
+const SLOT_LEN: u64 = 16;
+
+const TAG_BOOL: u64 = 0;
+const TAG_INT: u64 = 1;
+
+/// How long an opener waits for the creator to finish writing the magic.
+const OPEN_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn read_word(file: &File, offset: u64) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    file.read_exact_at(&mut buf, offset)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_word(file: &File, offset: u64, value: u64) -> io::Result<()> {
+    file.write_all_at(&value.to_le_bytes(), offset)
+}
+
+fn encode(value: Value) -> (u64, u64) {
+    match value {
+        Value::Bool(b) => (TAG_BOOL, u64::from(b)),
+        Value::Int(i) => (TAG_INT, i as u64),
+    }
+}
+
+fn decode(tag: u64, bits: u64) -> io::Result<Value> {
+    match tag {
+        TAG_BOOL => Ok(Value::Bool(bits != 0)),
+        TAG_INT => Ok(Value::Int(bits as i64)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("ring slot with unknown tag {other}"),
+        )),
+    }
+}
+
+/// The spin → yield → sleep wait of the in-process ring, syscall-flavored:
+/// a blocked endpoint burns a few retries, yields, then naps briefly so a
+/// slow peer process (or one not even started yet) costs microseconds,
+/// not a core.
+struct Backoff {
+    rounds: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { rounds: 0 }
+    }
+
+    fn wait(&mut self) {
+        self.rounds += 1;
+        if self.rounds < 32 {
+            std::hint::spin_loop();
+        } else if self.rounds < 64 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Initializes a fresh ring file at `path` with `capacity` slots.
+///
+/// The header is written with the magic word *last*, so a concurrent
+/// [`FileRingSender::open`] / [`FileRingReceiver::open`] polling for the
+/// magic never observes a half-initialized ring.
+///
+/// # Errors
+///
+/// Propagates file-creation I/O errors.
+///
+/// # Panics
+///
+/// Panics on `capacity == 0`, like the in-process ring — the deployment
+/// layer rejects zero capacities long before a transport sees them.
+pub fn create(path: &Path, capacity: usize) -> io::Result<()> {
+    assert!(capacity > 0, "a bounded channel needs at least one slot");
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    let len = HEADER_LEN + SLOT_LEN * capacity as u64;
+    file.set_len(len)?;
+    write_word(&file, OFF_VERSION, LAYOUT_VERSION)?;
+    write_word(&file, OFF_CAPACITY, capacity as u64)?;
+    file.sync_data()?;
+    write_word(&file, OFF_MAGIC, MAGIC)?;
+    file.sync_data()
+}
+
+/// Opens `path` and waits (bounded) for the creator's magic word.
+fn open_ring(path: &Path) -> io::Result<(File, usize)> {
+    let deadline = std::time::Instant::now() + OPEN_TIMEOUT;
+    let mut backoff = Backoff::new();
+    loop {
+        match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(file) => {
+                if read_word(&file, OFF_MAGIC)? == MAGIC {
+                    let version = read_word(&file, OFF_VERSION)?;
+                    if version != LAYOUT_VERSION {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("ring layout v{version}, this build speaks v{LAYOUT_VERSION}"),
+                        ));
+                    }
+                    let capacity = read_word(&file, OFF_CAPACITY)? as usize;
+                    if capacity == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "ring file declares capacity 0",
+                        ));
+                    }
+                    return Ok((file, capacity));
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no initialized ring appeared at {}", path.display()),
+            ));
+        }
+        backoff.wait();
+    }
+}
+
+/// The producing half of a file ring.  Dropping it closes the channel:
+/// the consumer drains the buffer, then observes the close.
+///
+/// The endpoint traits take `&self` (the in-process ring keeps its
+/// cursors in atomics), so the local counter caches live in [`Cell`]s —
+/// the endpoint is `Send` and owned by one worker at a time, never
+/// shared, and the genuinely shared state is the file itself.
+pub struct FileRingSender {
+    file: File,
+    capacity: usize,
+    /// Local copy of the head counter (this side is its only writer).
+    head: Cell<u64>,
+    /// Cached tail observation; refreshed only when the ring looks full.
+    tail_cache: Cell<u64>,
+    closed_hint: Cell<bool>,
+}
+
+impl FileRingSender {
+    /// Attaches the producer side to a ring created with [`create`],
+    /// waiting (bounded) for the creator to finish initialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; times out when no initialized ring appears.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let (file, capacity) = open_ring(path)?;
+        let head = read_word(&file, OFF_HEAD)?;
+        let tail_cache = read_word(&file, OFF_TAIL)?;
+        Ok(FileRingSender {
+            file,
+            capacity,
+            head: Cell::new(head),
+            tail_cache: Cell::new(tail_cache),
+            closed_hint: Cell::new(false),
+        })
+    }
+
+    fn slot_offset(&self, position: u64) -> u64 {
+        HEADER_LEN + SLOT_LEN * (position % self.capacity as u64)
+    }
+}
+
+impl TokenTx for FileRingSender {
+    fn send(&self, token: Value) -> Result<(), ChannelClosed> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_send(token) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Closed) => return Err(ChannelClosed),
+                Err(TrySendError::Full) => backoff.wait(),
+            }
+        }
+    }
+
+    fn try_send(&self, token: Value) -> Result<(), TrySendError> {
+        // An I/O error on the shared file (deleted underneath us, device
+        // gone) is indistinguishable from a vanished peer: report closed.
+        if self.closed_hint.get() {
+            return Err(TrySendError::Closed);
+        }
+        if read_word(&self.file, OFF_RX_CLOSED).map_err(|_| TrySendError::Closed)? != 0 {
+            self.closed_hint.set(true);
+            return Err(TrySendError::Closed);
+        }
+        let head = self.head.get();
+        if head - self.tail_cache.get() >= self.capacity as u64 {
+            let tail = read_word(&self.file, OFF_TAIL).map_err(|_| TrySendError::Closed)?;
+            self.tail_cache.set(tail);
+            if head - tail >= self.capacity as u64 {
+                return Err(TrySendError::Full);
+            }
+        }
+        let (tag, bits) = encode(token);
+        let offset = self.slot_offset(head);
+        write_word(&self.file, offset, tag).map_err(|_| TrySendError::Closed)?;
+        write_word(&self.file, offset + 8, bits).map_err(|_| TrySendError::Closed)?;
+        // Publish: the payload pwrites returned before this one starts,
+        // so a consumer observing the new head observes the payload.
+        write_word(&self.file, OFF_HEAD, head + 1).map_err(|_| TrySendError::Closed)?;
+        self.head.set(head + 1);
+        Ok(())
+    }
+
+    fn occupancy(&self) -> Option<usize> {
+        let tail = read_word(&self.file, OFF_TAIL).ok()?;
+        let occupied = self.head.get().saturating_sub(tail);
+        Some(
+            usize::try_from(occupied)
+                .unwrap_or(usize::MAX)
+                .min(self.capacity),
+        )
+    }
+}
+
+impl Drop for FileRingSender {
+    fn drop(&mut self) {
+        let _ = write_word(&self.file, OFF_TX_CLOSED, 1);
+    }
+}
+
+/// The consuming half of a file ring.  Dropping it closes the channel:
+/// the producer's next send observes the close.
+pub struct FileRingReceiver {
+    file: File,
+    capacity: usize,
+    /// Local copy of the tail counter (this side is its only writer).
+    tail: Cell<u64>,
+    /// Cached head observation; refreshed only when the ring looks empty.
+    head_cache: Cell<u64>,
+}
+
+impl FileRingReceiver {
+    /// Attaches the consumer side to a ring created with [`create`],
+    /// waiting (bounded) for the creator to finish initialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; times out when no initialized ring appears.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let (file, capacity) = open_ring(path)?;
+        let tail = read_word(&file, OFF_TAIL)?;
+        let head_cache = read_word(&file, OFF_HEAD)?;
+        Ok(FileRingReceiver {
+            file,
+            capacity,
+            tail: Cell::new(tail),
+            head_cache: Cell::new(head_cache),
+        })
+    }
+
+    fn slot_offset(&self, position: u64) -> u64 {
+        HEADER_LEN + SLOT_LEN * (position % self.capacity as u64)
+    }
+}
+
+impl TokenRx for FileRingReceiver {
+    fn recv(&self) -> Result<Value, ChannelClosed> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_recv() {
+                Ok(value) => return Ok(value),
+                Err(TryRecvError::Closed) => return Err(ChannelClosed),
+                Err(TryRecvError::Empty) => backoff.wait(),
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Value, TryRecvError> {
+        let tail = self.tail.get();
+        if tail >= self.head_cache.get() {
+            let head = read_word(&self.file, OFF_HEAD).map_err(|_| TryRecvError::Closed)?;
+            self.head_cache.set(head);
+            if tail >= head {
+                // Close-then-drain: the producer's close is only observed
+                // on an *empty* buffer, exactly like the in-process ring.
+                let closed =
+                    read_word(&self.file, OFF_TX_CLOSED).map_err(|_| TryRecvError::Closed)? != 0;
+                if !closed {
+                    return Err(TryRecvError::Empty);
+                }
+                // One more head refresh: the producer may have pushed
+                // between our head read and its close.
+                let head = read_word(&self.file, OFF_HEAD).map_err(|_| TryRecvError::Closed)?;
+                self.head_cache.set(head);
+                if tail >= head {
+                    return Err(TryRecvError::Closed);
+                }
+            }
+        }
+        let offset = self.slot_offset(tail);
+        let tag = read_word(&self.file, offset).map_err(|_| TryRecvError::Closed)?;
+        let bits = read_word(&self.file, offset + 8).map_err(|_| TryRecvError::Closed)?;
+        let value = decode(tag, bits).map_err(|_| TryRecvError::Closed)?;
+        self.tail.set(tail + 1);
+        write_word(&self.file, OFF_TAIL, tail + 1).map_err(|_| TryRecvError::Closed)?;
+        Ok(value)
+    }
+
+    fn occupancy(&self) -> Option<usize> {
+        let head = read_word(&self.file, OFF_HEAD).ok()?;
+        let occupied = head.saturating_sub(self.tail.get());
+        Some(
+            usize::try_from(occupied)
+                .unwrap_or(usize::MAX)
+                .min(self.capacity),
+        )
+    }
+}
+
+impl Drop for FileRingReceiver {
+    fn drop(&mut self) {
+        let _ = write_word(&self.file, OFF_RX_CLOSED, 1);
+    }
+}
+
+/// A [`Transport`] minting file-ring endpoint pairs: every channel of a
+/// deployment becomes a shared file in the transport's directory.  Used
+/// in-process it is the medium witness — the same deployment, scheduler
+/// and conformance machinery, with every token round-tripping through
+/// the process-shareable layout; across processes the two halves are
+/// attached with [`FileRingSender::open`] / [`FileRingReceiver::open`].
+pub struct ShmTransport {
+    dir: PathBuf,
+    counter: AtomicU64,
+}
+
+impl ShmTransport {
+    /// The backend name reported in topologies and statistics.
+    pub const NAME: &'static str = "shm-file-ring";
+
+    /// A transport minting rings in a fresh per-process subdirectory of
+    /// the system temp directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new() -> io::Result<Self> {
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let n = INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("gals-shm-{}-{}", std::process::id(), n));
+        std::fs::create_dir_all(&dir)?;
+        Ok(ShmTransport {
+            dir,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// A transport minting rings inside an existing directory.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        ShmTransport {
+            dir: dir.into(),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The directory the ring files live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Transport for ShmTransport {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn open(&self, capacity: usize) -> Result<Endpoints, TransportError> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("edge-{n}.ring"));
+        create(&path, capacity)
+            .map_err(|e| TransportError::new(format!("creating {}: {e}", path.display())))?;
+        let tx = FileRingSender::open(&path)
+            .map_err(|e| TransportError::new(format!("opening {}: {e}", path.display())))?;
+        let rx = FileRingReceiver::open(&path)
+            .map_err(|e| TransportError::new(format!("opening {}: {e}", path.display())))?;
+        Ok((Box::new(tx), Box::new(rx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_ring(capacity: usize) -> (PathBuf, FileRingSender, FileRingReceiver) {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "gals-shm-test-{}-{}.ring",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        create(&path, capacity).unwrap();
+        let tx = FileRingSender::open(&path).unwrap();
+        let rx = FileRingReceiver::open(&path).unwrap();
+        (path, tx, rx)
+    }
+
+    #[test]
+    fn tokens_round_trip_in_order() {
+        let (path, tx, rx) = temp_ring(2);
+        tx.send(Value::Int(1)).unwrap();
+        tx.send(Value::Bool(true)).unwrap();
+        assert_eq!(tx.try_send(Value::Int(3)), Err(TrySendError::Full));
+        assert_eq!(rx.try_recv(), Ok(Value::Int(1)));
+        assert_eq!(rx.try_recv(), Ok(Value::Bool(true)));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(Value::Int(-7)).unwrap();
+        assert_eq!(rx.recv(), Ok(Value::Int(-7)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn close_then_drain_like_the_in_process_ring() {
+        let (path, tx, rx) = temp_ring(4);
+        tx.send(Value::Int(1)).unwrap();
+        tx.send(Value::Int(2)).unwrap();
+        drop(tx);
+        // Buffered tokens survive the close; only the drained buffer
+        // reports it.
+        assert_eq!(rx.recv(), Ok(Value::Int(1)));
+        assert_eq!(rx.try_recv(), Ok(Value::Int(2)));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(rx.recv(), Err(ChannelClosed));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn a_dropped_receiver_fails_the_sender() {
+        let (path, tx, rx) = temp_ring(1);
+        drop(rx);
+        assert_eq!(tx.try_send(Value::Int(1)), Err(TrySendError::Closed));
+        assert_eq!(tx.send(Value::Int(1)), Err(ChannelClosed));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn occupancy_is_witnessed_within_capacity() {
+        let (path, tx, rx) = temp_ring(2);
+        assert_eq!(tx.occupancy(), Some(0));
+        tx.send(Value::Int(1)).unwrap();
+        assert_eq!(tx.occupancy(), Some(1));
+        assert_eq!(rx.occupancy(), Some(1));
+        tx.send(Value::Int(2)).unwrap();
+        assert_eq!(rx.occupancy(), Some(2));
+        rx.recv().unwrap();
+        assert_eq!(rx.occupancy(), Some(1));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn two_threads_stream_through_one_file() {
+        let (path, tx, rx) = temp_ring(3);
+        let producer = std::thread::spawn(move || {
+            for i in 0..200 {
+                tx.send(Value::Int(i)).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(got, (0..200).map(Value::Int).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn the_transport_mints_working_pairs() {
+        let transport = ShmTransport::new().unwrap();
+        let (tx, rx) = transport.open(2).unwrap();
+        tx.send(Value::Bool(false)).unwrap();
+        assert_eq!(rx.recv(), Ok(Value::Bool(false)));
+        assert_eq!(transport.name(), "shm-file-ring");
+        let _ = std::fs::remove_dir_all(transport.dir());
+    }
+}

@@ -1,0 +1,459 @@
+//! The wire protocol: length-prefixed token frames.
+//!
+//! Every frame is `[len: u32 LE][kind: u8][payload]` where `len` counts
+//! the kind byte plus the payload.  Values travel as a tag byte plus an
+//! 8-byte little-endian word — the same `(tag, bits)` encoding the
+//! in-process ring uses for its slots (`0` = bool, `1` = int).
+//!
+//! The vocabulary is deliberately small:
+//!
+//! * [`Frame::Hello`] / [`Frame::HelloAck`] — the version handshake.  The
+//!   sender announces the protocol version, the edge signal, its
+//!   flow-control window (the derived capacity bound) and the sequence
+//!   number it will start from; the receiver answers with the next
+//!   sequence number it expects (`next_expected`, for idempotent resume —
+//!   a reconnecting or restarted sender skips everything below it) and
+//!   the cumulative count of tokens its worker has already consumed
+//!   (`consumed`, priming the sender's credit ledger).
+//! * [`Frame::Data`] — one token, tagged with its per-edge sequence
+//!   number.  Sequence numbers are assigned once per token, so a
+//!   retransmission after a reconnect is recognizably the *same* token
+//!   and duplicates are filtered by sequence comparison.
+//! * [`Frame::Ack`] — cumulative consumption: the receiver's worker has
+//!   consumed every token below `consumed`.  Credits = window − (sent −
+//!   consumed): the sender never has more than `window` tokens
+//!   in flight, so the receive queue is bounded by the derived capacity.
+//! * [`Frame::Close`] — explicit close-then-drain, matching the ring: the
+//!   sender is done after `final_seq` tokens; the receiver drains its
+//!   queue and then reports the channel closed.
+//!
+//! Decoding is incremental ([`FrameReader`]): bytes arrive in arbitrary
+//! splits and frames are surfaced as soon as they complete.  Anything
+//! that cannot be a frame — unknown kind, truncated payload, an absurd
+//! length — is a typed [`NetError::MalformedFrame`], never a panic.
+
+use std::io::{Read, Write};
+
+use signal_lang::Value;
+
+use crate::NetError;
+
+/// The protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frames are tiny (the largest is a `Hello` carrying a signal name); any
+/// announced length beyond this is a malformed peer, not a huge frame.
+pub const MAX_FRAME_LEN: usize = 4096;
+
+const KIND_HELLO: u8 = 0;
+const KIND_HELLO_ACK: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_ACK: u8 = 3;
+const KIND_CLOSE: u8 = 4;
+
+const TAG_BOOL: u8 = 0;
+const TAG_INT: u8 = 1;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// The sender's side of the handshake.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u16,
+        /// The edge signal this connection carries.
+        signal: String,
+        /// The sender's flow-control window — the derived capacity bound.
+        window: u64,
+        /// The first sequence number the sender will assign.
+        start_seq: u64,
+    },
+    /// The receiver's answer to a `Hello`.
+    HelloAck {
+        /// The next sequence number the receiver expects — everything
+        /// below it was already delivered and must not be re-sent.
+        next_expected: u64,
+        /// How many tokens the receiving worker has consumed so far —
+        /// primes the reconnecting sender's credit ledger.
+        consumed: u64,
+    },
+    /// One token with its per-edge sequence number.
+    Data {
+        /// The token's sequence number (assigned once, stable across
+        /// retransmissions).
+        seq: u64,
+        /// The token itself.
+        value: Value,
+    },
+    /// Cumulative consumption acknowledgement: every token with a
+    /// sequence number below `consumed` has been consumed by the worker.
+    Ack {
+        /// The cumulative consumed-token count.
+        consumed: u64,
+    },
+    /// The sender is done: exactly `final_seq` tokens were assigned.  The
+    /// receiver drains its queue, then reports the channel closed.
+    Close {
+        /// The sender's final sequence-number watermark.
+        final_seq: u64,
+    },
+}
+
+fn encode_value(value: Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.extend_from_slice(&u64::from(b).to_le_bytes());
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(tag: u8, bits: [u8; 8]) -> Result<Value, NetError> {
+    match tag {
+        TAG_BOOL => match u64::from_le_bytes(bits) {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(NetError::MalformedFrame(format!(
+                "bool token with bits {other} (want 0 or 1)"
+            ))),
+        },
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(bits))),
+        other => Err(NetError::MalformedFrame(format!(
+            "unknown value tag {other}"
+        ))),
+    }
+}
+
+impl Frame {
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Frame::Hello {
+                version,
+                signal,
+                window,
+                start_seq,
+            } => {
+                body.push(KIND_HELLO);
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&window.to_le_bytes());
+                body.extend_from_slice(&start_seq.to_le_bytes());
+                body.extend_from_slice(signal.as_bytes());
+            }
+            Frame::HelloAck {
+                next_expected,
+                consumed,
+            } => {
+                body.push(KIND_HELLO_ACK);
+                body.extend_from_slice(&next_expected.to_le_bytes());
+                body.extend_from_slice(&consumed.to_le_bytes());
+            }
+            Frame::Data { seq, value } => {
+                body.push(KIND_DATA);
+                body.extend_from_slice(&seq.to_le_bytes());
+                encode_value(*value, &mut body);
+            }
+            Frame::Ack { consumed } => {
+                body.push(KIND_ACK);
+                body.extend_from_slice(&consumed.to_le_bytes());
+            }
+            Frame::Close { final_seq } => {
+                body.push(KIND_CLOSE);
+                body.extend_from_slice(&final_seq.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        let len = u32::try_from(body.len()).expect("frames are tiny");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame body (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MalformedFrame`] for an unknown kind, a truncated
+    /// payload or an invalid value encoding.
+    fn decode_body(body: &[u8]) -> Result<Frame, NetError> {
+        let (&kind, payload) = body
+            .split_first()
+            .ok_or_else(|| NetError::MalformedFrame("empty frame body".into()))?;
+        let word = |at: usize| -> Result<[u8; 8], NetError> {
+            payload
+                .get(at..at + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .ok_or_else(|| {
+                    NetError::MalformedFrame(format!(
+                        "frame kind {kind} truncated: no 8-byte word at offset {at} \
+                         (payload is {} bytes)",
+                        payload.len()
+                    ))
+                })
+        };
+        match kind {
+            KIND_HELLO => {
+                let version_bytes = payload.get(0..2).ok_or_else(|| {
+                    NetError::MalformedFrame("hello truncated before version".into())
+                })?;
+                let version = u16::from_le_bytes([version_bytes[0], version_bytes[1]]);
+                let window = u64::from_le_bytes(word(2)?);
+                let start_seq = u64::from_le_bytes(word(10)?);
+                let signal = String::from_utf8(payload[18..].to_vec()).map_err(|_| {
+                    NetError::MalformedFrame("hello signal name is not UTF-8".into())
+                })?;
+                Ok(Frame::Hello {
+                    version,
+                    signal,
+                    window,
+                    start_seq,
+                })
+            }
+            KIND_HELLO_ACK => Ok(Frame::HelloAck {
+                next_expected: u64::from_le_bytes(word(0)?),
+                consumed: u64::from_le_bytes(word(8)?),
+            }),
+            KIND_DATA => {
+                let seq = u64::from_le_bytes(word(0)?);
+                let &tag = payload.get(8).ok_or_else(|| {
+                    NetError::MalformedFrame("data frame truncated before value tag".into())
+                })?;
+                let value = decode_value(tag, word(9)?)?;
+                Ok(Frame::Data { seq, value })
+            }
+            KIND_ACK => Ok(Frame::Ack {
+                consumed: u64::from_le_bytes(word(0)?),
+            }),
+            KIND_CLOSE => Ok(Frame::Close {
+                final_seq: u64::from_le_bytes(word(0)?),
+            }),
+            other => Err(NetError::MalformedFrame(format!(
+                "unknown frame kind {other}"
+            ))),
+        }
+    }
+
+    /// Writes the frame to a stream in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's I/O error.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.encode())
+    }
+}
+
+/// An incremental frame decoder: feed it byte chunks of any size (partial
+/// reads included) and pull complete frames out as they materialize.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A fresh, empty decoder.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes received from the medium.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the buffer sits exactly on a frame boundary (no partial
+    /// frame pending) — a clean EOF position.
+    pub fn at_boundary(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MalformedFrame`] when the buffered bytes cannot be a
+    /// frame (absurd length, unknown kind, bad payload).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        let Some(prefix) = self.buf.get(0..4) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(<[u8; 4]>::try_from(prefix).expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(NetError::MalformedFrame(format!(
+                "announced frame length {len} (valid: 1..={MAX_FRAME_LEN})"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&self.buf[4..4 + len])?;
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    /// Reads from a blocking stream until one full frame is available.
+    /// Returns `None` on a clean EOF (the stream ended exactly on a frame
+    /// boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] for stream errors, [`NetError::MalformedFrame`]
+    /// for undecodable bytes — including a stream that ends mid-frame.
+    pub fn read_frame(&mut self, stream: &mut impl Read) -> Result<Option<Frame>, NetError> {
+        let mut chunk = [0u8; 512];
+        loop {
+            if let Some(frame) = self.next_frame()? {
+                return Ok(Some(frame));
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                if self.at_boundary() {
+                    return Ok(None);
+                }
+                return Err(NetError::MalformedFrame(
+                    "stream ended in the middle of a frame".into(),
+                ));
+            }
+            self.push(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        assert_eq!(reader.next_frame().unwrap(), Some(frame));
+        assert!(reader.at_boundary());
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            signal: "p2".into(),
+            window: 3,
+            start_seq: 7,
+        });
+        round_trip(Frame::HelloAck {
+            next_expected: 42,
+            consumed: 40,
+        });
+        round_trip(Frame::Data {
+            seq: 9,
+            value: Value::Bool(true),
+        });
+        round_trip(Frame::Data {
+            seq: 10,
+            value: Value::Int(-12345),
+        });
+        round_trip(Frame::Ack { consumed: 11 });
+        round_trip(Frame::Close { final_seq: 16 });
+    }
+
+    #[test]
+    fn frames_survive_byte_at_a_time_delivery() {
+        let frames = [
+            Frame::Data {
+                seq: 0,
+                value: Value::Int(i64::MIN),
+            },
+            Frame::Ack { consumed: 1 },
+            Frame::Close { final_seq: 1 },
+        ];
+        let mut wire: Vec<u8> = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&frame.encode());
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for byte in wire {
+            reader.push(&[byte]);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn malformed_bytes_are_typed_errors() {
+        // Absurd length.
+        let mut reader = FrameReader::new();
+        reader.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+        // Zero length.
+        let mut reader = FrameReader::new();
+        reader.push(&0u32.to_le_bytes());
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+        // Unknown kind.
+        let mut reader = FrameReader::new();
+        reader.push(&1u32.to_le_bytes());
+        reader.push(&[99]);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+        // Data frame with a bad value tag.
+        let mut body = vec![super::KIND_DATA];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.push(7); // no such tag
+        body.extend_from_slice(&0u64.to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&u32::try_from(body.len()).unwrap().to_le_bytes());
+        reader.push(&body);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+        // Truncated payload (a Close with only 4 of its 8 bytes).
+        let mut reader = FrameReader::new();
+        reader.push(&5u32.to_le_bytes());
+        reader.push(&[super::KIND_CLOSE, 1, 2, 3, 4]);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+        // A bool whose bits are neither 0 nor 1.
+        let mut body = vec![super::KIND_DATA];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.push(super::TAG_BOOL);
+        body.extend_from_slice(&2u64.to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&u32::try_from(body.len()).unwrap().to_le_bytes());
+        reader.push(&body);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::MalformedFrame(_))
+        ));
+    }
+
+    #[test]
+    fn a_reader_mid_frame_is_not_at_a_boundary() {
+        let bytes = Frame::Ack { consumed: 3 }.encode();
+        let mut reader = FrameReader::new();
+        reader.push(&bytes[..bytes.len() - 1]);
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert!(!reader.at_boundary());
+        reader.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Some(Frame::Ack { consumed: 3 })
+        );
+    }
+}

@@ -51,7 +51,12 @@ impl std::error::Error for ConformanceError {}
 
 /// Replays the environment streams through the synchronous reference
 /// interpreters and returns the observed flows.
-pub(crate) fn replay_reference(
+///
+/// Public so out-of-process harnesses (the `gals-net` partition runner)
+/// can replay the *whole* design's reference against flows merged from
+/// several per-process deployments — the end-to-end isochrony check of a
+/// distributed run.
+pub fn replay_reference(
     components: &[ReferenceComponent],
     feeds: &BTreeMap<Name, Vec<Value>>,
     paced: &BTreeSet<Name>,
@@ -91,7 +96,10 @@ impl ConformanceReport {
     /// Compares the deployed flows against the reference flows, on the
     /// signals the deployment produced (the reference also records
     /// environment consumption, which has no deployed counterpart).
-    pub(crate) fn compare(reference: &Flows, deployed: &Flows) -> Self {
+    ///
+    /// Public for the same reason as [`replay_reference`]: a distributed
+    /// runner compares merged cross-process flows against one reference.
+    pub fn compare(reference: &Flows, deployed: &Flows) -> Self {
         let signals: Vec<Name> = deployed.keys().cloned().collect();
         ConformanceReport {
             comparison: FlowComparison::compare_on(reference, deployed, signals),

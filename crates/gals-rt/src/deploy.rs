@@ -111,6 +111,11 @@ pub enum DeployError {
     /// cycle the pool scheduler's dynamic `Deadlocked` detection reports —
     /// refused statically instead.
     UnprimedCycle(crate::capacity::UnprimedCycle),
+    /// The transport could not mint an endpoint pair for an edge — a
+    /// socket path unreachable, a shared file uncreatable, a handshake
+    /// refused.  The in-process backends never raise this; a distributed
+    /// medium does, and the failure is a typed outcome instead of a panic.
+    Transport(String),
 }
 
 impl fmt::Display for DeployError {
@@ -179,6 +184,7 @@ impl fmt::Display for DeployError {
                  deadlock"
             ),
             DeployError::UnprimedCycle(cycle) => write!(f, "{cycle}"),
+            DeployError::Transport(message) => write!(f, "transport failure: {message}"),
         }
     }
 }
@@ -188,6 +194,12 @@ impl std::error::Error for DeployError {}
 impl From<ZeroCapacity> for DeployError {
     fn from(err: ZeroCapacity) -> Self {
         DeployError::ZeroCapacity(err.signal)
+    }
+}
+
+impl From<crate::transport::TransportError> for DeployError {
+    fn from(err: crate::transport::TransportError) -> Self {
+        DeployError::Transport(err.message)
     }
 }
 
@@ -757,8 +769,9 @@ impl Deployment {
     /// # Errors
     ///
     /// Returns [`DeployError`] when the deployment is empty, the topology
-    /// is ill-formed or cyclic, or a feed or paced mark does not name an
-    /// environment input.
+    /// is ill-formed or cyclic, a feed or paced mark does not name an
+    /// environment input, or the transport fails to mint an endpoint pair
+    /// for an edge ([`DeployError::Transport`]).
     pub fn run(mut self) -> Result<DeploymentOutcome, DeployError> {
         if self.machines.is_empty() {
             return Err(DeployError::Empty);
@@ -798,7 +811,7 @@ impl Deployment {
         let mut sinks: Vec<BTreeMap<Name, Vec<Box<dyn TokenTx>>>> =
             (0..n).map(|_| BTreeMap::new()).collect();
         for spec in &topology.channels {
-            let (tx, rx) = transport.open(spec.capacity);
+            let (tx, rx) = transport.open(spec.capacity)?;
             sinks[spec.producer]
                 .entry(spec.signal.clone())
                 .or_default()

@@ -100,7 +100,7 @@ pub mod transport;
 mod worker;
 
 pub use capacity::{CapacityAnalysis, DerivedCapacity, EdgeClocks, UnprimedCycle};
-pub use conformance::{ConformanceError, ConformanceReport, ReferenceComponent};
+pub use conformance::{replay_reference, ConformanceError, ConformanceReport, ReferenceComponent};
 pub use deploy::{
     ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
 };
@@ -114,8 +114,8 @@ pub use trace::{
     EdgeDrift, EdgeOccupancy, Trace, TraceConfig, TraceEvent, TraceRecord, TraceSummary,
 };
 pub use transport::{
-    Backend, CapacitySource, ChannelClosed, ChannelPolicy, ChannelSizing, MpscTransport,
-    ResolvedCapacity, TokenRx, TokenTx, Transport, TryRecvError, TrySendError,
+    Backend, CapacitySource, ChannelClosed, ChannelPolicy, ChannelSizing, Endpoints, MpscTransport,
+    ResolvedCapacity, TokenRx, TokenTx, Transport, TransportError, TryRecvError, TrySendError,
 };
 
 #[cfg(test)]
@@ -314,7 +314,10 @@ mod tests {
             fn name(&self) -> &'static str {
                 "counting"
             }
-            fn open(&self, capacity: usize) -> transport::Endpoints {
+            fn open(
+                &self,
+                capacity: usize,
+            ) -> Result<transport::Endpoints, transport::TransportError> {
                 self.opened.fetch_add(1, Ordering::Relaxed);
                 self.total_capacity.fetch_add(capacity, Ordering::Relaxed);
                 RingTransport.open(capacity)

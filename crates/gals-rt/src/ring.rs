@@ -33,7 +33,8 @@ use std::time::Duration;
 use signal_lang::Value;
 
 use crate::transport::{
-    ChannelClosed, Endpoints, TokenRx, TokenTx, Transport, TryRecvError, TrySendError,
+    ChannelClosed, Endpoints, TokenRx, TokenTx, Transport, TransportError, TryRecvError,
+    TrySendError,
 };
 
 /// Spins before yielding: a handful of iterations rides out the common
@@ -469,9 +470,9 @@ impl Transport for RingTransport {
         Self::NAME
     }
 
-    fn open(&self, capacity: usize) -> Endpoints {
+    fn open(&self, capacity: usize) -> Result<Endpoints, TransportError> {
         let (tx, rx) = ring(capacity);
-        (Box::new(tx), Box::new(rx))
+        Ok((Box::new(tx), Box::new(rx)))
     }
 }
 
@@ -588,7 +589,7 @@ mod tests {
 
     #[test]
     fn the_transport_mints_working_endpoint_pairs() {
-        let (tx, rx) = RingTransport.open(2);
+        let (tx, rx) = RingTransport.open(2).expect("in-process");
         tx.send(Value::Bool(true)).unwrap();
         assert_eq!(rx.recv(), Ok(Value::Bool(true)));
         assert_eq!(RingTransport.name(), "spsc-ring");

@@ -21,6 +21,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::{
     self, Receiver, Sender, TryRecvError as ShimTryRecvError, TrySendError as ShimTrySendError,
@@ -28,6 +30,34 @@ use crossbeam::channel::{
 use signal_lang::{Name, Value};
 
 use crate::capacity::{CapacityAnalysis, DerivedCapacity, UnprimedCycle};
+
+/// A transport could not mint (or connect) an endpoint pair: the socket
+/// path is unreachable, the shared file cannot be created, the peer
+/// refused the handshake.  In-process backends never fail; a distributed
+/// medium reports its I/O trouble here instead of panicking, and the
+/// deployment surfaces it as `DeployError::Transport`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// What went wrong, in the transport's own words.
+    pub message: String,
+}
+
+impl TransportError {
+    /// Wraps a failure description.
+    pub fn new(message: impl Into<String>) -> Self {
+        TransportError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transport failure: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// The peer endpoint of a channel is gone: a send can never be delivered,
 /// or a receive can never be satisfied (the buffer is drained and the
@@ -160,7 +190,14 @@ pub trait Transport: Send + Sync {
 
     /// Mints a connected endpoint pair with an internal buffer of
     /// `capacity` tokens (`capacity >= 1`; the deployment rejects 0).
-    fn open(&self, capacity: usize) -> Endpoints;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when the medium cannot be established —
+    /// the in-process backends never fail, but a distributed transport
+    /// (sockets, shared files) can, and the deployment reports the failure
+    /// as a typed `DeployError::Transport` instead of aborting.
+    fn open(&self, capacity: usize) -> Result<Endpoints, TransportError>;
 }
 
 /// Which built-in channel backend a deployment wires its edges with.
@@ -463,40 +500,87 @@ impl Transport for MpscTransport {
         Self::NAME
     }
 
-    fn open(&self, capacity: usize) -> Endpoints {
+    fn open(&self, capacity: usize) -> Result<Endpoints, TransportError> {
         assert!(capacity > 0, "a bounded channel needs at least one slot");
         let (tx, rx) = channel::bounded::<Value>(capacity);
-        (Box::new(MpscTx(tx)), Box::new(MpscRx(rx)))
+        let counters = Arc::new(MpscCounters {
+            capacity,
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+        });
+        Ok((
+            Box::new(MpscTx(tx, Arc::clone(&counters))),
+            Box::new(MpscRx(rx, counters)),
+        ))
     }
 }
 
-struct MpscTx(Sender<Value>);
+/// The occupancy witness shared by both mpsc endpoints: the shim hides its
+/// internal queue, so the endpoints count the tokens themselves.  Two
+/// monotonic counters (bumped *after* a successful send/receive) instead
+/// of one signed gauge: a racy snapshot can only undercount in-flight
+/// tokens, never underflow, and the difference is clamped to the capacity
+/// so the documented `occupancy() <= capacity` contract holds under any
+/// interleaving.
+struct MpscCounters {
+    capacity: usize,
+    sent: AtomicU64,
+    received: AtomicU64,
+}
+
+impl MpscCounters {
+    fn occupancy(&self) -> usize {
+        let sent = self.sent.load(Ordering::Acquire);
+        let received = self.received.load(Ordering::Acquire);
+        usize::try_from(sent.saturating_sub(received))
+            .unwrap_or(usize::MAX)
+            .min(self.capacity)
+    }
+}
+
+struct MpscTx(Sender<Value>, Arc<MpscCounters>);
 
 impl TokenTx for MpscTx {
     fn send(&self, token: Value) -> Result<(), ChannelClosed> {
-        self.0.send(token).map_err(|_| ChannelClosed)
+        self.0.send(token).map_err(|_| ChannelClosed)?;
+        self.1.sent.fetch_add(1, Ordering::Release);
+        Ok(())
     }
 
     fn try_send(&self, token: Value) -> Result<(), TrySendError> {
         self.0.try_send(token).map_err(|e| match e {
             ShimTrySendError::Full(_) => TrySendError::Full,
             ShimTrySendError::Disconnected(_) => TrySendError::Closed,
-        })
+        })?;
+        self.1.sent.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    fn occupancy(&self) -> Option<usize> {
+        Some(self.1.occupancy())
     }
 }
 
-struct MpscRx(Receiver<Value>);
+struct MpscRx(Receiver<Value>, Arc<MpscCounters>);
 
 impl TokenRx for MpscRx {
     fn recv(&self) -> Result<Value, ChannelClosed> {
-        self.0.recv().map_err(|_| ChannelClosed)
+        let value = self.0.recv().map_err(|_| ChannelClosed)?;
+        self.1.received.fetch_add(1, Ordering::Release);
+        Ok(value)
     }
 
     fn try_recv(&self) -> Result<Value, TryRecvError> {
-        self.0.try_recv().map_err(|e| match e {
+        let value = self.0.try_recv().map_err(|e| match e {
             ShimTryRecvError::Empty => TryRecvError::Empty,
             ShimTryRecvError::Disconnected => TryRecvError::Closed,
-        })
+        })?;
+        self.1.received.fetch_add(1, Ordering::Release);
+        Ok(value)
+    }
+
+    fn occupancy(&self) -> Option<usize> {
+        Some(self.1.occupancy())
     }
 }
 
@@ -532,7 +616,7 @@ mod tests {
 
     #[test]
     fn the_mpsc_backend_round_trips_and_closes() {
-        let (tx, rx) = MpscTransport.open(2);
+        let (tx, rx) = MpscTransport.open(2).expect("in-process");
         tx.send(Value::Int(1)).unwrap();
         tx.send(Value::Bool(true)).unwrap();
         assert_eq!(rx.try_recv(), Ok(Value::Int(1)));
@@ -541,14 +625,42 @@ mod tests {
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
         assert_eq!(rx.recv(), Err(ChannelClosed));
-        let (tx, rx) = MpscTransport.open(1);
+        let (tx, rx) = MpscTransport.open(1).expect("in-process");
         drop(rx);
         assert_eq!(tx.send(Value::Int(7)), Err(ChannelClosed));
     }
 
     #[test]
+    fn the_mpsc_backend_is_an_occupancy_witness() {
+        let (tx, rx) = MpscTransport.open(2).expect("in-process");
+        assert_eq!(tx.occupancy(), Some(0));
+        assert_eq!(rx.occupancy(), Some(0));
+        tx.send(Value::Int(1)).unwrap();
+        assert_eq!(tx.occupancy(), Some(1));
+        tx.try_send(Value::Int(2)).unwrap();
+        assert_eq!(rx.occupancy(), Some(2));
+        // A full buffer never reports past its capacity.
+        assert_eq!(tx.try_send(Value::Int(3)), Err(TrySendError::Full));
+        assert_eq!(tx.occupancy(), Some(2));
+        assert_eq!(rx.recv(), Ok(Value::Int(1)));
+        assert_eq!(rx.occupancy(), Some(1));
+        assert_eq!(rx.try_recv(), Ok(Value::Int(2)));
+        assert_eq!(tx.occupancy(), Some(0));
+        // Failed operations leave the witness untouched.
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(rx.occupancy(), Some(0));
+    }
+
+    #[test]
+    fn transport_errors_render_their_message() {
+        let err = TransportError::new("dial refused");
+        assert!(err.to_string().contains("dial refused"));
+    }
+
+    #[test]
     fn the_mpsc_backend_reports_full_and_closed_on_try_send() {
-        let (tx, rx) = MpscTransport.open(1);
+        let (tx, rx) = MpscTransport.open(1).expect("in-process");
         assert_eq!(tx.try_send(Value::Int(1)), Ok(()));
         assert_eq!(tx.try_send(Value::Int(2)), Err(TrySendError::Full));
         assert_eq!(rx.recv(), Ok(Value::Int(1)));

@@ -1,0 +1,137 @@
+//! Experiment E14 — one verified pipeline, two OS processes.
+//!
+//! ```text
+//! cargo run --example distributed
+//! ```
+//!
+//! The four-stage buffer pipeline (E13's workload) is partitioned as
+//! `[stage0, stage1 | stage2, stage3]`: the parent plans the split, spawns
+//! one child process per partition (re-executing itself), and each child
+//! runs its half as an ordinary GALS deployment whose cut edge `p2` rides
+//! a Unix domain socket speaking the gals-net wire protocol.  The link's
+//! flow-control window is exactly the capacity bound the clock calculus
+//! derived for the edge — the paper's FIFO-sizing result applied across a
+//! process boundary.
+//!
+//! The parent then merges the partitions' observed flows (cross-checking
+//! both sides of the cut signal), replays the synchronous reference of the
+//! *whole* design, and checks end-to-end isochrony conformance — Theorem 1
+//! observed over a real inter-process medium — and finally cross-checks
+//! the merged flows against an in-process run of the same design.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use polychrony::gals_net::runner::run_partition;
+use polychrony::gals_net::{merged_conformance, plan, MergedStats, PartitionReport, UdsLinks};
+use polychrony::isochron::library;
+use polychrony::moc::Value;
+use polychrony::signal_lang::Name;
+
+const STAGES: usize = 4;
+const ASSIGNMENT: [usize; STAGES] = [0, 0, 1, 1];
+const STREAM: [bool; 8] = [true, false, true, true, false, false, true, false];
+
+fn feeds() -> BTreeMap<Name, Vec<Value>> {
+    let mut feeds = BTreeMap::new();
+    feeds.insert(
+        Name::from("p0"),
+        STREAM.iter().map(|&b| Value::Bool(b)).collect(),
+    );
+    feeds
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The child role: this same binary, re-executed per partition.
+    if let Ok(process) = std::env::var("GALS_NET_PROC") {
+        return child(process.parse()?);
+    }
+    parent()
+}
+
+fn child(process: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from(std::env::var("GALS_NET_DIR")?);
+    let design = library::buffer_pipeline_design(STAGES)?;
+    let plan = plan(&design, &ASSIGNMENT)?;
+    let links = UdsLinks::new(&dir);
+    let report = run_partition(&design, &plan, process, &links, &feeds())?;
+    report.write(&dir.join(format!("partition-{process}.report")))?;
+    Ok(())
+}
+
+fn parent() -> Result<(), Box<dyn std::error::Error>> {
+    let design = library::buffer_pipeline_design(STAGES)?;
+    assert!(design.is_weakly_hierarchic(), "{}", design.verdict());
+    let plan = plan(&design, &ASSIGNMENT)?;
+
+    println!("== Partition plan ({} processes) ==", plan.processes());
+    let analysis = design.capacity_analysis()?;
+    for cut in plan.cuts() {
+        let derived = analysis
+            .bound_for(&cut.signal)
+            .expect("every cut edge carries a derived bound");
+        assert_eq!(
+            cut.window, derived.bound,
+            "the link window must be the derived capacity bound"
+        );
+        println!(
+            "cut {}: process {} -> process {}, window {} (= derived bound; {})",
+            cut.signal, cut.producer, cut.consumer, cut.window, cut.provenance
+        );
+    }
+
+    let dir = std::env::temp_dir().join(format!("gals-distributed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let exe = std::env::current_exe()?;
+    println!("\n== Launching {} partition processes ==", plan.processes());
+    let mut children = Vec::new();
+    for process in 0..plan.processes() {
+        children.push(
+            std::process::Command::new(&exe)
+                .env("GALS_NET_PROC", process.to_string())
+                .env("GALS_NET_DIR", &dir)
+                .spawn()?,
+        );
+    }
+    for (process, mut child) in children.into_iter().enumerate() {
+        let status = child.wait()?;
+        assert!(status.success(), "partition {process} failed: {status}");
+        println!("partition {process}: exited cleanly");
+    }
+
+    let reports: Result<Vec<PartitionReport>, _> = (0..plan.processes())
+        .map(|p| PartitionReport::read(&dir.join(format!("partition-{p}.report"))))
+        .collect();
+    let merged = MergedStats::merge(reports?)?;
+    println!("\n== Merged statistics ==\n{merged}");
+
+    // End-to-end conformance: the merged cross-process flows must equal
+    // the synchronous reference replay of the whole design (Theorem 1).
+    let report = merged_conformance(&design, &feeds(), &merged.flows);
+    assert!(report.is_isochronous(), "{report}");
+    println!("\n== Conformance ==\nisochronous: the merged flows equal the synchronous reference");
+
+    // And they must match what a single-process derived deployment of the
+    // very same design observes.
+    let mut deployment = design.deploy_derived()?;
+    for (signal, values) in feeds() {
+        deployment.feed(signal, values);
+    }
+    let outcome = deployment.run()?;
+    for (signal, values) in outcome.flows() {
+        assert_eq!(
+            merged.flows.get(signal),
+            Some(values),
+            "cross-process flow of {signal} diverged from the in-process run"
+        );
+    }
+    let last = Name::from(format!("p{STAGES}"));
+    println!(
+        "single-process and two-process runs observed identical flows \
+         ({} tokens on {last})",
+        merged.flows.get(&last).map_or(0, Vec::len)
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -9,6 +9,7 @@
 pub use analysis;
 pub use clocks;
 pub use codegen;
+pub use gals_net;
 pub use gals_rt;
 pub use isochron;
 pub use moc;
