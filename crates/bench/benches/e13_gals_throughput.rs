@@ -24,6 +24,14 @@
 //!    of guessed); capacity 16 shows what the extra slack buys — memory
 //!    traded against blocking hand-offs, no conformance difference.
 //!
+//! 4. **Machine kind** (interpreter vs compiled step machines): the same
+//!    generated step program executed by the tree-walking
+//!    `SequentialRuntime` and by the slot-indexed `CompiledRuntime`, both
+//!    as a bare step loop (pure machine cost, no threads or channels — the
+//!    chain-of-pairs program at 1, 4 and 8 pairs) and as a full deployed
+//!    pipeline (`Design::deploy_with`), where hand-off costs dilute the
+//!    difference.
+//!
 //! The machine-readable report additionally measures the cross-process
 //! media from `gals-net`: the same derived-sized pipeline with every edge
 //! riding the shared-file ring (`shm`) or a Unix domain socket speaking
@@ -38,8 +46,9 @@ use bench::boolean_flow;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gals_net::runner::run_partition;
 use gals_net::{plan, MergedStats, NetTransport, ShmTransport, UdsLinks};
-use gals_rt::{Backend, Deployment, ExecutionMode, StepFault, StepMachine};
-use isochron::library;
+use gals_rt::{Backend, Deployment, ExecutionMode, MachineKind, StepFault, StepMachine};
+use isochron::design::chain_as_single_process;
+use isochron::{library, Component};
 use signal_lang::{Name, Value};
 
 const STREAM_LEN: usize = 256;
@@ -304,6 +313,72 @@ fn bench_derived_sizing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The bare step-loop workload for the machine-kind comparison: the
+/// chain-of-pairs composition generated as **one** step program, plus the
+/// environment feeds satisfying its `[not a] = [b]` couplings.
+fn chain_machine_workload(
+    pairs: usize,
+    tokens: usize,
+) -> (codegen::ir::StepProgram, Vec<(Name, Vec<Value>)>) {
+    let component = Component::new(chain_as_single_process(pairs).expect("the chain composes"))
+        .expect("the chain analyzes");
+    let program = component.step_program();
+    let pattern = boolean_flow(tokens, 0xC4A1 + pairs as u64);
+    let a: Vec<Value> = pattern.iter().map(|&b| Value::Bool(b)).collect();
+    let b: Vec<Value> = pattern.iter().map(|&b| Value::Bool(!b)).collect();
+    let mut feeds = Vec::new();
+    for pair in 0..pairs {
+        feeds.push((Name::from(format!("a{pair}").as_str()), a.clone()));
+        feeds.push((Name::from(format!("b{pair}").as_str()), b.clone()));
+    }
+    (program, feeds)
+}
+
+/// Drives one machine of the given kind over the whole feed and returns
+/// the number of reactions it completed.
+fn step_loop(
+    kind: MachineKind,
+    program: &codegen::ir::StepProgram,
+    feeds: &[(Name, Vec<Value>)],
+) -> u64 {
+    let mut machine = codegen::machine_of(kind, program.clone());
+    for (signal, values) in feeds {
+        for value in values {
+            machine.feed_value(signal.as_str(), *value);
+        }
+    }
+    let mut steps = 0u64;
+    while machine.try_step().is_ok() {
+        steps += 1;
+    }
+    steps
+}
+
+fn bench_machine_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_machine_kind");
+    group.sample_size(10);
+    for pairs in [1usize, 4, 8] {
+        let (program, feeds) = chain_machine_workload(pairs, STREAM_LEN);
+        for (label, kind) in [
+            ("interpreted", MachineKind::Interpreted),
+            ("compiled", MachineKind::Compiled),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("chain{pairs}"), label),
+                &kind,
+                |bencher, &kind| {
+                    bencher.iter(|| {
+                        let steps = step_loop(kind, &program, &feeds);
+                        assert!(steps > 0);
+                        steps
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// One row of the machine-readable report: a named configuration, its
 /// topology, and the measured (plus, for verified designs, predicted)
 /// throughput.
@@ -512,6 +587,83 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
         });
     }
 
+    // Interpreter vs compiled step machines — the bare step loop first
+    // (pure per-reaction machine cost: no threads, no channels), then the
+    // deployed pipeline where hand-off costs dilute the difference.  The
+    // bare rows are where the compile-don't-interpret payoff shows.
+    for pairs in [1usize, 4, 8] {
+        let (program, feeds) = chain_machine_workload(pairs, 4 * STREAM_LEN);
+        for (label, kind) in [
+            ("interpreted", MachineKind::Interpreted),
+            ("compiled", MachineKind::Compiled),
+        ] {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let start = std::time::Instant::now();
+                let steps = step_loop(kind, &program, &feeds);
+                let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+                assert!(steps > 0);
+                best = best.max(steps as f64 / elapsed);
+            }
+            rows.push(ReportRow {
+                name: format!("step/chain{pairs}/{label}"),
+                topology: "single-machine".into(),
+                components: 1,
+                backend: "none",
+                mode: label,
+                reactions_per_second: best,
+                predicted_reactions_per_input: None,
+                blocked_read_ratio: 0.0,
+                max_edge_occupancy: None,
+            });
+        }
+    }
+    {
+        let components = 4usize;
+        let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
+        let predicted = design
+            .performance_prediction()
+            .ok()
+            .map(|p| p.reactions_per_input());
+        for (label, kind) in [
+            ("interpreted", MachineKind::Interpreted),
+            ("compiled", MachineKind::Compiled),
+        ] {
+            let mut best = 0.0f64;
+            let mut blocked = 0u64;
+            let mut reactions = 0u64;
+            for _ in 0..3 {
+                let mut deployment = design
+                    .deploy_derived_with(kind)
+                    .expect("the pipeline is verified");
+                deployment.set_backend(Backend::SpscRing);
+                deployment.feed("p0", stream.iter().copied());
+                let outcome = deployment.run().expect("the deployment runs");
+                let stats = outcome.stats();
+                blocked += stats.total_blocked_reads();
+                reactions += stats.total_reactions();
+                if let Some(rps) = stats.reactions_per_second() {
+                    best = best.max(rps);
+                }
+            }
+            rows.push(ReportRow {
+                name: format!("pipe{components}/ring/derived/{label}"),
+                topology: "buffer-pipeline".into(),
+                components,
+                backend: "ring",
+                mode: label,
+                reactions_per_second: best,
+                predicted_reactions_per_input: predicted,
+                blocked_read_ratio: if reactions == 0 {
+                    0.0
+                } else {
+                    blocked as f64 / reactions as f64
+                },
+                max_edge_occupancy: None,
+            });
+        }
+    }
+
     // Relay shapes under the work-stealing pool.
     for (shape, build, env) in [
         ("pipeline", pipeline_shape as fn(usize) -> Deployment, "s0"),
@@ -606,6 +758,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
     targets = bench_backends, bench_schedulers, bench_derived_sizing,
-        emit_machine_readable_report
+        bench_machine_kinds, emit_machine_readable_report
 }
 criterion_main!(benches);

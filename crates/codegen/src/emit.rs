@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use signal_lang::{Atom, KernelEq, PrimOp};
 
 use crate::ir::{Action, ClockCode, StepProgram};
+use crate::types::{signal_types, SigType};
 
 /// Renders the transition function and the simulation `main` of a step
 /// program as C source text.
@@ -28,6 +29,19 @@ pub fn emit_c(program: &StepProgram) -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "bool {name}_iterate() {{");
+    // Per-signal value locals: every signal the step computes or reads,
+    // except the registers (those live in the statics above — declaring
+    // them again would shadow the state).
+    let types = signal_types(program);
+    for action in &program.actions {
+        if let Action::ComputeClock { signal, .. } = action {
+            if program.registers.iter().any(|(r, _)| r == signal) {
+                continue;
+            }
+            let ty = types.get(signal).copied().unwrap_or(SigType::Int);
+            let _ = writeln!(out, "  {} {signal};", ty.c_name());
+        }
+    }
     for action in &program.actions {
         match action {
             Action::ComputeClock { signal, code } => {
@@ -173,6 +187,42 @@ mod tests {
             let c = emit_c(&program);
             assert!(c.contains(&format!("bool {}_iterate()", def.name)));
             assert!(c.matches('{').count() == c.matches('}').count());
+        }
+    }
+
+    /// The module is self-contained: every signal the iterate body
+    /// computes is either a local declared at the top of the function or
+    /// a file-scope register static, in both cases textually before its
+    /// first use.
+    #[test]
+    fn every_signal_is_declared_before_use() {
+        for def in stdlib::all_paper_processes() {
+            let program = generate_from_kernel(&def.normalize().unwrap());
+            let c = emit_c(&program);
+            let body_start = c.find("_iterate()").expect("an iterate function");
+            for action in &program.actions {
+                if let Action::ComputeClock { signal, .. } = action {
+                    if program.registers.iter().any(|(r, _)| r == signal) {
+                        assert!(
+                            c[..body_start].contains(&format!(" {signal} = ")),
+                            "{}: register {signal} has no file-scope static",
+                            def.name
+                        );
+                        continue;
+                    }
+                    let declared = c[body_start..]
+                        .find(&format!(" {signal};"))
+                        .unwrap_or_else(|| panic!("{}: {signal} never declared", def.name));
+                    let first_use = c[body_start..]
+                        .find(&format!("C_{signal} ="))
+                        .unwrap_or(usize::MAX);
+                    assert!(
+                        declared < first_use,
+                        "{}: {signal} used before its declaration",
+                        def.name
+                    );
+                }
+            }
         }
     }
 }

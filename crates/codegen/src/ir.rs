@@ -120,7 +120,9 @@ impl fmt::Display for StepProgram {
             match a {
                 Action::ComputeClock { signal, code } => writeln!(f, "  C_{signal} := {code}")?,
                 Action::ReadInput { signal } => writeln!(f, "  if C_{signal} read {signal}")?,
-                Action::Eval { equation } => writeln!(f, "  if C_* eval {equation}")?,
+                Action::Eval { equation } => {
+                    writeln!(f, "  if C_{} eval {equation}", equation.defined())?
+                }
                 Action::WriteOutput { signal } => writeln!(f, "  if C_{signal} write {signal}")?,
                 Action::UpdateRegister { register, source } => {
                     writeln!(f, "  if C_{source} {register} := {source}")?

@@ -10,9 +10,19 @@
 //!   reinforced scheduling graph (the `buffer_iterate` scheme of §3.6);
 //! * [`emit`] — emission of the step function as C-like source text,
 //!   mirroring the listings of the paper;
-//! * [`runtime`] — an in-process runtime that executes step programs
-//!   against FIFO input sources, used by the examples and benchmarks in
-//!   place of compiling the emitted C;
+//! * [`runtime`] — an in-process interpreter executing step programs
+//!   against FIFO input sources, kept as the readable reference
+//!   semantics;
+//! * [`compile`] — the slot-indexed compiled form: names interned into
+//!   dense indices, clock trees flattened to postfix programs, equations
+//!   pre-bound into opcodes, executed with zero per-step allocation —
+//!   the default execution strategy for deployments;
+//! * [`types`] — static value-type inference over a step program, shared
+//!   by the source emitters;
+//! * [`emit_rust`] — emission of the step function as a self-contained
+//!   Rust module, and [`emitted`] — a loader that compiles it with
+//!   `rustc` and drives the resulting process behind
+//!   [`gals_rt::StepMachine`];
 //! * [`controller`] — the controller synthesis of §5.2: two endochronous
 //!   components whose composition carries a clock constraint on a shared
 //!   signal are scheduled by a synthesized controller implementing the
@@ -23,14 +33,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod concurrent;
 pub mod controller;
 pub mod emit;
+pub mod emit_rust;
+pub mod emitted;
 pub mod ir;
 pub mod runtime;
 pub mod seq;
+pub mod types;
 
+pub use compile::{machine_of, CompiledProgram, CompiledRuntime};
 pub use controller::{ControlledPair, Controller};
+pub use emit_rust::{emit_rust, emit_rust_harness};
+pub use emitted::EmittedMachine;
 pub use ir::{Action, ClockCode, StepProgram};
 pub use runtime::{RuntimeError, SequentialRuntime};
 pub use seq::generate;
+pub use types::{signal_types, SigType};

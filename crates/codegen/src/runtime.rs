@@ -119,12 +119,13 @@ impl SequentialRuntime {
         let mut presence: BTreeMap<Name, bool> = BTreeMap::new();
         let mut values: BTreeMap<Name, Value> = BTreeMap::new();
         let mut register_updates: Vec<(Name, Value)> = Vec::new();
+        let mut pending_writes: Vec<(Name, Value)> = Vec::new();
         let mut consumed: Vec<Name> = Vec::new();
 
-        // The actions were cloned up-front so the borrow checker lets the
-        // evaluation update the runtime state.
-        let actions = self.program.actions.clone();
-        for action in &actions {
+        // The loop only reads the runtime state; every mutation (consumed
+        // inputs, output appends, register latches) is staged and committed
+        // after the step succeeds, so a failing step observably never ran.
+        for action in &self.program.actions {
             match action {
                 Action::ComputeClock { signal, code } => {
                     let p = eval_clock(code, &presence, &values);
@@ -155,7 +156,7 @@ impl SequentialRuntime {
                             .get(signal)
                             .copied()
                             .ok_or_else(|| RuntimeError::MissingOperand(signal.clone()))?;
-                        self.outputs.entry(signal.clone()).or_default().push(v);
+                        pending_writes.push((signal.clone(), v));
                     }
                 }
                 Action::UpdateRegister { register, source } => {
@@ -167,11 +168,15 @@ impl SequentialRuntime {
                 }
             }
         }
-        // Commit: consume inputs and update registers only on success.
+        // Commit: consume inputs, append outputs and update registers only
+        // on success.
         for signal in consumed {
             if let Some(q) = self.inputs.get_mut(&signal) {
                 q.pop_front();
             }
+        }
+        for (signal, v) in pending_writes {
+            self.outputs.entry(signal).or_default().push(v);
         }
         for (r, v) in register_updates {
             self.registers.insert(r, v);
@@ -288,7 +293,7 @@ fn eval_clock(
     }
 }
 
-fn eval_op(op: PrimOp, args: &[Value]) -> Result<Value, RuntimeError> {
+pub(crate) fn eval_op(op: PrimOp, args: &[Value]) -> Result<Value, RuntimeError> {
     let int = |v: &Value| {
         v.as_int()
             .ok_or_else(|| RuntimeError::Evaluation(format!("expected integer, found {v}")))

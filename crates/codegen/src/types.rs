@@ -1,0 +1,254 @@
+//! Value-type inference over a step program.
+//!
+//! The step IR is untyped — a signal carries either a boolean or an
+//! integer, and the interpreter discovers which at run time.  The source
+//! emitters cannot: C and Rust both need every local declared with a
+//! concrete type.  This module recovers the types statically from the
+//! program itself: register initial values, operator signatures and the
+//! boolean samplers of the clock codes seed the knowledge, and same-type
+//! constraints (delays, copies, defaults, comparisons) propagate it to a
+//! fixpoint.
+
+use std::collections::BTreeMap;
+
+use signal_lang::{Atom, KernelEq, Name, PrimOp, Value};
+
+use crate::ir::{Action, ClockCode, StepProgram};
+
+/// The value type of a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigType {
+    /// A boolean signal.
+    Bool,
+    /// An integer signal.
+    Int,
+}
+
+impl SigType {
+    /// The type of a literal value.
+    pub fn of_value(v: &Value) -> SigType {
+        match v {
+            Value::Bool(_) => SigType::Bool,
+            Value::Int(_) => SigType::Int,
+        }
+    }
+
+    /// The C spelling of the type (`bool` / `long`).
+    pub fn c_name(self) -> &'static str {
+        match self {
+            SigType::Bool => "bool",
+            SigType::Int => "long",
+        }
+    }
+
+    /// The Rust spelling of the type (`bool` / `i64`).
+    pub fn rust_name(self) -> &'static str {
+        match self {
+            SigType::Bool => "bool",
+            SigType::Int => "i64",
+        }
+    }
+}
+
+/// One typing fact gathered from the program.
+enum Fact {
+    Known(Name, SigType),
+    Same(Name, Name),
+}
+
+/// Infers the value type of every signal of the program.
+///
+/// Signals the constraints cannot reach (a program with no constants, no
+/// registers and no typed operator anywhere on their dataflow) are absent
+/// from the map; emitters fall back to [`SigType::Int`] for them.  Every
+/// process of the paper resolves completely.
+pub fn signal_types(program: &StepProgram) -> BTreeMap<Name, SigType> {
+    let mut facts: Vec<Fact> = Vec::new();
+    for (register, init) in &program.registers {
+        facts.push(Fact::Known(register.clone(), SigType::of_value(init)));
+    }
+    for action in &program.actions {
+        match action {
+            Action::ComputeClock { code, .. } => clock_facts(code, &mut facts),
+            Action::Eval { equation } => equation_facts(equation, &mut facts),
+            Action::UpdateRegister { register, source } => {
+                facts.push(Fact::Same(register.clone(), source.clone()));
+            }
+            Action::ReadInput { .. } | Action::WriteOutput { .. } => {}
+        }
+    }
+
+    // Propagate to a fixpoint: `Known` seeds, `Same` spreads.  The fact
+    // list is tiny (a few per equation), so the quadratic sweep is free.
+    let mut types: BTreeMap<Name, SigType> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for fact in &facts {
+            match fact {
+                Fact::Known(n, t) => {
+                    // First fact wins: a conflicting second fact would mean
+                    // an ill-typed program, and oscillating on it would
+                    // never converge.
+                    if !types.contains_key(n) {
+                        types.insert(n.clone(), *t);
+                        changed = true;
+                    }
+                }
+                Fact::Same(a, b) => match (types.get(a).copied(), types.get(b).copied()) {
+                    (Some(t), None) => {
+                        types.insert(b.clone(), t);
+                        changed = true;
+                    }
+                    (None, Some(t)) => {
+                        types.insert(a.clone(), t);
+                        changed = true;
+                    }
+                    _ => {}
+                },
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    types
+}
+
+/// A sampler guards a clock with its boolean value: `x when c` types `c`.
+fn clock_facts(code: &ClockCode, facts: &mut Vec<Fact>) {
+    match code {
+        ClockCode::Always | ClockCode::SameAs(_) => {}
+        ClockCode::SampleTrue(n) | ClockCode::SampleFalse(n) => {
+            facts.push(Fact::Known(n.clone(), SigType::Bool));
+        }
+        ClockCode::And(a, b) | ClockCode::Or(a, b) | ClockCode::Diff(a, b) => {
+            clock_facts(a, facts);
+            clock_facts(b, facts);
+        }
+    }
+}
+
+fn atom_fact(out: &Name, atom: &Atom, facts: &mut Vec<Fact>) {
+    match atom {
+        Atom::Const(v) => facts.push(Fact::Known(out.clone(), SigType::of_value(v))),
+        Atom::Var(n) => facts.push(Fact::Same(out.clone(), n.clone())),
+    }
+}
+
+fn equation_facts(eq: &KernelEq, facts: &mut Vec<Fact>) {
+    match eq {
+        KernelEq::Delay { out, arg, init } => {
+            facts.push(Fact::Known(out.clone(), SigType::of_value(init)));
+            facts.push(Fact::Same(out.clone(), arg.clone()));
+        }
+        KernelEq::When { out, arg, cond } => {
+            facts.push(Fact::Known(cond.clone(), SigType::Bool));
+            atom_fact(out, arg, facts);
+        }
+        KernelEq::Default { out, left, right } => {
+            atom_fact(out, left, facts);
+            atom_fact(out, right, facts);
+        }
+        KernelEq::Func { out, op, args } => match op {
+            PrimOp::Id => {
+                if let Some(a) = args.first() {
+                    atom_fact(out, a, facts);
+                }
+            }
+            PrimOp::Not | PrimOp::And | PrimOp::Or | PrimOp::Xor => {
+                facts.push(Fact::Known(out.clone(), SigType::Bool));
+                for a in args {
+                    if let Atom::Var(n) = a {
+                        facts.push(Fact::Known(n.clone(), SigType::Bool));
+                    }
+                }
+            }
+            PrimOp::Neg | PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => {
+                facts.push(Fact::Known(out.clone(), SigType::Int));
+                for a in args {
+                    if let Atom::Var(n) = a {
+                        facts.push(Fact::Known(n.clone(), SigType::Int));
+                    }
+                }
+            }
+            PrimOp::Eq | PrimOp::Ne => {
+                facts.push(Fact::Known(out.clone(), SigType::Bool));
+                // The operands agree with each other, not with the output.
+                match args.as_slice() {
+                    [Atom::Var(a), Atom::Var(b)] => facts.push(Fact::Same(a.clone(), b.clone())),
+                    [Atom::Var(a), Atom::Const(v)] | [Atom::Const(v), Atom::Var(a)] => {
+                        facts.push(Fact::Known(a.clone(), SigType::of_value(v)));
+                    }
+                    _ => {}
+                }
+            }
+            PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge => {
+                facts.push(Fact::Known(out.clone(), SigType::Bool));
+                for a in args {
+                    if let Atom::Var(n) = a {
+                        facts.push(Fact::Known(n.clone(), SigType::Int));
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::generate_from_kernel;
+    use signal_lang::stdlib;
+
+    #[test]
+    fn inference_reaches_every_non_polymorphic_interface_signal() {
+        // The routing processes (merge, flip, the LTTA family) carry
+        // whatever type flows through them — when/default only, so no
+        // constraint reaches their data path and the emitters use the
+        // documented Int fallback.  Everything else resolves completely.
+        let polymorphic = [
+            "merge:y",
+            "merge:z",
+            "merge:d",
+            "flip:x",
+            "flip:y",
+            "main:b",
+            "writer:xw",
+            "writer:yw",
+            "reader:yr",
+            "reader:xr",
+            "ltta:cr",
+            "ltta:cw",
+        ];
+        let mut untyped = Vec::new();
+        for def in stdlib::all_paper_processes() {
+            let program = generate_from_kernel(&def.normalize().unwrap());
+            let types = signal_types(&program);
+            let mut signals: Vec<Name> = program.inputs.clone();
+            signals.extend(program.outputs.iter().cloned());
+            for signal in signals {
+                if !types.contains_key(&signal) {
+                    untyped.push(format!("{}:{signal}", def.name));
+                }
+            }
+        }
+        assert_eq!(untyped, polymorphic, "unexpected untyped interface signals");
+    }
+
+    #[test]
+    fn producer_counts_in_integers_and_branches_on_booleans() {
+        let program = generate_from_kernel(&stdlib::producer().normalize().unwrap());
+        let types = signal_types(&program);
+        assert_eq!(types.get(&Name::from("a")), Some(&SigType::Bool));
+        assert_eq!(types.get(&Name::from("u")), Some(&SigType::Int));
+        assert_eq!(types.get(&Name::from("x")), Some(&SigType::Int));
+    }
+
+    #[test]
+    fn buffer_state_is_boolean() {
+        let program = generate_from_kernel(&stdlib::buffer().normalize().unwrap());
+        let types = signal_types(&program);
+        assert_eq!(types.get(&Name::from("t")), Some(&SigType::Bool));
+        assert_eq!(types.get(&Name::from("y")), Some(&SigType::Bool));
+    }
+}

@@ -5,7 +5,9 @@ use std::fmt;
 
 use clocks::{Clock, ClockAlgebra, ClockAnalysis, ClockExpr};
 use codegen::{ClockCode, SequentialRuntime, StepProgram};
-use gals_rt::{CapacityAnalysis, DeployError, Deployment, EdgeClocks, ReferenceComponent};
+use gals_rt::{
+    CapacityAnalysis, DeployError, Deployment, EdgeClocks, MachineKind, ReferenceComponent,
+};
 use signal_lang::{KernelProcess, Name, ProcessBuilder, ProcessDef, SignalError};
 
 use crate::verdict::Verdict;
@@ -113,9 +115,21 @@ impl Component {
         codegen::emit::emit_c(&self.step_program())
     }
 
-    /// A ready-to-run sequential runtime executing the generated code.
+    /// The generated Rust module of the component (a self-contained,
+    /// compilable step machine — see `codegen::emit_rust`).
+    pub fn emit_rust(&self) -> String {
+        codegen::emit_rust::emit_rust(&self.step_program())
+    }
+
+    /// A ready-to-run sequential runtime interpreting the generated code.
     pub fn runtime(&self) -> SequentialRuntime {
         SequentialRuntime::new(self.step_program())
+    }
+
+    /// A ready-to-run compiled runtime (slot-indexed, zero per-step
+    /// allocation) executing the generated code.
+    pub fn compiled_runtime(&self) -> codegen::CompiledRuntime {
+        codegen::CompiledRuntime::from_program(&self.step_program())
     }
 
     /// Activation signals for the synchronous reference interpreter: one
@@ -344,10 +358,25 @@ impl Design {
     /// unverified deployment, so it must be requested explicitly with
     /// [`deploy_unchecked`](Design::deploy_unchecked).
     pub fn deploy(&self) -> Result<Deployment, DesignError> {
+        self.deploy_with(MachineKind::default())
+    }
+
+    /// [`deploy`](Design::deploy) with an explicit execution strategy for
+    /// the component machines: [`MachineKind::Compiled`] (the default —
+    /// slot-indexed programs, zero per-step allocation) or
+    /// [`MachineKind::Interpreted`] (the `Name`-keyed reference
+    /// interpreter).  Both produce identical flows on every verified
+    /// design; the conformance suites replay both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion.
+    pub fn deploy_with(&self, kind: MachineKind) -> Result<Deployment, DesignError> {
         if !self.is_weakly_hierarchic() {
             return Err(DesignError::NotVerified(self.name.clone()));
         }
-        Ok(self.deploy_unchecked())
+        Ok(self.deploy_unchecked_with(kind))
     }
 
     /// Assembles the deployment without checking the static criterion —
@@ -355,6 +384,12 @@ impl Design {
     /// diverge (the conformance checker reports the divergence instead of
     /// silently accepting it).
     pub fn deploy_unchecked(&self) -> Deployment {
+        self.deploy_unchecked_with(MachineKind::default())
+    }
+
+    /// [`deploy_unchecked`](Design::deploy_unchecked) with an explicit
+    /// execution strategy for the component machines.
+    pub fn deploy_unchecked_with(&self, kind: MachineKind) -> Deployment {
         let programs: Vec<_> = self.components.iter().map(|c| c.step_program()).collect();
         // Paced marks only make sense on environment inputs (signals no
         // component produces): a channel-fed input is paced by its
@@ -376,8 +411,9 @@ impl Design {
                 }
             }
             deployment.add_reference(component.reference());
-            deployment.add_machine(Box::new(SequentialRuntime::new(program)));
+            deployment.add_machine(codegen::machine_of(kind, program));
         }
+        deployment.set_machine_kind(kind);
         deployment
     }
 
@@ -529,7 +565,18 @@ impl Design {
     /// Returns [`DesignError::NotVerified`] when the design fails the
     /// static weak-hierarchy criterion.
     pub fn deploy_derived(&self) -> Result<Deployment, DesignError> {
-        let mut deployment = self.deploy()?;
+        self.deploy_derived_with(MachineKind::default())
+    }
+
+    /// [`deploy_derived`](Design::deploy_derived) with an explicit
+    /// execution strategy for the component machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion.
+    pub fn deploy_derived_with(&self, kind: MachineKind) -> Result<Deployment, DesignError> {
+        let mut deployment = self.deploy_with(kind)?;
         let analysis = self.capacity_analysis()?;
         deployment.set_capacity_analysis(&analysis);
         Ok(deployment)

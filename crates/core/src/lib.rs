@@ -48,4 +48,5 @@ pub mod library;
 pub mod verdict;
 
 pub use design::{Component, Design, DesignError};
+pub use gals_rt::MachineKind;
 pub use verdict::Verdict;

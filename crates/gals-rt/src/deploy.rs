@@ -370,6 +370,7 @@ pub struct Deployment {
     allow_cycles: bool,
     prediction: Option<crate::predict::PerformancePrediction>,
     trace: Option<TraceConfig>,
+    machine_kind: Option<crate::machine::MachineKind>,
 }
 
 impl Deployment {
@@ -389,7 +390,23 @@ impl Deployment {
             allow_cycles: false,
             prediction: None,
             trace: None,
+            machine_kind: None,
         }
+    }
+
+    /// Records which execution strategy
+    /// ([`crate::MachineKind`]) backs the step machines of this
+    /// deployment, so the run's [`DeploymentStats`] can report it.  The
+    /// engine itself never inspects the tag — deployments of hand-rolled
+    /// machines simply leave it unset.
+    pub fn set_machine_kind(&mut self, kind: crate::machine::MachineKind) -> &mut Self {
+        self.machine_kind = Some(kind);
+        self
+    }
+
+    /// The recorded machine kind, when one was set.
+    pub fn machine_kind(&self) -> Option<crate::machine::MachineKind> {
+        self.machine_kind
     }
 
     /// Turns per-event tracing on (with the default [`TraceConfig`]) or
@@ -912,6 +929,7 @@ impl Deployment {
                 elapsed,
                 prediction: self.prediction,
                 trace: trace.as_ref().map(Trace::summary),
+                machine_kind: self.machine_kind,
             },
             feeds: self.feeds,
             reference: self.reference,

@@ -104,7 +104,7 @@ pub use conformance::{replay_reference, ConformanceError, ConformanceReport, Ref
 pub use deploy::{
     ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
 };
-pub use machine::{StepFault, StepMachine};
+pub use machine::{MachineKind, StepFault, StepMachine};
 pub use predict::{ComponentPrediction, EdgePrediction, PerformancePrediction};
 pub use ring::{RingReceiver, RingSender, RingTransport};
 pub use sched::ExecutionMode;

@@ -33,6 +33,35 @@ impl fmt::Display for StepFault {
     }
 }
 
+/// Which execution strategy backs the step machines of a deployment.
+///
+/// The engine never inspects this — every machine is a [`StepMachine`]
+/// trait object either way.  The tag exists so deployment assemblers
+/// (`isochron::Design::deploy_with`, the partition runner, the benches)
+/// can pick a strategy uniformly and the statistics can report which one
+/// ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// Interpret the step-program IR per reaction
+    /// (`codegen::SequentialRuntime`): `Name`-keyed maps, tree-walked
+    /// clocks.  Kept as the readable reference semantics.
+    Interpreted,
+    /// Execute the slot-indexed compiled form
+    /// (`codegen::CompiledRuntime`): flat value array, presence bitsets,
+    /// postfix clock programs, zero allocation per step.  The default.
+    #[default]
+    Compiled,
+}
+
+impl fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineKind::Interpreted => write!(f, "interpreted"),
+            MachineKind::Compiled => write!(f, "compiled"),
+        }
+    }
+}
+
 /// One separately compiled component, executable step by step.
 ///
 /// # Contract

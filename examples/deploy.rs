@@ -24,7 +24,7 @@
 //! cargo run --example deploy
 //! ```
 
-use polychrony::gals_rt::{Backend, ExecutionMode};
+use polychrony::gals_rt::{Backend, ExecutionMode, MachineKind};
 use polychrony::isochron::library;
 use polychrony::moc::Value;
 
@@ -66,6 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Conformance ==");
     println!("{report}");
     assert!(report.is_isochronous());
+
+    // Each stage above ran as a *compiled* step machine (the default
+    // `MachineKind::Compiled`): the step program is lowered once to dense
+    // slot indices and postfix clock code, and the hot loop allocates
+    // nothing.  Execution strategy is an observable-free choice — the tree
+    // -walking interpreter must produce the very same flows.
+    let mut interpreted = design.deploy_with(MachineKind::Interpreted)?;
+    interpreted.feed("p0", stream.iter().copied());
+    let interpreted_outcome = interpreted.run()?;
+    assert_eq!(interpreted_outcome.flow("p4"), outcome.flow("p4"));
+    println!(
+        "machine kinds agree: p4 identical over {} and {} machines",
+        interpreted_outcome
+            .stats()
+            .machine_kind
+            .expect("kind recorded"),
+        outcome.stats().machine_kind.expect("kind recorded"),
+    );
 
     // Isochrony is transport-agnostic: the same pipeline over the mpsc
     // backend observes exactly the same flows.

@@ -13,7 +13,7 @@
 //! PROPTEST_CASES=64 cargo test --test conformance_fuzz
 //! ```
 
-use polychrony::gals_rt::{Backend, Deployment, ExecutionMode, StopReason};
+use polychrony::gals_rt::{Backend, Deployment, ExecutionMode, MachineKind, StopReason};
 use polychrony::isochron::{design::chain_of_pairs, library, Design};
 use polychrony::moc::Value;
 use proptest::prelude::*;
@@ -30,53 +30,56 @@ fn bools(values: &[bool]) -> Vec<Value> {
     values.iter().map(|&b| Value::Bool(b)).collect()
 }
 
-/// Replays the design under every (mode × backend × sizing) combination
-/// and asserts conformance plus deadlock-freedom for each; all runs must
-/// observe identical flows.
+/// Replays the design under every (kind × mode × backend × sizing)
+/// combination and asserts conformance plus deadlock-freedom for each;
+/// all runs must observe identical flows.
 fn assert_conformant_everywhere(design: &Design, feeds: &[(&str, Vec<Value>)], capacity: usize) {
     // Derive once per case: the clock inference + BDD work is a
     // per-design cost, not a per-combination one.
     let analysis = design.capacity_analysis().expect("the design is verified");
     let mut reference: Option<polychrony::sim::Flows> = None;
-    for mode in MODES {
-        for backend in [Backend::Mpsc, Backend::SpscRing] {
-            for derived in [false, true] {
-                let mut deployment: Deployment = design.deploy().expect("the design is verified");
-                if derived {
-                    deployment.set_capacity_analysis(&analysis);
-                } else {
-                    deployment.set_capacity(capacity).expect("nonzero");
-                }
-                deployment.set_execution_mode(mode).expect("valid mode");
-                deployment.set_backend(backend);
-                for (signal, values) in feeds {
-                    deployment.feed(*signal, values.iter().copied());
-                }
-                let outcome = deployment.run().expect("the deployment runs");
-                for component in &outcome.stats().components {
-                    assert_ne!(
-                        component.stop,
-                        StopReason::Deadlocked,
-                        "{} deadlocked ({mode}, {backend}, derived {derived})",
-                        design.name()
+    for kind in [MachineKind::Interpreted, MachineKind::Compiled] {
+        for mode in MODES {
+            for backend in [Backend::Mpsc, Backend::SpscRing] {
+                for derived in [false, true] {
+                    let mut deployment: Deployment =
+                        design.deploy_with(kind).expect("the design is verified");
+                    if derived {
+                        deployment.set_capacity_analysis(&analysis);
+                    } else {
+                        deployment.set_capacity(capacity).expect("nonzero");
+                    }
+                    deployment.set_execution_mode(mode).expect("valid mode");
+                    deployment.set_backend(backend);
+                    for (signal, values) in feeds {
+                        deployment.feed(*signal, values.iter().copied());
+                    }
+                    let outcome = deployment.run().expect("the deployment runs");
+                    for component in &outcome.stats().components {
+                        assert_ne!(
+                            component.stop,
+                            StopReason::Deadlocked,
+                            "{} deadlocked ({kind}, {mode}, {backend}, derived {derived})",
+                            design.name()
+                        );
+                    }
+                    let report = outcome.check_conformance().expect("reference registered");
+                    assert!(
+                        report.is_isochronous(),
+                        "{} diverged ({kind}, {mode}, {backend}, derived {derived}, capacity \
+                         {capacity}): {report}\nstats:\n{}",
+                        design.name(),
+                        outcome.stats()
                     );
-                }
-                let report = outcome.check_conformance().expect("reference registered");
-                assert!(
-                    report.is_isochronous(),
-                    "{} diverged ({mode}, {backend}, derived {derived}, capacity \
-                     {capacity}): {report}\nstats:\n{}",
-                    design.name(),
-                    outcome.stats()
-                );
-                match &reference {
-                    None => reference = Some(outcome.flows().clone()),
-                    Some(flows) => assert_eq!(
-                        outcome.flows(),
-                        flows,
-                        "{} observed different flows across combinations",
-                        design.name()
-                    ),
+                    match &reference {
+                        None => reference = Some(outcome.flows().clone()),
+                        Some(flows) => assert_eq!(
+                            outcome.flows(),
+                            flows,
+                            "{} observed different flows across combinations",
+                            design.name()
+                        ),
+                    }
                 }
             }
         }

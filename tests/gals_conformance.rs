@@ -11,7 +11,8 @@
 //! the blocking one.
 
 use polychrony::gals_rt::{
-    Backend, CapacityRange, DeployError, Deployment, DeploymentOutcome, ExecutionMode, StopReason,
+    Backend, CapacityRange, DeployError, Deployment, DeploymentOutcome, ExecutionMode, MachineKind,
+    StopReason,
 };
 use polychrony::isochron::{design::chain_of_pairs, library, Design};
 use polychrony::moc::Value;
@@ -28,11 +29,12 @@ const MODES: [ExecutionMode; 2] = [
 ];
 
 /// Deploys the design with every feed applied, at the given channel
-/// capacity, over **both** built-in channel backends and under **both**
-/// execution modes; asserts the conformance verdict for each of the four
-/// runs, and returns the last (pool × ring) outcome — Theorem 1's
-/// isochrony is transport- and scheduler-agnostic, so every combination
-/// must observe the synchronous flows.
+/// capacity, over **both** built-in channel backends, under **both**
+/// execution modes, with **both** machine kinds (the interpreter and the
+/// slot-indexed compiled runtime); asserts the conformance verdict for
+/// each of the eight runs, and returns the last outcome — Theorem 1's
+/// isochrony is transport-, scheduler- and execution-strategy-agnostic,
+/// so every combination must observe the synchronous flows.
 fn assert_conformant(
     design: &Design,
     feeds: &[(&str, Vec<Value>)],
@@ -43,50 +45,56 @@ fn assert_conformant(
     // repro artifact.
     let trace_dir = std::env::var_os("GALS_TRACE_DIR");
     let mut outcomes = Vec::new();
-    for mode in MODES {
-        for backend in [Backend::Mpsc, Backend::SpscRing] {
-            let mut deployment: Deployment = design.deploy().expect("the design is verified");
-            deployment.set_execution_mode(mode).expect("valid mode");
-            deployment.set_backend(backend);
-            deployment.set_capacity(capacity).expect("nonzero");
-            deployment.set_tracing(trace_dir.is_some());
-            for (signal, values) in feeds {
-                deployment.feed(*signal, values.iter().copied());
-            }
-            let outcome = deployment.run().expect("the deployment runs");
-            let stats = outcome.stats();
-            // Token conservation: a token is counted sent when it enters a
-            // channel and received when it leaves, so the receiving side
-            // can never lead (a component stopping early only strands
-            // tokens, leaving the sent side ahead).
-            assert!(
-                stats.total_tokens_received() <= stats.total_tokens(),
-                "{} ({mode}, backend {backend}, capacity {capacity}): received more \
-                 tokens than were sent\nstats:\n{stats}",
-                design.name()
-            );
-            let report = outcome.check_conformance().expect("reference registered");
-            if !report.is_isochronous() {
-                let saved = trace_dir.as_ref().and_then(|dir| {
-                    let trace = outcome.trace()?;
-                    let stem = format!("{}-{mode}-{backend}-cap{capacity}", design.name())
-                        .replace(|c: char| !c.is_ascii_alphanumeric() && c != '-', "_");
-                    let file = std::path::Path::new(dir).join(format!("{stem}.trace.json"));
-                    std::fs::create_dir_all(dir).ok()?;
-                    std::fs::write(&file, trace.to_chrome_json()).ok()?;
-                    Some(file)
-                });
-                panic!(
-                    "{} ({mode}, backend {backend}, capacity {capacity}): {report}\n\
-                     stats:\n{}\ntrace: {}",
-                    design.name(),
-                    outcome.stats(),
-                    saved
-                        .map(|p| p.display().to_string())
-                        .unwrap_or_else(|| "not captured (set GALS_TRACE_DIR)".into())
+    for kind in [MachineKind::Interpreted, MachineKind::Compiled] {
+        for mode in MODES {
+            for backend in [Backend::Mpsc, Backend::SpscRing] {
+                let mut deployment: Deployment =
+                    design.deploy_with(kind).expect("the design is verified");
+                assert_eq!(deployment.machine_kind(), Some(kind));
+                deployment.set_execution_mode(mode).expect("valid mode");
+                deployment.set_backend(backend);
+                deployment.set_capacity(capacity).expect("nonzero");
+                deployment.set_tracing(trace_dir.is_some());
+                for (signal, values) in feeds {
+                    deployment.feed(*signal, values.iter().copied());
+                }
+                let outcome = deployment.run().expect("the deployment runs");
+                let stats = outcome.stats();
+                assert_eq!(stats.machine_kind, Some(kind));
+                // Token conservation: a token is counted sent when it enters
+                // a channel and received when it leaves, so the receiving
+                // side can never lead (a component stopping early only
+                // strands tokens, leaving the sent side ahead).
+                assert!(
+                    stats.total_tokens_received() <= stats.total_tokens(),
+                    "{} ({kind}, {mode}, backend {backend}, capacity {capacity}): received \
+                     more tokens than were sent\nstats:\n{stats}",
+                    design.name()
                 );
+                let report = outcome.check_conformance().expect("reference registered");
+                if !report.is_isochronous() {
+                    let saved = trace_dir.as_ref().and_then(|dir| {
+                        let trace = outcome.trace()?;
+                        let stem =
+                            format!("{}-{kind}-{mode}-{backend}-cap{capacity}", design.name())
+                                .replace(|c: char| !c.is_ascii_alphanumeric() && c != '-', "_");
+                        let file = std::path::Path::new(dir).join(format!("{stem}.trace.json"));
+                        std::fs::create_dir_all(dir).ok()?;
+                        std::fs::write(&file, trace.to_chrome_json()).ok()?;
+                        Some(file)
+                    });
+                    panic!(
+                        "{} ({kind}, {mode}, backend {backend}, capacity {capacity}): {report}\n\
+                         stats:\n{}\ntrace: {}",
+                        design.name(),
+                        outcome.stats(),
+                        saved
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_else(|| "not captured (set GALS_TRACE_DIR)".into())
+                    );
+                }
+                outcomes.push(outcome);
             }
-            outcomes.push(outcome);
         }
     }
     let reference = outcomes[0].flows().clone();
@@ -94,11 +102,11 @@ fn assert_conformant(
         assert_eq!(
             outcome.flows(),
             &reference,
-            "{} (capacity {capacity}): a mode/backend combination observed different flows",
+            "{} (capacity {capacity}): a kind/mode/backend combination observed different flows",
             design.name()
         );
     }
-    outcomes.pop().expect("four outcomes")
+    outcomes.pop().expect("eight outcomes")
 }
 
 fn bools(values: &[bool]) -> Vec<Value> {
@@ -384,36 +392,38 @@ fn derived_capacities_conform_across_modes_and_backends() {
         ),
     ];
     for (design, feeds) in &scenarios {
-        for mode in MODES {
-            for backend in [Backend::Mpsc, Backend::SpscRing] {
-                let mut deployment = design.deploy_derived().expect("verified design");
-                deployment.set_execution_mode(mode).expect("valid mode");
-                deployment.set_backend(backend);
-                for (signal, values) in feeds {
-                    deployment.feed(*signal, values.iter().copied());
-                }
-                let outcome = deployment.run().expect("the deployment runs");
-                let stats = outcome.stats();
-                assert_eq!(stats.sizing, ChannelSizing::Derived);
-                for edge in &stats.edges {
-                    assert_eq!(
-                        edge.source,
-                        CapacitySource::Derived,
-                        "{}: {}",
-                        design.name(),
-                        edge.signal
+        for kind in [MachineKind::Interpreted, MachineKind::Compiled] {
+            for mode in MODES {
+                for backend in [Backend::Mpsc, Backend::SpscRing] {
+                    let mut deployment = design.deploy_derived_with(kind).expect("verified design");
+                    deployment.set_execution_mode(mode).expect("valid mode");
+                    deployment.set_backend(backend);
+                    for (signal, values) in feeds {
+                        deployment.feed(*signal, values.iter().copied());
+                    }
+                    let outcome = deployment.run().expect("the deployment runs");
+                    let stats = outcome.stats();
+                    assert_eq!(stats.sizing, ChannelSizing::Derived);
+                    for edge in &stats.edges {
+                        assert_eq!(
+                            edge.source,
+                            CapacitySource::Derived,
+                            "{}: {}",
+                            design.name(),
+                            edge.signal
+                        );
+                        assert!(edge.derivation.is_some());
+                    }
+                    for component in &stats.components {
+                        assert_ne!(component.stop, StopReason::Deadlocked);
+                    }
+                    let report = outcome.check_conformance().expect("reference registered");
+                    assert!(
+                        report.is_isochronous(),
+                        "{} ({kind}, {mode}, {backend}): {report}",
+                        design.name()
                     );
-                    assert!(edge.derivation.is_some());
                 }
-                for component in &stats.components {
-                    assert_ne!(component.stop, StopReason::Deadlocked);
-                }
-                let report = outcome.check_conformance().expect("reference registered");
-                assert!(
-                    report.is_isochronous(),
-                    "{} ({mode}, {backend}): {report}",
-                    design.name()
-                );
             }
         }
     }
