@@ -247,7 +247,7 @@ impl WeakEndochronyReport {
         self.blocking_states.is_empty()
     }
 
-    /// Theorem of [18] as used by the paper: weakly endochronous,
+    /// Theorem of \[18\] as used by the paper: weakly endochronous,
     /// non-blocking processes are isochronous.
     pub fn implies_isochrony(&self) -> bool {
         self.is_weakly_endochronous() && self.is_non_blocking()

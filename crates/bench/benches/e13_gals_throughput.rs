@@ -664,6 +664,80 @@ fn emit_machine_readable_report(_c: &mut Criterion) {
         }
     }
 
+    // Multi-tenant serving: many copies of the verified 2-stage pipeline
+    // admitted to one shared `gals-serve` pool, each with its own
+    // streams, stats and conformance — the aggregate throughput of the
+    // serving layer.  Contrast with the `pipeN/...` rows above, where a
+    // dedicated deployment owns all its threads: here 64 tenants share
+    // `available_parallelism` workers and admission has priced every one
+    // of them from the clock calculus beforehand.
+    {
+        use gals_serve::{Server, ServerOptions};
+        let components = 2usize;
+        let design = library::buffer_pipeline_design(components).expect("the pipeline composes");
+        let predicted = design
+            .performance_prediction()
+            .ok()
+            .map(|p| p.reactions_per_input());
+        for tenants in [8usize, 64] {
+            let mut best = 0.0f64;
+            let mut blocked = 0u64;
+            let mut reactions_sum = 0u64;
+            for _ in 0..3 {
+                let server = Server::start(ServerOptions::per_core()).expect("the pool starts");
+                let start = std::time::Instant::now();
+                let mut handles: Vec<_> = (0..tenants)
+                    .map(|t| server.admit(format!("t{t}"), &design).expect("fits"))
+                    .collect();
+                // Round-robin chunked ingress with interleaved egress
+                // polling — the serving usage pattern.  Feeding a whole
+                // stream per tenant without consuming outputs would wedge
+                // once a stream outgrows ingress + in-flight + egress
+                // capacity: the client side of the backpressure loop is
+                // part of the protocol, not an optimization.
+                const CHUNK: usize = 32;
+                for chunk in stream.chunks(CHUNK) {
+                    for handle in handles.iter_mut() {
+                        handle
+                            .feed("p0", chunk.iter().copied())
+                            .expect("p0 is an environment input");
+                        let _ = handle.poll_outputs();
+                    }
+                }
+                let mut reactions = 0u64;
+                for handle in handles {
+                    let outcome = handle
+                        .finish(std::time::Duration::from_secs(60))
+                        .expect("every tenant drains");
+                    let stats = outcome.stats();
+                    blocked += stats.total_blocked_reads();
+                    reactions += stats.total_reactions();
+                }
+                let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+                reactions_sum += reactions;
+                best = best.max(reactions as f64 / elapsed);
+            }
+            rows.push(ReportRow {
+                name: format!("serve{tenants}x/pipe{components}/shared-pool"),
+                topology: "buffer-pipeline/multi-tenant".into(),
+                components: tenants * components,
+                backend: "auto",
+                mode: "serve",
+                // Per environment token *per tenant*: each admitted
+                // pipeline keeps its own prediction, which is what the
+                // server's admission priced.
+                predicted_reactions_per_input: predicted,
+                reactions_per_second: best,
+                blocked_read_ratio: if reactions_sum == 0 {
+                    0.0
+                } else {
+                    blocked as f64 / reactions_sum as f64
+                },
+                max_edge_occupancy: None,
+            });
+        }
+    }
+
     // Relay shapes under the work-stealing pool.
     for (shape, build, env) in [
         ("pipeline", pipeline_shape as fn(usize) -> Deployment, "s0"),

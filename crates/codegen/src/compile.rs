@@ -1,6 +1,6 @@
 //! Slot-indexed compilation and execution of step programs.
 //!
-//! [`SequentialRuntime`](crate::runtime::SequentialRuntime) *interprets* a
+//! [`SequentialRuntime`] *interprets* a
 //! [`StepProgram`]: every step walks `Name`-keyed maps for presence,
 //! values and registers.  This module compiles the same program once into
 //! a [`CompiledProgram`] — every `Name` resolved to a dense slot index,

@@ -1,7 +1,7 @@
 //! Compiling and driving the emitted Rust machine.
 //!
 //! [`EmittedMachine`] closes the code-generation loop: it writes the
-//! [`emit_rust_harness`](crate::emit_rust::emit_rust_harness) source to a
+//! [`emit_rust_harness`] source to a
 //! scratch directory, compiles it with the `rustc` of the toolchain, and
 //! speaks the harness line protocol over the child's stdin/stdout —
 //! exposing the running binary behind [`gals_rt::StepMachine`], so the

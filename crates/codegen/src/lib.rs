@@ -19,7 +19,7 @@
 //!   the default execution strategy for deployments;
 //! * [`types`] — static value-type inference over a step program, shared
 //!   by the source emitters;
-//! * [`emit_rust`] — emission of the step function as a self-contained
+//! * [`emit_rust`](mod@emit_rust) — emission of the step function as a self-contained
 //!   Rust module, and [`emitted`] — a loader that compiles it with
 //!   `rustc` and drives the resulting process behind
 //!   [`gals_rt::StepMachine`];

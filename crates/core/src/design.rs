@@ -582,6 +582,44 @@ impl Design {
         Ok(deployment)
     }
 
+    /// Stages the verified design for submission to a shared serving pool
+    /// ([`gals_rt::SharedPool::submit`]): the deployment is assembled with
+    /// derived channel capacities and the static performance prediction
+    /// pre-installed, then wired into a [`gals_rt::StagedDeployment`] —
+    /// machines instantiated, internal channels connected, environment
+    /// inputs exposed as streaming ingress and external outputs as egress.
+    /// This is the entry point `gals-serve` admission prices: the staged
+    /// deployment carries the same capacity-and-prediction artifacts the
+    /// batch [`deploy_derived`](Design::deploy_derived) run would report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion, and propagates topology errors
+    /// from the wiring step.
+    pub fn stage_derived(&self) -> Result<gals_rt::StagedDeployment, DesignError> {
+        self.stage_derived_with(MachineKind::default())
+    }
+
+    /// [`stage_derived`](Design::stage_derived) with an explicit execution
+    /// strategy for the component machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NotVerified`] when the design fails the
+    /// static weak-hierarchy criterion, and propagates topology errors
+    /// from the wiring step.
+    pub fn stage_derived_with(
+        &self,
+        kind: MachineKind,
+    ) -> Result<gals_rt::StagedDeployment, DesignError> {
+        let mut deployment = self.deploy_derived_with(kind)?;
+        if let Ok(prediction) = self.performance_prediction() {
+            deployment.set_prediction(prediction);
+        }
+        Ok(deployment.stage()?)
+    }
+
     /// Composes this design with another component, re-checking the static
     /// criterion — the paper's `main2` extension of Section 5.2.
     pub fn extend(&self, component: ProcessDef) -> Result<Design, DesignError> {

@@ -13,7 +13,7 @@
 //!    flows as their synchronous composition.
 //!
 //! This crate exposes the criterion as a design API ([`Design`],
-//! [`Composition`]), the per-component artefacts (clock analysis, generated
+//! [`Component`]), the per-component artefacts (clock analysis, generated
 //! step program, emitted C), dynamic cross-checks of isochrony on concrete
 //! executions ([`isochrony`]) and the case studies of the paper
 //! ([`library`]).

@@ -9,7 +9,7 @@
 //! arbitrary component counts.
 //!
 //! The channels themselves are minted by a pluggable
-//! [`Transport`](crate::transport::Transport) under a [`ChannelPolicy`]:
+//! [`Transport`] under a [`ChannelPolicy`]:
 //! per-edge capacities (a default plus per-signal overrides) and a backend
 //! choice — the lock-free SPSC ring by default, since every derived edge
 //! has exactly one producer and one consumer.  [`Deployment::topology`]
@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use signal_lang::{Name, Value};
 use sim::Flows;
@@ -41,6 +41,13 @@ use crate::worker::{self, Driver, WorkerReport};
 /// Default per-component step budget: a safety net against components that
 /// can react forever without consuming any finite stream.
 pub const DEFAULT_MAX_STEPS: u64 = 1_000_000;
+
+/// Default capacity of the streaming ingress/egress channels a staged
+/// deployment ([`Deployment::stage`]) exposes: deep enough to absorb a
+/// burst of fed tokens without blocking the client, small enough that an
+/// unpolled tenant exerts backpressure on itself rather than hoarding
+/// memory.
+pub const DEFAULT_STREAM_CAPACITY: usize = 64;
 
 /// An error raised while assembling or launching a deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -367,6 +374,7 @@ pub struct Deployment {
     transport: Option<Arc<dyn Transport>>,
     mode: ExecutionMode,
     max_steps: u64,
+    stream_capacity: usize,
     allow_cycles: bool,
     prediction: Option<crate::predict::PerformancePrediction>,
     trace: Option<TraceConfig>,
@@ -387,6 +395,7 @@ impl Deployment {
             transport: None,
             mode: ExecutionMode::ThreadPerComponent,
             max_steps: DEFAULT_MAX_STEPS,
+            stream_capacity: DEFAULT_STREAM_CAPACITY,
             allow_cycles: false,
             prediction: None,
             trace: None,
@@ -577,6 +586,23 @@ impl Deployment {
             return Err(DeployError::ZeroMaxSteps);
         }
         self.max_steps = max_steps;
+        Ok(self)
+    }
+
+    /// Sets the capacity of the streaming ingress/egress channels a staged
+    /// deployment ([`stage`](Self::stage)) exposes (default
+    /// [`DEFAULT_STREAM_CAPACITY`]).  Batch runs ([`run`](Self::run))
+    /// never mint these channels and ignore the knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::ZeroCapacity`] for `capacity == 0`: a
+    /// zero-capacity ingress could never accept a fed token.
+    pub fn set_stream_capacity(&mut self, capacity: usize) -> Result<&mut Self, DeployError> {
+        if capacity == 0 {
+            return Err(DeployError::ZeroCapacity(None));
+        }
+        self.stream_capacity = capacity;
         Ok(self)
     }
 
@@ -795,46 +821,11 @@ impl Deployment {
         }
         let topology = self.topology()?;
         self.check_cycles(&topology)?;
+        self.validate_feeds(&topology)?;
 
-        // Validate the feeds and paced marks against the derived
-        // environment.
-        let inputs: BTreeSet<Name> = self
-            .machines
-            .iter()
-            .flat_map(|m| m.input_signals())
-            .collect();
-        let environment: BTreeSet<Name> = topology.environment.iter().cloned().collect();
-        for signal in self.feeds.keys() {
-            if !inputs.contains(signal) {
-                return Err(DeployError::UnknownFeed(signal.clone()));
-            }
-            if !environment.contains(signal) {
-                return Err(DeployError::FedInternalSignal(signal.clone()));
-            }
-        }
-        for signal in &self.paced {
-            if !environment.contains(signal) {
-                return Err(DeployError::UnknownPaced(signal.clone()));
-            }
-        }
-
-        // Wire the bounded channels: one endpoint pair per edge, minted by
-        // the transport at the edge's resolved capacity.
         let transport = self.transport_instance();
         let backend = self.backend_name();
-        let n = self.machines.len();
-        let mut sources: Vec<BTreeMap<Name, Box<dyn TokenRx>>> =
-            (0..n).map(|_| BTreeMap::new()).collect();
-        let mut sinks: Vec<BTreeMap<Name, Vec<Box<dyn TokenTx>>>> =
-            (0..n).map(|_| BTreeMap::new()).collect();
-        for spec in &topology.channels {
-            let (tx, rx) = transport.open(spec.capacity)?;
-            sinks[spec.producer]
-                .entry(spec.signal.clone())
-                .or_default()
-                .push(tx);
-            sources[spec.consumer].insert(spec.signal.clone(), rx);
-        }
+        let (sources, sinks) = self.wire_channels(&topology, transport.as_ref())?;
 
         // Preload the environment streams into their consumers.
         for (j, machine) in self.machines.iter_mut().enumerate() {
@@ -853,7 +844,7 @@ impl Deployment {
         // One resumable driver per machine; the execution mode decides how
         // drivers map onto OS threads.
         let max_steps = self.max_steps;
-        let mut drivers: Vec<Driver> = Vec::with_capacity(n);
+        let mut drivers: Vec<Driver> = Vec::with_capacity(self.machines.len());
         let mut sources = sources.into_iter();
         let mut sinks = sinks.into_iter();
         for machine in self.machines {
@@ -901,41 +892,206 @@ impl Deployment {
         };
         let elapsed = started.elapsed();
 
-        let mut flows: Flows = Flows::new();
-        let mut components = Vec::with_capacity(reports.len());
-        let mut component_traces = Vec::new();
-        for report in reports {
-            flows.extend(report.flows);
-            if let Some(buffer) = report.trace {
-                component_traces.push((report.stats.name.clone(), buffer));
-            }
-            components.push(report.stats);
-        }
-        let trace = self
-            .trace
-            .is_some()
-            .then(|| Trace::assemble(component_traces, worker_traces, topology.channels.clone()));
-        Ok(DeploymentOutcome {
-            flows,
-            stats: DeploymentStats {
-                components,
-                channels: topology.channels.len(),
-                capacity: CapacityRange::of_edges(topology.channels.iter().map(|c| c.capacity)),
-                sizing: self.policy.sizing(),
-                edges: topology.channels.clone(),
-                backend,
-                mode: self.mode,
-                pool_workers,
-                elapsed,
-                prediction: self.prediction,
-                trace: trace.as_ref().map(Trace::summary),
-                machine_kind: self.machine_kind,
-            },
+        let parts = OutcomeParts {
+            reports,
+            channels: topology.channels,
+            sizing: self.policy.sizing(),
+            backend,
+            mode: self.mode,
+            pool_workers,
+            worker_traces,
+            elapsed,
+            traced: self.trace.is_some(),
+            prediction: self.prediction,
+            machine_kind: self.machine_kind,
             feeds: self.feeds,
             reference: self.reference,
             paced: self.paced,
-            trace,
+        };
+        Ok(parts.build())
+    }
+
+    /// Assembles the deployment into a [`StagedDeployment`] for a
+    /// [`SharedPool`](crate::SharedPool) instead of running it: the same
+    /// static checks and internal channel wiring as [`run`](Self::run),
+    /// but the environment inputs become bounded **ingress** channels the
+    /// client feeds incrementally
+    /// ([`SubmittedDeployment::feed`](crate::SubmittedDeployment::feed))
+    /// and the external outputs become bounded **egress** channels the
+    /// client drains
+    /// ([`poll_outputs`](crate::SubmittedDeployment::poll_outputs)), both
+    /// sized by [`set_stream_capacity`](Self::set_stream_capacity).
+    /// Streams fed *before* staging are still preloaded and consumed
+    /// ahead of any streamed token.
+    ///
+    /// A full egress channel blocks its producer — the tenant's own
+    /// backpressure — and closing the ingress side
+    /// ([`close_inputs`](crate::SubmittedDeployment::close_inputs)) is the
+    /// normal end of the run: the consumer observes the close as
+    /// [`StopReason`](crate::StopReason)`::EnvironmentExhausted`, exactly
+    /// like a preloaded stream running dry.
+    ///
+    /// # Errors
+    ///
+    /// The same static refusals as [`run`](Self::run): empty deployment,
+    /// ill-formed or unproven-cyclic topology, unknown feeds or paced
+    /// marks, transport failures.
+    pub fn stage(mut self) -> Result<StagedDeployment, DeployError> {
+        if self.machines.is_empty() {
+            return Err(DeployError::Empty);
+        }
+        let topology = self.topology()?;
+        self.check_cycles(&topology)?;
+        let environment = self.validate_feeds(&topology)?;
+
+        let transport = self.transport_instance();
+        let backend = self.backend_name();
+        let (mut sources, mut sinks) = self.wire_channels(&topology, transport.as_ref())?;
+
+        // Preload pre-staged feeds directly into their consumers: the
+        // machine's internal input queue is consumed before its channel is
+        // read, so preloaded tokens come strictly before streamed ones.
+        for machine in self.machines.iter_mut() {
+            for input in machine.input_signals() {
+                if !environment.contains(&input) {
+                    continue;
+                }
+                if let Some(values) = self.feeds.get(&input) {
+                    for value in values {
+                        machine.feed_value(input.as_str(), *value);
+                    }
+                }
+            }
+        }
+
+        // Ingress: one bounded channel per (environment input, consumer).
+        // The rx side feeds the driver like any upstream edge; the tx side
+        // is the client's streaming handle.
+        let mut ingress: BTreeMap<Name, IngressPort> = BTreeMap::new();
+        for (j, machine) in self.machines.iter().enumerate() {
+            for input in machine.input_signals() {
+                if !environment.contains(&input) {
+                    continue;
+                }
+                let (tx, rx) = transport.open(self.stream_capacity)?;
+                sources[j].insert(input.clone(), rx);
+                ingress
+                    .entry(input)
+                    .or_insert_with(|| IngressPort {
+                        consumers: Vec::new(),
+                    })
+                    .consumers
+                    .push((j, tx));
+            }
+        }
+
+        // Egress: one bounded channel per external output (an output no
+        // other machine consumes).  The tx rides along the producer's
+        // ordinary sinks; the rx side is the client's polling handle.
+        let channel_signals: BTreeSet<Name> =
+            topology.channels.iter().map(|c| c.signal.clone()).collect();
+        let mut egress: BTreeMap<Name, EgressPort> = BTreeMap::new();
+        for (i, machine) in self.machines.iter().enumerate() {
+            for output in machine.output_signals() {
+                if channel_signals.contains(&output) {
+                    continue;
+                }
+                let (tx, rx) = transport.open(self.stream_capacity)?;
+                sinks[i].entry(output.clone()).or_default().push(tx);
+                egress.insert(output, EgressPort { producer: i, rx });
+            }
+        }
+
+        let max_steps = self.max_steps;
+        let mut names = Vec::with_capacity(self.machines.len());
+        let mut drivers: Vec<Driver> = Vec::with_capacity(self.machines.len());
+        let mut sources = sources.into_iter();
+        let mut sinks = sinks.into_iter();
+        for machine in self.machines {
+            names.push(machine.machine_name().to_string());
+            let mut driver = Driver::new(
+                machine,
+                sources.next().expect("one source map per machine"),
+                sinks.next().expect("one sink map per machine"),
+                max_steps,
+            );
+            for signal in &topology.environment {
+                driver.mark_environment(signal.clone());
+            }
+            drivers.push(driver);
+        }
+
+        Ok(StagedDeployment {
+            drivers,
+            topology,
+            ingress,
+            egress,
+            names,
+            feeds: self.feeds,
+            reference: self.reference,
+            paced: self.paced,
+            backend,
+            sizing: self.policy.sizing(),
+            prediction: self.prediction,
+            trace: self.trace,
+            machine_kind: self.machine_kind,
         })
+    }
+
+    /// Validates the feeds and paced marks against the derived environment
+    /// and returns the environment inputs as a set.
+    fn validate_feeds(&self, topology: &Topology) -> Result<BTreeSet<Name>, DeployError> {
+        let inputs: BTreeSet<Name> = self
+            .machines
+            .iter()
+            .flat_map(|m| m.input_signals())
+            .collect();
+        let environment: BTreeSet<Name> = topology.environment.iter().cloned().collect();
+        for signal in self.feeds.keys() {
+            if !inputs.contains(signal) {
+                return Err(DeployError::UnknownFeed(signal.clone()));
+            }
+            if !environment.contains(signal) {
+                return Err(DeployError::FedInternalSignal(signal.clone()));
+            }
+        }
+        for signal in &self.paced {
+            if !environment.contains(signal) {
+                return Err(DeployError::UnknownPaced(signal.clone()));
+            }
+        }
+        Ok(environment)
+    }
+
+    /// Wires the bounded internal channels: one endpoint pair per edge,
+    /// minted by the transport at the edge's resolved capacity; returns
+    /// the per-machine source and sink endpoint maps.
+    #[allow(clippy::type_complexity)]
+    fn wire_channels(
+        &self,
+        topology: &Topology,
+        transport: &dyn Transport,
+    ) -> Result<
+        (
+            Vec<BTreeMap<Name, Box<dyn TokenRx>>>,
+            Vec<BTreeMap<Name, Vec<Box<dyn TokenTx>>>>,
+        ),
+        DeployError,
+    > {
+        let n = self.machines.len();
+        let mut sources: Vec<BTreeMap<Name, Box<dyn TokenRx>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        let mut sinks: Vec<BTreeMap<Name, Vec<Box<dyn TokenTx>>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        for spec in &topology.channels {
+            let (tx, rx) = transport.open(spec.capacity)?;
+            sinks[spec.producer]
+                .entry(spec.signal.clone())
+                .or_default()
+                .push(tx);
+            sources[spec.consumer].insert(spec.signal.clone(), rx);
+        }
+        Ok((sources, sinks))
     }
 }
 
@@ -1035,5 +1191,143 @@ impl DeploymentOutcome {
         let tokens: usize = self.feeds.values().map(Vec::len).sum();
         let components = self.reference.len().max(1);
         (tokens + 16) * 16 * components
+    }
+}
+
+/// The client-side sending endpoints of one environment input of a staged
+/// deployment: one bounded channel per consuming machine.
+pub(crate) struct IngressPort {
+    /// `(machine index, sending endpoint)` per consumer of the signal.
+    pub(crate) consumers: Vec<(usize, Box<dyn TokenTx>)>,
+}
+
+/// The client-side receiving endpoint of one external output of a staged
+/// deployment.
+pub(crate) struct EgressPort {
+    /// Index of the producing machine (the component a drain must wake
+    /// when the egress buffer was full).
+    pub(crate) producer: usize,
+    /// The receiving endpoint the client polls.
+    pub(crate) rx: Box<dyn TokenRx>,
+}
+
+/// A deployment assembled for a [`SharedPool`](crate::SharedPool) instead
+/// of a batch run: every static check has passed, the internal channels
+/// are wired, and the environment boundary is exposed as bounded
+/// streaming ingress/egress channels.  Produced by [`Deployment::stage`],
+/// consumed by [`SharedPool::submit`](crate::SharedPool::submit).
+pub struct StagedDeployment {
+    pub(crate) drivers: Vec<Driver>,
+    pub(crate) topology: Topology,
+    pub(crate) ingress: BTreeMap<Name, IngressPort>,
+    pub(crate) egress: BTreeMap<Name, EgressPort>,
+    pub(crate) names: Vec<String>,
+    pub(crate) feeds: BTreeMap<Name, Vec<Value>>,
+    pub(crate) reference: Vec<ReferenceComponent>,
+    pub(crate) paced: BTreeSet<Name>,
+    pub(crate) backend: &'static str,
+    pub(crate) sizing: ChannelSizing,
+    pub(crate) prediction: Option<crate::predict::PerformancePrediction>,
+    pub(crate) trace: Option<TraceConfig>,
+    pub(crate) machine_kind: Option<crate::machine::MachineKind>,
+}
+
+impl StagedDeployment {
+    /// The number of components the deployment will occupy on the pool.
+    pub fn component_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// The component names, in deployment order.
+    pub fn component_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The static channel topology the stage derived.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The environment inputs exposed as streaming ingress channels.
+    pub fn inputs(&self) -> impl Iterator<Item = &Name> {
+        self.ingress.keys()
+    }
+
+    /// The external outputs exposed as streaming egress channels.
+    pub fn outputs(&self) -> impl Iterator<Item = &Name> {
+        self.egress.keys()
+    }
+}
+
+impl fmt::Debug for StagedDeployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StagedDeployment")
+            .field("components", &self.names)
+            .field("channels", &self.topology.channels.len())
+            .field("inputs", &self.ingress.len())
+            .field("outputs", &self.egress.len())
+            .finish()
+    }
+}
+
+/// Everything needed to assemble a [`DeploymentOutcome`] once the
+/// components have reported — shared by the batch [`Deployment::run`] and
+/// the shared pool's
+/// [`SubmittedDeployment::drain`](crate::SubmittedDeployment::drain),
+/// which is what keeps a served tenant's report shape identical to a
+/// batch run's.
+pub(crate) struct OutcomeParts {
+    pub(crate) reports: Vec<WorkerReport>,
+    pub(crate) channels: Vec<ChannelSpec>,
+    pub(crate) sizing: ChannelSizing,
+    pub(crate) backend: &'static str,
+    pub(crate) mode: ExecutionMode,
+    pub(crate) pool_workers: Vec<PoolWorkerStats>,
+    pub(crate) worker_traces: Vec<TraceBuffer>,
+    pub(crate) elapsed: Duration,
+    pub(crate) traced: bool,
+    pub(crate) prediction: Option<crate::predict::PerformancePrediction>,
+    pub(crate) machine_kind: Option<crate::machine::MachineKind>,
+    pub(crate) feeds: BTreeMap<Name, Vec<Value>>,
+    pub(crate) reference: Vec<ReferenceComponent>,
+    pub(crate) paced: BTreeSet<Name>,
+}
+
+impl OutcomeParts {
+    pub(crate) fn build(self) -> DeploymentOutcome {
+        let mut flows: Flows = Flows::new();
+        let mut components = Vec::with_capacity(self.reports.len());
+        let mut component_traces = Vec::new();
+        for report in self.reports {
+            flows.extend(report.flows);
+            if let Some(buffer) = report.trace {
+                component_traces.push((report.stats.name.clone(), buffer));
+            }
+            components.push(report.stats);
+        }
+        let trace = self
+            .traced
+            .then(|| Trace::assemble(component_traces, self.worker_traces, self.channels.clone()));
+        DeploymentOutcome {
+            flows,
+            stats: DeploymentStats {
+                components,
+                channels: self.channels.len(),
+                capacity: CapacityRange::of_edges(self.channels.iter().map(|c| c.capacity)),
+                sizing: self.sizing,
+                edges: self.channels,
+                backend: self.backend,
+                mode: self.mode,
+                pool_workers: self.pool_workers,
+                elapsed: self.elapsed,
+                prediction: self.prediction,
+                trace: trace.as_ref().map(Trace::summary),
+                machine_kind: self.machine_kind,
+            },
+            feeds: self.feeds,
+            reference: self.reference,
+            paced: self.paced,
+            trace,
+        }
     }
 }

@@ -102,12 +102,15 @@ mod worker;
 pub use capacity::{CapacityAnalysis, DerivedCapacity, EdgeClocks, UnprimedCycle};
 pub use conformance::{replay_reference, ConformanceError, ConformanceReport, ReferenceComponent};
 pub use deploy::{
-    ChannelSpec, DeployError, Deployment, DeploymentOutcome, Topology, DEFAULT_MAX_STEPS,
+    ChannelSpec, DeployError, Deployment, DeploymentOutcome, StagedDeployment, Topology,
+    DEFAULT_MAX_STEPS, DEFAULT_STREAM_CAPACITY,
 };
 pub use machine::{MachineKind, StepFault, StepMachine};
 pub use predict::{ComponentPrediction, EdgePrediction, PerformancePrediction};
 pub use ring::{RingReceiver, RingSender, RingTransport};
-pub use sched::ExecutionMode;
+pub use sched::{
+    DrainError, ExecutionMode, PoolOptions, SharedPool, SubmitOptions, SubmittedDeployment,
+};
 pub use stats::{CapacityRange, ComponentStats, DeploymentStats, PoolWorkerStats, StopReason};
 pub use trace::{
     BlockDirection, ComponentActivity, ComponentDrift, ComponentTrace, DriftReport, EdgeBlocking,
@@ -122,6 +125,7 @@ pub use transport::{
 mod tests {
     use super::*;
     use signal_lang::{Name, Value};
+    use std::time::Duration;
 
     /// A machine that consumes one token of `input` per step and emits the
     /// running sum on `output`.
@@ -785,5 +789,205 @@ mod tests {
             outcome.check_conformance().unwrap_err(),
             ConformanceError::NoReference
         );
+    }
+
+    /// The prefix-sum reference of `pipeline(n)` on `1..=len`.
+    fn pipeline_reference(stages: usize, len: i64) -> Vec<i64> {
+        let mut values: Vec<i64> = (1..=len).collect();
+        for _ in 0..stages {
+            let mut sum = 0;
+            for v in values.iter_mut() {
+                sum += *v;
+                *v = sum;
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn shared_pool_hosts_many_tenants_with_isolated_outcomes() {
+        let pool = SharedPool::start(PoolOptions::new(3, 8)).expect("pool");
+        let mut handles = Vec::new();
+        for tenant in 0..12i64 {
+            let staged = pipeline(3).stage().expect("stages");
+            let mut handle = pool.submit(staged, &SubmitOptions::default());
+            // Distinct streams per tenant prove the flows never bleed
+            // across deployments sharing the pool.
+            handle
+                .feed("s0", (1..=8).map(|v| Value::Int(v + tenant)))
+                .expect("env input");
+            handles.push(handle);
+        }
+        for (tenant, handle) in handles.into_iter().enumerate() {
+            let outcome = handle
+                .drain(Duration::from_secs(20))
+                .expect("tenant finishes");
+            assert_eq!(outcome.stats().components.len(), 3);
+            assert_eq!(outcome.stats().total_reactions(), 3 * 8);
+            let mut values: Vec<i64> = (1..=8).map(|v| v + tenant as i64).collect();
+            for _ in 0..3 {
+                let mut sum = 0;
+                for v in values.iter_mut() {
+                    sum += *v;
+                    *v = sum;
+                }
+            }
+            let got: Vec<i64> = outcome
+                .flow("s3")
+                .iter()
+                .map(|v| v.as_int().unwrap_or(0))
+                .collect();
+            assert_eq!(got, values, "tenant {tenant}");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_streaming_matches_the_batch_run() {
+        let pool = SharedPool::start(PoolOptions::new(2, 4)).expect("pool");
+        let staged = pipeline(4).stage().expect("stages");
+        let mut handle = pool.submit(staged, &SubmitOptions::default());
+        let mut polled: Vec<Value> = Vec::new();
+        // Feed in small bursts, polling between them: streaming ingress
+        // and incremental egress consumption.
+        for chunk in (1..=32i64).collect::<Vec<_>>().chunks(5) {
+            handle
+                .feed("s0", chunk.iter().copied().map(Value::Int))
+                .expect("env input");
+            polled.extend(
+                handle
+                    .poll_outputs()
+                    .remove(&Name::from("s4"))
+                    .unwrap_or_default(),
+            );
+        }
+        let outcome = handle.drain(Duration::from_secs(20)).expect("finishes");
+        let reference = pipeline_reference(4, 32);
+        let got: Vec<i64> = outcome
+            .flow("s4")
+            .iter()
+            .map(|v| v.as_int().unwrap_or(0))
+            .collect();
+        assert_eq!(got, reference, "final flows carry every produced token");
+        // Whatever was polled mid-run is a prefix of the final flow.
+        let polled: Vec<i64> = polled.iter().map(|v| v.as_int().unwrap_or(0)).collect();
+        assert_eq!(polled, reference[..polled.len()], "polling is lossless");
+        // The ingress close surfaced as the normal end of the stream.
+        assert!(outcome
+            .stats()
+            .components
+            .iter()
+            .any(|c| matches!(c.stop, StopReason::EnvironmentExhausted(_))));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn priorities_let_a_critical_tenant_overtake_batch_tenants() {
+        // One worker and a paused pool make the schedule deterministic:
+        // everything is ready before the first dispatch, so completion
+        // order is purely the priority order.
+        let mut options = PoolOptions::new(1, 4);
+        options.paused = true;
+        let pool = SharedPool::start(options).expect("pool");
+        let mut batch = Vec::new();
+        for _ in 0..4 {
+            let staged = pipeline(2).stage().expect("stages");
+            let mut handle = pool.submit(staged, &SubmitOptions::default());
+            handle
+                .feed("s0", (1..=16).map(Value::Int))
+                .expect("env input");
+            handle.close_inputs();
+            batch.push(handle);
+        }
+        // Submitted last, finishes first: priority beats submission order.
+        let staged = pipeline(2).stage().expect("stages");
+        let critical_options = SubmitOptions {
+            base_priority: 10,
+            boosts: std::collections::BTreeMap::new(),
+        };
+        let mut critical = pool.submit(staged, &critical_options);
+        critical
+            .feed("s0", (1..=16).map(Value::Int))
+            .expect("env input");
+        critical.close_inputs();
+        pool.resume();
+        assert!(critical.wait(Duration::from_secs(20)), "critical finishes");
+        for handle in &batch {
+            assert!(handle.wait(Duration::from_secs(20)), "batch finishes");
+        }
+        let critical_rank = critical.completion_index().expect("critical rank");
+        for handle in &batch {
+            let rank = handle.completion_index().expect("batch rank");
+            assert!(
+                critical_rank < rank,
+                "critical tenant (rank {critical_rank}) completes before a \
+                 batch tenant (rank {rank}) it was submitted after"
+            );
+        }
+        let outcome = critical.drain(Duration::from_secs(20)).expect("drains");
+        assert_eq!(outcome.flow("s2").len(), 16);
+        for handle in batch {
+            let _ = handle.drain(Duration::from_secs(20)).expect("drains");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_drain_timeout_returns_the_handle_intact() {
+        let pool = SharedPool::start(PoolOptions::new(2, 4)).expect("pool");
+        let staged = pipeline(2).stage().expect("stages");
+        let mut handle = pool.submit(staged, &SubmitOptions::default());
+        handle.feed("s0", [Value::Int(1)]).expect("env input");
+        // Never closing the ingress cannot finish... but drain() closes
+        // it, so use a zero timeout to force the refusal path instead.
+        let err = handle.drain(Duration::ZERO);
+        match err {
+            Err(DrainError::Timeout { pending, handle }) => {
+                assert!(!pending.is_empty(), "someone is still live");
+                // The handle still works: the ingress was closed by the
+                // failed drain, so a second drain finishes.
+                let outcome = handle
+                    .drain(Duration::from_secs(20))
+                    .expect("second drain finishes");
+                assert_eq!(outcome.flow("s2").len(), 1);
+            }
+            Ok(outcome) => {
+                // The run can legitimately finish within the zero budget
+                // on a fast machine; the flows must still be right.
+                assert_eq!(outcome.flow("s2").len(), 1);
+            }
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn feeding_an_unknown_signal_on_a_handle_is_refused() {
+        let pool = SharedPool::start(PoolOptions::new(1, 4)).expect("pool");
+        let staged = pipeline(2).stage().expect("stages");
+        let mut handle = pool.submit(staged, &SubmitOptions::default());
+        assert_eq!(
+            handle.feed("nope", [Value::Int(1)]).unwrap_err(),
+            DeployError::UnknownFeed(Name::from("nope"))
+        );
+        handle.close_inputs();
+        let _ = handle.drain(Duration::from_secs(20)).expect("finishes");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn the_worker_setup_hook_reports_the_pinned_flag() {
+        let mut options = PoolOptions::new(2, 4);
+        options.worker_setup = Some(std::sync::Arc::new(|worker: usize| worker == 0));
+        let pool = SharedPool::start(options).expect("pool");
+        // Run something so the workers are certainly up.
+        let staged = pipeline(2).stage().expect("stages");
+        let mut handle = pool.submit(staged, &SubmitOptions::default());
+        handle.feed("s0", (1..=4).map(Value::Int)).expect("env");
+        let _ = handle.drain(Duration::from_secs(20)).expect("finishes");
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].pinned, "hook returned true for worker 0");
+        assert!(!stats[1].pinned, "hook returned false for worker 1");
+        pool.shutdown();
     }
 }

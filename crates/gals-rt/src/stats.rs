@@ -91,6 +91,10 @@ pub struct PoolWorkerStats {
     pub steals: u64,
     /// Times the worker found no runnable component and parked.
     pub parks: u64,
+    /// Whether the worker's startup hook pinned it to a core
+    /// ([`crate::PoolOptions::worker_setup`]).  Always `false` for the
+    /// batch pool, which runs no startup hook.
+    pub pinned: bool,
 }
 
 impl PoolWorkerStats {
@@ -100,6 +104,7 @@ impl PoolWorkerStats {
             dispatches: 0,
             steals: 0,
             parks: 0,
+            pinned: false,
         }
     }
 }
@@ -110,7 +115,11 @@ impl fmt::Display for PoolWorkerStats {
             f,
             "worker {}: {} dispatches ({} stolen), {} parks",
             self.worker, self.dispatches, self.steals, self.parks
-        )
+        )?;
+        if self.pinned {
+            write!(f, ", pinned")?;
+        }
+        Ok(())
     }
 }
 
@@ -292,8 +301,13 @@ impl fmt::Display for DeploymentStats {
             }
             writeln!(f)?;
         }
-        for w in &self.pool_workers {
-            writeln!(f, "  {w}")?;
+        // The per-worker scheduling counters belong to pool runs only: a
+        // thread-per-component report stays free of an empty (or stale)
+        // pool section even when the field is populated.
+        if matches!(self.mode, ExecutionMode::Pool { .. }) {
+            for w in &self.pool_workers {
+                writeln!(f, "  {w}")?;
+            }
         }
         if let Some(prediction) = &self.prediction {
             for line in prediction.to_string().lines() {
@@ -400,12 +414,14 @@ mod tests {
                 dispatches: 7,
                 steals: 2,
                 parks: 1,
+                pinned: false,
             },
             PoolWorkerStats {
                 worker: 1,
                 dispatches: 3,
                 steals: 1,
                 parks: 4,
+                pinned: true,
             },
         ];
         assert_eq!(stats.total_dispatches(), 10);
@@ -413,5 +429,18 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("pool of 2 worker(s), quantum 8"));
         assert!(text.contains("worker 0: 7 dispatches (2 stolen), 1 parks"));
+        assert!(text.contains("worker 1: 3 dispatches (1 stolen), 4 parks, pinned"));
+    }
+
+    #[test]
+    fn thread_mode_report_prints_no_pool_worker_lines() {
+        // Regression: the report keyed the pool section on the counters
+        // being present, not on the mode — a thread-per-component run
+        // handed stale pool counters printed a bogus worker section.
+        let mut stats = sample();
+        stats.pool_workers = vec![PoolWorkerStats::new(0)];
+        assert_eq!(stats.mode, ExecutionMode::ThreadPerComponent);
+        let text = stats.to_string();
+        assert!(!text.contains("worker 0:"));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The runtime's end-of-run counters ([`crate::DeploymentStats`]) say *how
 //! much* happened; this module records *when*.  Every worker owns a
-//! private bounded [`TraceBuffer`] — no locks, no sharing on the hot
+//! private bounded `TraceBuffer` — no locks, no sharing on the hot
 //! path, and when tracing is off the recording sites cost one `Option`
 //! branch.  At join the buffers merge into a [`Trace`] of monotonic
 //! nanosecond timestamps, from which three views derive:

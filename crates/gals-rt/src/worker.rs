@@ -18,7 +18,7 @@
 //! SPSC ring, something remote) is the deployment policy's business, not
 //! the driver's.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use signal_lang::Name;
 use sim::Flows;
@@ -67,6 +67,12 @@ pub(crate) struct Driver {
     /// `blocked_reads`, so a pool re-dispatch that finds the same edge
     /// still empty (a spurious wake) does not count the one wait twice.
     waiting_on: Option<Name>,
+    /// Channel-fed inputs that are really *environment* ingress edges (a
+    /// staged deployment streams its env inputs over channels instead of
+    /// preloading them): their close is the normal end of the input
+    /// stream, reported as [`StopReason::EnvironmentExhausted`] rather
+    /// than the mid-pipeline [`StopReason::UpstreamClosed`].
+    env_sources: BTreeSet<Name>,
     max_steps: u64,
     reactions: u64,
     blocked_reads: u64,
@@ -108,6 +114,7 @@ impl Driver {
             cursors,
             resume_sink: BTreeMap::new(),
             waiting_on: None,
+            env_sources: BTreeSet::new(),
             max_steps,
             reactions: 0,
             blocked_reads: 0,
@@ -120,6 +127,22 @@ impl Driver {
     /// Installs the event recorder (tracing on).
     pub(crate) fn set_trace(&mut self, buffer: TraceBuffer) {
         self.trace = Some(Box::new(buffer));
+    }
+
+    /// Marks a channel-fed input as an environment ingress edge.
+    pub(crate) fn mark_environment(&mut self, signal: Name) {
+        self.env_sources.insert(signal);
+    }
+
+    /// The stop reason for observing `signal`'s upstream channel closed:
+    /// the normal end of the environment stream for a marked ingress edge,
+    /// a mid-pipeline producer termination otherwise.
+    fn closed_stop(&self, signal: Name) -> StopReason {
+        if self.env_sources.contains(&signal) {
+            StopReason::EnvironmentExhausted(signal)
+        } else {
+            StopReason::UpstreamClosed(signal)
+        }
     }
 
     /// How many tokens this driver has moved over its channels so far —
@@ -250,7 +273,7 @@ impl Driver {
                             }
                         }
                         Err(TryRecvError::Closed) => {
-                            return DriveOutcome::Done(StopReason::UpstreamClosed(signal));
+                            return DriveOutcome::Done(self.closed_stop(signal));
                         }
                         Err(TryRecvError::Empty) => {
                             // One wait episode counts once, however many
@@ -290,7 +313,7 @@ impl Driver {
                 }
                 None
             }
-            Err(_closed) => Some(StopReason::UpstreamClosed(signal.clone())),
+            Err(_closed) => Some(self.closed_stop(signal.clone())),
         }
     }
 

@@ -1,0 +1,76 @@
+//! Worker↔core affinity pinning.
+//!
+//! A long-running pool benefits from workers that stay put: each worker
+//! thread's run-queue, the channel buffers of the components it homes,
+//! and the components' machine state build up a cache footprint that
+//! migration throws away.  [`pin_current_thread`] maps worker `w` to
+//! core `w % available_parallelism` and pins the calling thread there.
+//!
+//! The implementation is a direct `sched_setaffinity(2)` FFI call on
+//! Linux — the workspace is offline, so no `libc` dependency — and a
+//! graceful no-op returning `false` everywhere else.  The return value
+//! is reported per worker in
+//! [`gals_rt::PoolWorkerStats::pinned`], so an operator can see whether
+//! the pins actually took rather than trusting the configuration.
+
+/// Pins the calling thread to core `worker % available_parallelism`.
+///
+/// Intended as the [`gals_rt::PoolOptions::worker_setup`] hook (the
+/// signature matches); returns whether the pin took.
+pub fn pin_current_thread(worker: usize) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    pin_to_core(worker % cores.max(1))
+}
+
+/// Pins the calling thread to exactly `core`; returns whether the pin
+/// took (`false` on non-Linux platforms, out-of-range cores, or when
+/// the kernel refuses).
+pub fn pin_to_core(core: usize) -> bool {
+    imp::pin(core)
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    /// 1024-bit CPU mask — the size of glibc's default `cpu_set_t`.
+    const MASK_WORDS: usize = 16;
+
+    extern "C" {
+        /// `sched_setaffinity(2)`: pid 0 means the calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub(super) fn pin(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] |= 1u64 << (core % 64);
+        // SAFETY: the mask outlives the call and `cpusetsize` matches
+        // its allocation exactly; the kernel only reads it.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub(super) fn pin(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_the_test_thread_succeeds_on_linux() {
+        let took = pin_current_thread(0);
+        assert_eq!(took, cfg!(target_os = "linux"));
+    }
+
+    #[test]
+    fn out_of_range_cores_are_refused_not_clamped() {
+        assert!(!pin_to_core(1 << 20));
+    }
+}

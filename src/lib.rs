@@ -3,7 +3,11 @@
 //!
 //! Re-exports every workspace crate under a single roof so that examples and
 //! integration tests can use one dependency.
-
+//!
+//! The README below doubles as the crate-level tour — and, via `cargo test
+//! --doc`, as an executable one: its code blocks compile and run against the
+//! re-exports above.
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 
 pub use analysis;
@@ -11,6 +15,7 @@ pub use clocks;
 pub use codegen;
 pub use gals_net;
 pub use gals_rt;
+pub use gals_serve;
 pub use isochron;
 pub use moc;
 pub use signal_lang;
